@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Design-choice ablations beyond the paper's figures, for the knobs
+ * DESIGN.md calls out:
+ *
+ *  1. demote_scale_factor sweep — how much free headroom should the
+ *     demotion daemon maintain? The paper defaults to 2 % (§5.2).
+ *  2. hint-fault scan cadence sweep — promotion responsiveness vs
+ *     sampling overhead (§5.3).
+ *  3. promotion rate limit sweep — the upstream follow-up knob
+ *     (numa_balancing_promote_rate_limit_MBps); 0 = the paper's TPP.
+ *
+ * All on the stress case (Cache1, 1:4).
+ */
+
+#include "bench_common.hh"
+
+namespace {
+
+using namespace tpp;
+
+ExperimentConfig
+baseConfig(std::uint64_t wss)
+{
+    ExperimentConfig cfg;
+    cfg.workload = "cache1";
+    cfg.wssPages = wss;
+    cfg.localFraction = parseRatio("1:4");
+    cfg.policy = "tpp";
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tpp;
+    const std::uint64_t wss = bench::wssFromArgs(argc, argv);
+
+    bench::banner("Ablation sweeps",
+                  "TPP design-choice sensitivity (Cache1, 1:4)");
+
+    std::printf("-- demote_scale_factor --\n");
+    {
+        TextTable table({"scale factor", "local traffic", "tput (ops/s)",
+                         "demotions", "promo success rate"});
+        for (double factor : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+            ExperimentConfig cfg = baseConfig(wss);
+            cfg.tpp.demoteScaleFactor = factor;
+            const ExperimentResult res = runExperiment(cfg);
+            const std::uint64_t tries = res.vmstat.get(Vm::PgPromoteTry);
+            table.addRow(
+                {TextTable::num(factor, 1),
+                 TextTable::pct(res.localTrafficShare),
+                 TextTable::num(res.throughput, 0),
+                 TextTable::count(res.vmstat.get(Vm::PgDemoteAnon) +
+                                  res.vmstat.get(Vm::PgDemoteFile)),
+                 TextTable::pct(
+                     tries ? static_cast<double>(res.vmstat.get(
+                                 Vm::PgPromoteSuccess)) /
+                                 static_cast<double>(tries)
+                           : 0.0)});
+        }
+        table.print();
+    }
+
+    std::printf("\n-- hint-fault scan cadence --\n");
+    {
+        TextTable table({"batch/period", "hint faults", "promotions",
+                         "local traffic", "tput (ops/s)"});
+        struct Cadence {
+            std::uint64_t batch;
+            Tick period;
+            const char *label;
+        };
+        const Cadence cadences[] = {
+            {128, 40 * kMillisecond, "128 / 40ms (slow)"},
+            {512, 20 * kMillisecond, "512 / 20ms (default)"},
+            {2048, 10 * kMillisecond, "2048 / 10ms (aggressive)"},
+        };
+        for (const Cadence &c : cadences) {
+            ExperimentConfig cfg = baseConfig(wss);
+            cfg.tpp.scanBatch = c.batch;
+            cfg.tpp.scanPeriod = c.period;
+            const ExperimentResult res = runExperiment(cfg);
+            table.addRow(
+                {c.label,
+                 TextTable::count(res.vmstat.get(Vm::NumaHintFaults)),
+                 TextTable::count(res.vmstat.get(Vm::PgPromoteSuccess)),
+                 TextTable::pct(res.localTrafficShare),
+                 TextTable::num(res.throughput, 0)});
+        }
+        table.print();
+    }
+
+    std::printf("\n-- promotion rate limit (MB/s) --\n");
+    {
+        TextTable table({"limit", "promotions", "rate-limited",
+                         "local traffic", "tput (ops/s)"});
+        for (double limit : {0.0, 16.0, 64.0, 256.0}) {
+            ExperimentConfig cfg = baseConfig(wss);
+            cfg.tpp.promoteRateLimitMBps = limit;
+            const ExperimentResult res = runExperiment(cfg);
+            table.addRow(
+                {limit == 0.0 ? "off" : TextTable::num(limit, 0),
+                 TextTable::count(res.vmstat.get(Vm::PgPromoteSuccess)),
+                 TextTable::count(
+                     res.vmstat.get(Vm::PgPromoteFailRateLimit)),
+                 TextTable::pct(res.localTrafficShare),
+                 TextTable::num(res.throughput, 0)});
+        }
+        table.print();
+    }
+    return 0;
+}

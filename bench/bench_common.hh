@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction binaries: default
+ * scales, argv handling and headline banners.
+ *
+ * Every binary accepts an optional working-set size in pages as its
+ * first argument (default 32768 = 128 MiB of 4 KiB pages, enough for
+ * the published dynamics to emerge while keeping runs to seconds).
+ */
+
+#ifndef TPP_BENCH_BENCH_COMMON_HH
+#define TPP_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "sim/logging.hh"
+
+namespace tpp {
+namespace bench {
+
+inline constexpr std::uint64_t kDefaultWssPages = 32768;
+
+/** Parse the common argv: [wss_pages]. */
+inline std::uint64_t
+wssFromArgs(int argc, char **argv)
+{
+    setLogVerbose(false);
+    if (argc > 1)
+        return std::strtoull(argv[1], nullptr, 0);
+    return kDefaultWssPages;
+}
+
+/** Print the figure banner. */
+inline void
+banner(const char *id, const char *title)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", id, title);
+    std::printf("==============================================================\n\n");
+}
+
+} // namespace bench
+} // namespace tpp
+
+#endif // TPP_BENCH_BENCH_COMMON_HH

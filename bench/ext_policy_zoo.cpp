@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Extension bench (beyond the paper's figures): the full policy zoo —
+ * default Linux, NUMA Balancing, AutoTiering, DAMON-based proactive
+ * demotion, and TPP — on the stress case (Cache1, 1:4), plus a YCSB-B
+ * key-value shape as an out-of-sample workload.
+ *
+ * Expectation: TPP and AutoTiering lead (demotion + promotion);
+ * damon-reclaim lands near plain Linux — its migration-based demotion
+ * avoids paging, but with no promotion path a proactively demoted page
+ * that re-heats is stuck remote; NUMA Balancing trails everything
+ * (useless local sampling, gated promotions, displacement paging).
+ */
+
+#include <memory>
+
+#include "bench_common.hh"
+#include "mm/kernel.hh"
+#include "policy/damon_reclaim.hh"
+#include "workloads/driver.hh"
+#include "workloads/profiles.hh"
+#include "workloads/ycsb.hh"
+
+namespace {
+
+using namespace tpp;
+
+struct ZooResult {
+    double throughput = 0.0;
+    double localShare = 0.0;
+    std::uint64_t swapOuts = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t promotions = 0;
+};
+
+std::unique_ptr<PlacementPolicy>
+zooPolicy(const std::string &name)
+{
+    if (name == "damon-reclaim")
+        return std::make_unique<DamonReclaimPolicy>();
+    ExperimentConfig cfg;
+    cfg.policy = name;
+    return makePolicy(cfg);
+}
+
+ZooResult
+runZoo(const std::string &policy, std::uint64_t wss, bool ycsb,
+       bool all_local)
+{
+    const std::uint64_t total = wss * 103 / 100;
+    MemoryConfig mem_cfg;
+    if (all_local) {
+        mem_cfg = TopologyBuilder::allLocal(total);
+    } else {
+        const std::uint64_t local_pages = total / 5; // 1:4
+        mem_cfg =
+            TopologyBuilder::cxlSystem(local_pages, total - local_pages);
+    }
+    EventQueue eq;
+    MemorySystem mem(mem_cfg);
+    Kernel kernel(mem, eq, zooPolicy(policy));
+
+    std::unique_ptr<Workload> workload;
+    if (ycsb) {
+        YcsbConfig cfg = YcsbConfig::workloadB(wss * 9 / 10);
+        workload = std::make_unique<YcsbWorkload>(cfg);
+    } else {
+        workload = std::make_unique<SyntheticWorkload>(
+            profiles::cache1(wss));
+    }
+    workload->setTaskNode(mem.cpuNodes().front());
+
+    DriverConfig driver_cfg;
+    WorkloadDriver driver(kernel, *workload, driver_cfg);
+    kernel.start();
+    driver.runToCompletion();
+
+    ZooResult result;
+    result.throughput = driver.throughput();
+    result.localShare = driver.trafficShare(mem.cpuNodes().front());
+    const VmStat &vs = kernel.vmstat();
+    result.swapOuts = vs.get(Vm::PswpOut);
+    result.demotions =
+        vs.get(Vm::PgDemoteAnon) + vs.get(Vm::PgDemoteFile);
+    result.promotions = vs.get(Vm::PgPromoteSuccess);
+    return result;
+}
+
+void
+zooTable(const char *title, std::uint64_t wss, bool ycsb)
+{
+    std::printf("-- %s --\n", title);
+    const ZooResult baseline = runZoo("linux", wss, ycsb, true);
+    TextTable table({"policy", "tput vs all-local", "local traffic",
+                     "swap-outs", "demotions", "promotions"});
+    for (const char *policy :
+         {"linux", "numa-balancing", "autotiering", "damon-reclaim",
+          "tpp"}) {
+        const ZooResult res = runZoo(policy, wss, ycsb, false);
+        table.addRow({policy,
+                      TextTable::pct(res.throughput /
+                                     baseline.throughput),
+                      TextTable::pct(res.localShare),
+                      TextTable::count(res.swapOuts),
+                      TextTable::count(res.demotions),
+                      TextTable::count(res.promotions)});
+    }
+    table.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tpp;
+    const std::uint64_t wss = bench::wssFromArgs(argc, argv);
+
+    bench::banner("Policy zoo (extension)",
+                  "all five policies on the 1:4 stress configuration");
+    zooTable("Cache1 (paper workload)", wss, false);
+    zooTable("YCSB-B (out-of-sample key-value mix)", wss, true);
+    return 0;
+}

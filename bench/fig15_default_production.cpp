@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 15: TPP vs default Linux on the production 2:1 configuration.
+ *
+ * For each workload: traffic served from local vs CXL node and
+ * throughput relative to the all-from-local machine, under the default
+ * Linux kernel and under TPP.
+ *
+ * Paper shape (2:1): Web — Linux serves only ~22 % locally and loses
+ * 16.5 %, TPP serves ~90 % locally at 99.5 % of all-local; Cache1 —
+ * Linux ~-3 %, TPP 99.9 %; Cache2 — Linux -2 %, TPP 99.6 %; DWH — both
+ * within ~1 %.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tpp;
+    const std::uint64_t wss = bench::wssFromArgs(argc, argv);
+
+    bench::banner("Figure 15",
+                  "default production environment (local:CXL = 2:1)");
+
+    TextTable table({"workload", "policy", "local traffic", "cxl traffic",
+                     "tput vs all-local", "anon on local", "file on local"});
+
+    for (const char *wl : {"web", "cache1", "cache2", "dwh"}) {
+        ExperimentConfig base;
+        base.workload = wl;
+        base.wssPages = wss;
+        base.allLocal = true;
+        base.policy = "linux";
+        const ExperimentResult baseline = runExperiment(base);
+
+        for (const char *policy : {"linux", "tpp"}) {
+            ExperimentConfig cfg = base;
+            cfg.allLocal = false;
+            cfg.localFraction = parseRatio("2:1");
+            cfg.policy = policy;
+            const ExperimentResult res = runExperiment(cfg);
+            table.addRow({wl, policy,
+                          TextTable::pct(res.localTrafficShare),
+                          TextTable::pct(res.cxlTrafficShare),
+                          TextTable::pct(res.throughput /
+                                         baseline.throughput),
+                          TextTable::pct(res.anonLocalResidency),
+                          TextTable::pct(res.fileLocalResidency)});
+        }
+    }
+    table.print();
+    std::printf("\npaper: Web linux 22%%/78%% @83.5%%, tpp 90%%/10%% @99.5%%;"
+                " Cache1 linux ~97%%, tpp 99.9%%; Cache2 linux 78%% local"
+                " @98%%, tpp 91%% @99.6%%; DWH both ~99%%+\n");
+    return 0;
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot mechanisms: the access
+ * path, fault path, allocator, LRU surgery, migration, reclaim scan,
+ * and the simulation primitives they sit on. These bound the simulator's
+ * own overheads and document the relative costs the policies pay.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/tpp_policy.hh"
+#include "mm/kernel.hh"
+#include "policy/default_linux.hh"
+#include "sim/distributions.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace tpp;
+
+/** Fixture bundle: one small tiered machine + kernel + one process. */
+struct Machine {
+    EventQueue eq;
+    MemorySystem mem;
+    Kernel kernel;
+    Asid asid;
+
+    explicit Machine(std::uint64_t local = 8192, std::uint64_t cxl = 8192,
+                     std::unique_ptr<PlacementPolicy> policy =
+                         std::make_unique<DefaultLinuxPolicy>())
+        : mem(TopologyBuilder::cxlSystem(local, cxl)),
+          kernel(mem, eq, std::move(policy)), asid(kernel.createProcess())
+    {
+        setLogVerbose(false);
+        kernel.start();
+    }
+};
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    Rng rng(42);
+    ZipfDistribution zipf(static_cast<std::uint64_t>(state.range(0)), 0.99);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(1024)->Arg(1048576);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    for (auto _ : state) {
+        eq.scheduleAfter(10, [] {});
+        eq.run(eq.now() + 10);
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_AccessResident(benchmark::State &state)
+{
+    Machine m;
+    const Vpn base = m.kernel.mmap(m.asid, 1024, PageType::Anon, "bench");
+    for (Vpn v = 0; v < 1024; ++v)
+        m.kernel.access(m.asid, base + v, AccessKind::Store, 0);
+    Vpn v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            m.kernel.access(m.asid, base + (v++ & 1023),
+                            AccessKind::Load, 0));
+    }
+}
+BENCHMARK(BM_AccessResident);
+
+void
+BM_MinorFault(benchmark::State &state)
+{
+    Machine m(1 << 20, 1 << 20);
+    const Vpn base =
+        m.kernel.mmap(m.asid, 1 << 20, PageType::Anon, "bench");
+    Vpn v = 0;
+    for (auto _ : state) {
+        if (v >= (1 << 20)) {
+            state.PauseTiming();
+            m.kernel.munmap(m.asid, base, 1 << 20);
+            m.kernel.mmap(m.asid, 1 << 20, PageType::Anon, "bench");
+            v = 0;
+            state.ResumeTiming();
+        }
+        benchmark::DoNotOptimize(
+            m.kernel.access(m.asid, base + v++, AccessKind::Store, 0));
+    }
+}
+BENCHMARK(BM_MinorFault);
+
+void
+BM_AllocFree(benchmark::State &state)
+{
+    Machine m;
+    const Vpn base = m.kernel.mmap(m.asid, 1, PageType::Anon, "bench");
+    for (auto _ : state) {
+        m.kernel.access(m.asid, base, AccessKind::Store, 0);
+        m.kernel.freeFrame(m.kernel.addressSpace(m.asid).pte(base).pfn);
+    }
+}
+BENCHMARK(BM_AllocFree);
+
+void
+BM_LruActivateDeactivate(benchmark::State &state)
+{
+    Machine m;
+    const Vpn base = m.kernel.mmap(m.asid, 512, PageType::Anon, "bench");
+    for (Vpn v = 0; v < 512; ++v)
+        m.kernel.access(m.asid, base + v, AccessKind::Store, 0);
+    const Pfn pfn = m.kernel.addressSpace(m.asid).pte(base).pfn;
+    LruSet &lru = m.kernel.lru(m.mem.frame(pfn).nid);
+    for (auto _ : state) {
+        lru.activate(pfn);
+        lru.deactivate(pfn);
+    }
+}
+BENCHMARK(BM_LruActivateDeactivate);
+
+void
+BM_MigratePage(benchmark::State &state)
+{
+    Machine m;
+    const Vpn base = m.kernel.mmap(m.asid, 256, PageType::Anon, "bench");
+    for (Vpn v = 0; v < 256; ++v)
+        m.kernel.access(m.asid, base + v, AccessKind::Store, 0);
+    const NodeId cxl = m.mem.cxlNodes().front();
+    const NodeId local = m.mem.cpuNodes().front();
+    bool to_cxl = true;
+    for (auto _ : state) {
+        const Pfn pfn = m.kernel.addressSpace(m.asid).pte(base).pfn;
+        benchmark::DoNotOptimize(m.kernel.migratePage(
+            pfn, to_cxl ? cxl : local, AllocReason::Demotion));
+        to_cxl = !to_cxl;
+    }
+}
+BENCHMARK(BM_MigratePage);
+
+void
+BM_ReclaimScan(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        Machine m(2048, 65536);
+        const Vpn base =
+            m.kernel.mmap(m.asid, 1800, PageType::Anon, "bench");
+        for (Vpn v = 0; v < 1800; ++v)
+            m.kernel.access(m.asid, base + v, AccessKind::Store, 0);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(m.kernel.directReclaim(0, 64));
+    }
+}
+BENCHMARK(BM_ReclaimScan)->Unit(benchmark::kMicrosecond);
+
+void
+BM_NumaSample(benchmark::State &state)
+{
+    Machine m(8192, 8192, std::make_unique<TppPolicy>());
+    const Vpn base = m.kernel.mmap(m.asid, 4096, PageType::Anon, "bench");
+    for (Vpn v = 0; v < 4096; ++v)
+        m.kernel.access(m.asid, base + v, AccessKind::Store, 0);
+    const NodeId local = m.mem.cpuNodes().front();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.kernel.sampleNode(local, 64));
+}
+BENCHMARK(BM_NumaSample);
+
+} // namespace
+
+BENCHMARK_MAIN();

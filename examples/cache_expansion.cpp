@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Scenario example: cheap memory expansion (§6.2.2).
+ *
+ * Can a cache tier run with only 20 % of its working set in fast local
+ * DRAM and the rest on big, cheap CXL memory? This example sweeps the
+ * local:CXL capacity ratio from all-local down to 1:8 for Cache1 under
+ * both default Linux and TPP, printing the throughput and traffic at
+ * each point — the crossover chart a capacity planner would want.
+ *
+ * Usage: cache_expansion [wss_pages]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "sim/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tpp;
+    setLogVerbose(false);
+
+    ExperimentConfig cfg;
+    cfg.workload = "cache1";
+    if (argc > 1)
+        cfg.wssPages = std::strtoull(argv[1], nullptr, 0);
+
+    ExperimentConfig base = cfg;
+    base.allLocal = true;
+    base.policy = "linux";
+    const ExperimentResult baseline = runExperiment(base);
+
+    std::printf("Cache1 memory-expansion sweep (%llu-page working "
+                "set)\n\n",
+                (unsigned long long)cfg.wssPages);
+    TextTable table({"local:cxl", "local share of capacity", "policy",
+                     "tput vs all-local", "local traffic", "swap-outs"});
+
+    for (const char *ratio : {"2:1", "1:1", "1:4", "1:8"}) {
+        for (const char *policy : {"linux", "tpp"}) {
+            ExperimentConfig run = cfg;
+            run.localFraction = parseRatio(ratio);
+            run.policy = policy;
+            const ExperimentResult res = runExperiment(run);
+            table.addRow(
+                {ratio, TextTable::pct(run.localFraction, 0), policy,
+                 TextTable::pct(res.throughput / baseline.throughput),
+                 TextTable::pct(res.localTrafficShare),
+                 TextTable::count(res.vmstat.get(Vm::PswpOut))});
+        }
+    }
+    table.print();
+    std::printf("\nTPP holds near-all-local performance far deeper into "
+                "the expansion régime than default Linux (§6.2.2).\n");
+    return 0;
+}

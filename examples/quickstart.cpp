@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Quickstart: build a 2:1 CXL-tiered machine, run the Web workload
+ * under default Linux and under TPP, and print the headline numbers —
+ * the 30-second tour of the library's public API.
+ *
+ * Usage: quickstart [wss_pages]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "sim/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tpp;
+
+    setLogVerbose(false);
+
+    ExperimentConfig cfg;
+    cfg.workload = "web";
+    cfg.localFraction = parseRatio("2:1");
+    if (argc > 1)
+        cfg.wssPages = std::strtoull(argv[1], nullptr, 0);
+
+    std::printf("Web on a 2:1 local:CXL tiered machine (%llu pages WSS)\n\n",
+                static_cast<unsigned long long>(cfg.wssPages));
+
+    TextTable table({"policy", "throughput (ops/s)", "vs all-local",
+                     "local traffic", "mean access ns"});
+
+    // All-from-local reference machine.
+    ExperimentConfig base = cfg;
+    base.allLocal = true;
+    base.policy = "linux";
+    const ExperimentResult baseline = runExperiment(base);
+    table.addRow({"all-local", TextTable::num(baseline.throughput, 0),
+                  "100.0%", "100.0%",
+                  TextTable::num(baseline.meanAccessLatencyNs, 1)});
+
+    for (const char *policy : {"linux", "tpp"}) {
+        ExperimentConfig run = cfg;
+        run.policy = policy;
+        const ExperimentResult res = runExperiment(run);
+        table.addRow({res.policy, TextTable::num(res.throughput, 0),
+                      TextTable::pct(res.throughput / baseline.throughput),
+                      TextTable::pct(res.localTrafficShare),
+                      TextTable::num(res.meanAccessLatencyNs, 1)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,220 @@
+#include "core/tpp_policy.hh"
+
+#include "mm/kernel.hh"
+#include "sim/logging.hh"
+
+namespace tpp {
+
+void
+TppPolicy::applyWatermarks()
+{
+    // Derive each CPU node's watermark set from the configured
+    // demote_scale_factor (§5.2).
+    MemorySystem &mem = kernel_->mem();
+    for (NodeId nid : mem.cpuNodes()) {
+        MemoryNode &node = mem.node(nid);
+        node.setWatermarks(Watermarks::forCapacity(node.capacity(),
+                                                   cfg_.demoteScaleFactor));
+    }
+}
+
+void
+TppPolicy::attach(Kernel &kernel)
+{
+    PlacementPolicy::attach(kernel);
+    kernel.setPromotionIgnoresWatermark(cfg_.promotionIgnoresWatermark);
+    applyWatermarks();
+
+    // Mode resolution (§5.3): Classic NUMA balancing on a machine with
+    // a single local node is automatically downgraded to the tiered
+    // mode; auto-detection picks Tiered whenever CXL memory exists.
+    const MemorySystem &mem = kernel.mem();
+    switch (cfg_.mode) {
+      case NumaMode::Tiered:
+        effectiveMode_ = NumaMode::Tiered;
+        break;
+      case NumaMode::Classic:
+        effectiveMode_ = (mem.cpuNodes().size() == 1 &&
+                          !mem.cxlNodes().empty())
+                             ? NumaMode::Tiered
+                             : NumaMode::Classic;
+        break;
+      case NumaMode::AutoDetect:
+        effectiveMode_ = mem.cxlNodes().empty() ? NumaMode::Classic
+                                                : NumaMode::Tiered;
+        break;
+    }
+
+    // Administration surface: the sysctl knobs the paper describes.
+    SysctlRegistry &sysctl = kernel.sysctl();
+    sysctl.registerDouble("vm.demote_scale_factor",
+                          &cfg_.demoteScaleFactor,
+                          [this] { applyWatermarks(); });
+    sysctl.registerBool("vm.tpp.type_aware_allocation",
+                        &cfg_.typeAwareAllocation);
+    sysctl.registerBool("vm.tpp.active_lru_filter",
+                        &cfg_.activeLruFilter);
+    sysctl.registerDouble("kernel.numa_balancing_promote_rate_limit_MBps",
+                          &cfg_.promoteRateLimitMBps);
+    sysctl.registerU64("kernel.numa_balancing_scan_size_pages",
+                       &cfg_.scanBatch);
+    sysctl.registerReadOnly("kernel.numa_balancing", [this] {
+        return std::string(effectiveMode_ == NumaMode::Tiered
+                               ? "2 (NUMA_BALANCING_TIERED)"
+                               : "1 (NUMA_BALANCING)");
+    });
+}
+
+void
+TppPolicy::start()
+{
+    kernel_->eventQueue().scheduleAfter(cfg_.scanPeriod,
+                                        [this] { scanTick(); });
+}
+
+NodeId
+TppPolicy::allocPreferredNode(PageType type, NodeId task_nid)
+{
+    if (cfg_.typeAwareAllocation && type == PageType::File) {
+        // Prefer caches on the CXL node (§5.4); hot ones will be
+        // promoted by the regular mechanism later.
+        const auto &targets = kernel_->mem().demotionOrder(task_nid);
+        if (!targets.empty())
+            return targets.front();
+    }
+    return task_nid;
+}
+
+bool
+TppPolicy::reclaimByDemotion(NodeId nid) const
+{
+    // CPU nodes demote to the CXL tier; CXL nodes themselves fall back
+    // to the default reclamation mechanism (§5.1).
+    return !kernel_->mem().node(nid).cpuLess();
+}
+
+ReclaimMarks
+TppPolicy::kswapdMarks(NodeId nid) const
+{
+    const MemoryNode &node = kernel_->mem().node(nid);
+    const Watermarks &wm = node.watermarks();
+    if (cfg_.decoupleWatermarks && !node.cpuLess())
+        return ReclaimMarks{wm.demoteTrigger, wm.demoteTarget};
+    return ReclaimMarks{wm.low, wm.high};
+}
+
+bool
+TppPolicy::scanNode(NodeId nid) const
+{
+    if (effectiveMode_ == NumaMode::Classic)
+        return true; // classic AutoNUMA samples everything
+    // NUMA_BALANCING_TIERED: sample only CXL nodes; poisoning local
+    // pages would only generate useless hint-fault overhead (§5.3).
+    return kernel_->mem().node(nid).cpuLess();
+}
+
+void
+TppPolicy::scanTick()
+{
+    if (effectiveMode_ == NumaMode::Classic) {
+        for (std::size_t i = 0; i < kernel_->mem().numNodes(); ++i)
+            kernel_->sampleNode(static_cast<NodeId>(i), cfg_.scanBatch);
+    } else {
+        for (NodeId nid : kernel_->mem().cxlNodes())
+            kernel_->sampleNode(nid, cfg_.scanBatch);
+    }
+    kernel_->eventQueue().scheduleAfter(cfg_.scanPeriod,
+                                        [this] { scanTick(); });
+}
+
+bool
+TppPolicy::promotionWithinRateLimit()
+{
+    if (cfg_.promoteRateLimitMBps <= 0.0)
+        return true;
+    const Tick now = kernel_->eventQueue().now();
+    const double bytes_per_ns = cfg_.promoteRateLimitMBps * 1e6 / 1e9;
+    const double burst = cfg_.promoteRateLimitMBps * 1e6 * 0.1; // 100 ms
+    promoteTokensBytes_ +=
+        static_cast<double>(now - promoteTokensRefilledAt_) *
+        bytes_per_ns;
+    promoteTokensRefilledAt_ = now;
+    if (promoteTokensBytes_ > burst)
+        promoteTokensBytes_ = burst;
+    if (promoteTokensBytes_ < static_cast<double>(kPageSize))
+        return false;
+    promoteTokensBytes_ -= static_cast<double>(kPageSize);
+    return true;
+}
+
+NodeId
+TppPolicy::promotionTarget(NodeId task_nid) const
+{
+    const MemorySystem &mem = kernel_->mem();
+    if (!mem.node(task_nid).cpuLess())
+        return task_nid;
+    // Task nominally on a CPU-less node (shared-memory case): pick the
+    // CPU node with the lowest memory pressure (§5.3).
+    NodeId best = mem.cpuNodes().front();
+    std::uint64_t best_free = mem.node(best).freePages();
+    for (NodeId nid : mem.cpuNodes()) {
+        if (mem.node(nid).freePages() > best_free) {
+            best = nid;
+            best_free = mem.node(nid).freePages();
+        }
+    }
+    return best;
+}
+
+double
+TppPolicy::onHintFault(Pfn pfn, NodeId task_nid)
+{
+    Kernel &k = *kernel_;
+    PageFrame &frame = k.mem().frame(pfn);
+    frame.lastHintFault = k.eventQueue().now();
+
+    if (effectiveMode_ == NumaMode::Classic) {
+        // Classic AutoNUMA: promote any remote page towards the
+        // faulting CPU's node instantly, no tiered filtering.
+        if (frame.nid == task_nid)
+            return 0.0;
+        auto [ok, cost] = k.promotePage(pfn, task_nid);
+        (void)ok;
+        return cost;
+    }
+
+    if (!k.mem().node(frame.nid).cpuLess()) {
+        // Only CXL pages are sampled; a local hint fault would mean the
+        // page migrated between sampling and faulting. Nothing to do.
+        return 0.0;
+    }
+
+    if (cfg_.activeLruFilter && !lruIsActive(frame.lru)) {
+        // Fig 14 (2): faulted page found on the inactive LRU is not yet
+        // a candidate — mark it accessed so it moves to the active list
+        // immediately. If it is still hot at the next hint fault it will
+        // be found active and promoted.
+        frame.clearFlag(PageFrame::FlagReferenced);
+        k.lru(frame.nid).activate(pfn);
+        k.vmstat().inc(Vm::PgActivate);
+        return 0.0;
+    }
+
+    // Candidate accepted (Fig 14 (1)/(3)).
+    VmStat &vs = k.vmstat();
+    if (!promotionWithinRateLimit()) {
+        vs.inc(Vm::PgPromoteFailRateLimit);
+        return 0.0;
+    }
+    vs.inc(Vm::PgPromoteCandidate);
+    vs.inc(frame.type == PageType::Anon ? Vm::PgPromoteCandidateAnon
+                                        : Vm::PgPromoteCandidateFile);
+    if (frame.demoted())
+        vs.inc(Vm::PgPromoteCandidateDemoted);
+
+    auto [ok, cost] = k.promotePage(pfn, promotionTarget(task_nid));
+    (void)ok;
+    return cost;
+}
+
+} // namespace tpp

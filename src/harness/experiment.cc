@@ -1,0 +1,141 @@
+#include "harness/experiment.hh"
+
+#include <cmath>
+
+#include "mm/kernel.hh"
+#include "policy/default_linux.hh"
+#include "sim/logging.hh"
+#include "workloads/profiles.hh"
+
+namespace tpp {
+
+double
+parseRatio(const std::string &ratio)
+{
+    const auto colon = ratio.find(':');
+    if (colon == std::string::npos)
+        tpp_fatal("capacity ratio must look like '2:1', got '%s'",
+                  ratio.c_str());
+    const double local = std::stod(ratio.substr(0, colon));
+    const double cxl = std::stod(ratio.substr(colon + 1));
+    if (local <= 0.0 || cxl < 0.0)
+        tpp_fatal("bad capacity ratio '%s'", ratio.c_str());
+    return local / (local + cxl);
+}
+
+std::unique_ptr<PlacementPolicy>
+makePolicy(const ExperimentConfig &cfg)
+{
+    if (cfg.policy == "linux")
+        return std::make_unique<DefaultLinuxPolicy>();
+    if (cfg.policy == "numa-balancing" || cfg.policy == "numa")
+        return std::make_unique<NumaBalancingPolicy>(cfg.numaBalancing);
+    if (cfg.policy == "autotiering")
+        return std::make_unique<AutoTieringPolicy>(cfg.autoTiering);
+    if (cfg.policy == "tpp")
+        return std::make_unique<TppPolicy>(cfg.tpp);
+    tpp_fatal("unknown policy '%s'", cfg.policy.c_str());
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    // Build the machine.
+    const std::uint64_t total_pages = static_cast<std::uint64_t>(
+        static_cast<double>(cfg.wssPages) * cfg.capacityHeadroom);
+    MemoryConfig mem_cfg;
+    if (cfg.allLocal) {
+        mem_cfg = TopologyBuilder::allLocal(total_pages);
+    } else {
+        const std::uint64_t local_pages = static_cast<std::uint64_t>(
+            static_cast<double>(total_pages) * cfg.localFraction);
+        mem_cfg = TopologyBuilder::cxlSystem(local_pages,
+                                             total_pages - local_pages);
+    }
+
+    EventQueue eq;
+    MemorySystem mem(mem_cfg);
+    Kernel kernel(mem, eq, makePolicy(cfg));
+
+    // Build the workload.
+    SyntheticWorkload workload(
+        profiles::byName(cfg.workload, cfg.wssPages, cfg.seed));
+    workload.setTaskNode(mem.cpuNodes().front());
+
+    // Optional profiler.
+    std::unique_ptr<Chameleon> chameleon;
+    if (cfg.withChameleon) {
+        chameleon = std::make_unique<Chameleon>(kernel, cfg.chameleon);
+        workload.setObserver(chameleon->observer());
+    }
+
+    DriverConfig driver_cfg;
+    driver_cfg.runUntil = cfg.runUntil;
+    driver_cfg.measureFrom = cfg.measureFrom;
+    driver_cfg.sampleEvery = cfg.sampleEvery;
+    WorkloadDriver driver(kernel, workload, driver_cfg);
+
+    kernel.start();
+    if (chameleon)
+        chameleon->start();
+    driver.runToCompletion();
+
+    // Harvest results.
+    ExperimentResult result;
+    result.workload = cfg.workload;
+    result.policy = cfg.policy;
+    result.throughput = driver.throughput();
+    result.meanAccessLatencyNs = driver.meanAccessLatencyNs();
+    const NodeId local = mem.cpuNodes().front();
+    result.localTrafficShare = driver.trafficShare(local);
+    result.cxlTrafficShare = 1.0 - result.localTrafficShare;
+    result.samples = driver.samples();
+    result.vmstat = kernel.vmstat();
+
+    // Residency split at end of run.
+    for (PageType type : {PageType::Anon, PageType::File}) {
+        std::uint64_t on_local = kernel.residentPages(local, type);
+        std::uint64_t total = on_local;
+        for (NodeId nid : mem.cxlNodes())
+            total += kernel.residentPages(nid, type);
+        const double share =
+            total ? static_cast<double>(on_local) /
+                        static_cast<double>(total)
+                  : 0.0;
+        if (type == PageType::Anon)
+            result.anonLocalResidency = share;
+        else
+            result.fileLocalResidency = share;
+    }
+
+    if (chameleon) {
+        result.chameleonIntervals = chameleon->intervals();
+        result.chameleonHotFraction = chameleon->meanHotFraction();
+        result.chameleonHotFractionAnon =
+            chameleon->meanHotFraction(PageType::Anon);
+        result.chameleonHotFractionFile =
+            chameleon->meanHotFraction(PageType::File);
+    }
+    return result;
+}
+
+double
+relativeToAllLocal(const ExperimentConfig &cfg, ExperimentResult *out,
+                   ExperimentResult *baseline_out)
+{
+    ExperimentConfig base_cfg = cfg;
+    base_cfg.allLocal = true;
+    base_cfg.policy = "linux";
+    base_cfg.withChameleon = false;
+    const ExperimentResult baseline = runExperiment(base_cfg);
+    const ExperimentResult result = runExperiment(cfg);
+    if (out)
+        *out = result;
+    if (baseline_out)
+        *baseline_out = baseline;
+    if (baseline.throughput <= 0.0)
+        return 0.0;
+    return result.throughput / baseline.throughput;
+}
+
+} // namespace tpp

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Experiment harness: builds a (topology, kernel, policy, workload)
+ * stack from a declarative config, runs it, and returns the metrics the
+ * paper reports — throughput, local/CXL traffic shares, residency
+ * splits, vmstat counters and per-interval time series.
+ *
+ * Every bench binary (one per paper figure/table) is a thin loop over
+ * runExperiment() calls.
+ */
+
+#ifndef TPP_HARNESS_EXPERIMENT_HH
+#define TPP_HARNESS_EXPERIMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chameleon/chameleon.hh"
+#include "core/tpp_policy.hh"
+#include "mm/vmstat.hh"
+#include "policy/autotiering.hh"
+#include "policy/numa_balancing.hh"
+#include "sim/types.hh"
+#include "workloads/driver.hh"
+#include "workloads/synthetic.hh"
+
+namespace tpp {
+
+class PlacementPolicy;
+
+/** Declarative description of one experiment run. */
+struct ExperimentConfig {
+    /** "web", "cache1", "cache2", "dwh". */
+    std::string workload = "web";
+    /** Working-set reservation in pages. */
+    std::uint64_t wssPages = 1ULL << 17; // 512 MiB
+    /** Single-node machine (the paper's "all from local" baseline). */
+    bool allLocal = false;
+    /**
+     * Local share of total capacity for tiered machines: 2:1 configs
+     * pass 2/3, 1:4 configs pass 1/5 (§6.2).
+     */
+    double localFraction = 2.0 / 3.0;
+    /** Total capacity relative to the working-set reservation. */
+    double capacityHeadroom = 1.03;
+    /** "linux", "numa-balancing", "autotiering", "tpp". */
+    std::string policy = "tpp";
+    TppConfig tpp;
+    NumaBalancingConfig numaBalancing;
+    AutoTieringConfig autoTiering;
+    /** Simulated run length and measurement window. */
+    Tick runUntil = 20 * kSecond;
+    Tick measureFrom = 12 * kSecond;
+    Tick sampleEvery = 100 * kMillisecond;
+    std::uint64_t seed = 1;
+    /** Attach a Chameleon profiler to the workload. */
+    bool withChameleon = false;
+    ChameleonConfig chameleon;
+};
+
+/** Everything a figure/table needs from one run. */
+struct ExperimentResult {
+    std::string workload;
+    std::string policy;
+    double throughput = 0.0;          //!< ops per second
+    double meanAccessLatencyNs = 0.0;
+    double localTrafficShare = 0.0;   //!< fraction of accesses, window
+    double cxlTrafficShare = 0.0;
+    /** End-of-run residency: fraction of each type on the local node. */
+    double anonLocalResidency = 0.0;
+    double fileLocalResidency = 0.0;
+    VmStat vmstat;
+    std::vector<IntervalSample> samples;
+    std::vector<ChameleonIntervalStats> chameleonIntervals;
+    double chameleonHotFraction = 0.0;
+    double chameleonHotFractionAnon = 0.0;
+    double chameleonHotFractionFile = 0.0;
+};
+
+/** Instantiate a policy by name using the config's parameter blocks. */
+std::unique_ptr<PlacementPolicy> makePolicy(const ExperimentConfig &cfg);
+
+/** Run one experiment to completion. */
+ExperimentResult runExperiment(const ExperimentConfig &cfg);
+
+/**
+ * Run `cfg` against its all-local twin and report throughput relative
+ * to it (the paper's "performance w.r.t. all-from-local" metric).
+ */
+double relativeToAllLocal(const ExperimentConfig &cfg,
+                          ExperimentResult *out = nullptr,
+                          ExperimentResult *baseline_out = nullptr);
+
+/** Parse a "L:C" capacity ratio ("2:1", "1:4") into a local fraction. */
+double parseRatio(const std::string &ratio);
+
+} // namespace tpp
+
+#endif // TPP_HARNESS_EXPERIMENT_HH

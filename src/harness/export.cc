@@ -1,0 +1,99 @@
+#include "harness/export.hh"
+
+#include <iomanip>
+
+namespace tpp {
+
+namespace {
+
+/** Minimal JSON string escaping (names here are ASCII identifiers). */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeResultsCsv(std::ostream &out,
+                const std::vector<ExperimentResult> &results)
+{
+    out << "workload,policy,throughput_ops_s,mean_access_latency_ns,"
+           "local_traffic_share,cxl_traffic_share,anon_local_residency,"
+           "file_local_residency\n";
+    for (const ExperimentResult &r : results) {
+        out << r.workload << ',' << r.policy << ',' << std::fixed
+            << std::setprecision(3) << r.throughput << ','
+            << r.meanAccessLatencyNs << ',' << r.localTrafficShare << ','
+            << r.cxlTrafficShare << ',' << r.anonLocalResidency << ','
+            << r.fileLocalResidency << '\n';
+    }
+}
+
+void
+writeSamplesCsv(std::ostream &out, const ExperimentResult &result)
+{
+    out << "tick_ns,local_share,promotion_pages_s,demotion_pages_s,"
+           "local_alloc_pages_s,local_free_pages,throughput_ops_s,"
+           "anon_resident,file_resident\n";
+    for (const IntervalSample &s : result.samples) {
+        out << s.tick << ',' << std::fixed << std::setprecision(4)
+            << s.localShare << ',' << s.promotionRate << ','
+            << s.demotionRate << ',' << s.localAllocRate << ','
+            << s.localFree << ',' << s.throughput << ','
+            << s.anonResident << ',' << s.fileResident << '\n';
+    }
+}
+
+void
+writeResultJson(std::ostream &out, const ExperimentResult &result)
+{
+    out << "{\n";
+    out << "  \"workload\": \"" << jsonEscape(result.workload) << "\",\n";
+    out << "  \"policy\": \"" << jsonEscape(result.policy) << "\",\n";
+    out << "  \"throughput_ops_s\": " << std::fixed
+        << std::setprecision(3) << result.throughput << ",\n";
+    out << "  \"mean_access_latency_ns\": " << result.meanAccessLatencyNs
+        << ",\n";
+    out << "  \"local_traffic_share\": " << result.localTrafficShare
+        << ",\n";
+    out << "  \"cxl_traffic_share\": " << result.cxlTrafficShare << ",\n";
+    out << "  \"anon_local_residency\": " << result.anonLocalResidency
+        << ",\n";
+    out << "  \"file_local_residency\": " << result.fileLocalResidency
+        << ",\n";
+    out << "  \"vmstat\": {";
+    bool first = true;
+    for (std::size_t i = 0; i < kNumVmCounters; ++i) {
+        const Vm counter = static_cast<Vm>(i);
+        const std::uint64_t value = result.vmstat.get(counter);
+        if (value == 0)
+            continue;
+        if (!first)
+            out << ',';
+        first = false;
+        out << "\n    \"" << vmName(counter) << "\": " << value;
+    }
+    out << "\n  },\n";
+    out << "  \"samples\": [";
+    for (std::size_t i = 0; i < result.samples.size(); ++i) {
+        const IntervalSample &s = result.samples[i];
+        if (i)
+            out << ',';
+        out << "\n    {\"tick_ns\": " << s.tick
+            << ", \"local_share\": " << std::setprecision(4)
+            << s.localShare << ", \"throughput_ops_s\": " << s.throughput
+            << "}";
+    }
+    out << "\n  ]\n}\n";
+}
+
+} // namespace tpp

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Machine-readable result export: CSV for the headline rows and the
+ * interval time series, JSON for a full ExperimentResult (counters
+ * included). These feed external plotting without screen-scraping the
+ * bench tables.
+ */
+
+#ifndef TPP_HARNESS_EXPORT_HH
+#define TPP_HARNESS_EXPORT_HH
+
+#include <ostream>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace tpp {
+
+/** Write one header + one row per result: the paper-style summary. */
+void writeResultsCsv(std::ostream &out,
+                     const std::vector<ExperimentResult> &results);
+
+/** Write a result's interval time series as CSV. */
+void writeSamplesCsv(std::ostream &out, const ExperimentResult &result);
+
+/** Write a full result — metrics, counters, series — as JSON. */
+void writeResultJson(std::ostream &out, const ExperimentResult &result);
+
+} // namespace tpp
+
+#endif // TPP_HARNESS_EXPORT_HH

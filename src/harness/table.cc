@@ -1,0 +1,78 @@
+#include "harness/table.hh"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "sim/logging.hh"
+
+namespace tpp {
+
+TextTable::TextTable(std::vector<std::string> header)
+{
+    rows_.push_back(std::move(header));
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != rows_.front().size())
+        tpp_panic("table row width %zu != header width %zu", cells.size(),
+                  rows_.front().size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print() const
+{
+    std::vector<std::size_t> widths(rows_.front().size(), 0);
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        std::string line;
+        for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+            std::string cell = rows_[r][c];
+            cell.resize(widths[c], ' ');
+            line += cell;
+            if (c + 1 < rows_[r].size())
+                line += "  ";
+        }
+        std::printf("%s\n", line.c_str());
+        if (r == 0) {
+            std::string rule;
+            for (std::size_t c = 0; c < widths.size(); ++c) {
+                rule += std::string(widths[c], '-');
+                if (c + 1 < widths.size())
+                    rule += "  ";
+            }
+            std::printf("%s\n", rule.c_str());
+        }
+    }
+}
+
+std::string
+TextTable::pct(double fraction, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::num(double value, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+TextTable::count(std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    return buf;
+}
+
+} // namespace tpp

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Tiny fixed-width text-table formatter used by the bench binaries to
+ * print paper-style rows.
+ */
+
+#ifndef TPP_HARNESS_TABLE_HH
+#define TPP_HARNESS_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tpp {
+
+/**
+ * Accumulates rows of strings and prints them with aligned columns.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must have as many cells as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Helpers for formatting numeric cells. */
+    static std::string pct(double fraction, int decimals = 1);
+    static std::string num(double value, int decimals = 2);
+    static std::string count(std::uint64_t value);
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tpp
+
+#endif // TPP_HARNESS_TABLE_HH

@@ -1,0 +1,21 @@
+#include "mem/latency.hh"
+
+#include <algorithm>
+
+namespace tpp {
+
+double
+LatencyModel::inflate(double idle_ns, double utilization) const
+{
+    const double u = std::clamp(utilization, 0.0, cfg_.maxUtil);
+    const double queueing = cfg_.queueFactor * u * u * u * u / (1.0 - u);
+    return idle_ns * (1.0 + queueing);
+}
+
+double
+LatencyModel::accessLatencyNs(const MemoryNode &node, Tick now) const
+{
+    return inflate(node.profile().idleLatencyNs, node.utilization(now));
+}
+
+} // namespace tpp

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Memory access latency model.
+ *
+ * Latency for an access = node idle latency inflated by a queueing term
+ * when the node's bandwidth utilisation is high. The paper's Figure 2
+ * motivates exactly this shape: tiers differ in idle latency, and loaded
+ * latency diverges further as bandwidth saturates.
+ */
+
+#ifndef TPP_MEM_LATENCY_HH
+#define TPP_MEM_LATENCY_HH
+
+#include "mem/node.hh"
+#include "sim/types.hh"
+
+namespace tpp {
+
+/** Tunables for the latency model. */
+struct LatencyConfig {
+    /**
+     * Queueing knee: effective latency = idle * (1 + k * u^4 / (1 - u)),
+     * with utilisation u capped at `maxUtil`. The quartic keeps the
+     * inflation negligible below ~60 % utilisation, matching measured
+     * loaded-latency curves.
+     */
+    double queueFactor = 0.5;
+    double maxUtil = 0.95;
+};
+
+/**
+ * Stateless functional core of the latency model (node holds the
+ * utilisation state).
+ */
+class LatencyModel
+{
+  public:
+    explicit LatencyModel(LatencyConfig cfg = {}) : cfg_(cfg) {}
+
+    /**
+     * @return latency in nanoseconds for one cache-line access served by
+     *         `node` at time `now`, including load-dependent inflation.
+     */
+    double accessLatencyNs(const MemoryNode &node, Tick now) const;
+
+    /** Pure function used by tests: inflate `idle_ns` at utilisation u. */
+    double inflate(double idle_ns, double utilization) const;
+
+  private:
+    LatencyConfig cfg_;
+};
+
+} // namespace tpp
+
+#endif // TPP_MEM_LATENCY_HH

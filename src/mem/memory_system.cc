@@ -1,0 +1,216 @@
+#include "mem/memory_system.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace tpp {
+
+MemorySystem::MemorySystem(const MemoryConfig &cfg)
+    : latencyModel_(cfg.latency), swap_(cfg.swap)
+{
+    if (cfg.nodes.empty())
+        tpp_fatal("MemorySystem needs at least one node");
+    if (cfg.nodes.size() > 64)
+        tpp_fatal("MemorySystem supports at most 64 nodes");
+
+    const std::size_t n = cfg.nodes.size();
+
+    // Validate / default the distance matrix.
+    distances_ = cfg.distances;
+    if (distances_.empty()) {
+        distances_.assign(n, std::vector<std::uint32_t>(n, 20));
+        for (std::size_t i = 0; i < n; ++i)
+            distances_[i][i] = 10;
+    }
+    if (distances_.size() != n)
+        tpp_fatal("distance matrix must be %zu x %zu", n, n);
+    for (const auto &row : distances_) {
+        if (row.size() != n)
+            tpp_fatal("distance matrix must be %zu x %zu", n, n);
+    }
+
+    // Carve the frame space into per-node ranges.
+    std::uint64_t total = 0;
+    for (const auto &nc : cfg.nodes)
+        total += nc.capacityPages;
+    frames_.resize(total);
+
+    Pfn next = 0;
+    nodes_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &nc = cfg.nodes[i];
+        nodes_.emplace_back(static_cast<NodeId>(i), next, nc.capacityPages,
+                            nc.profile);
+        for (std::uint64_t p = 0; p < nc.capacityPages; ++p) {
+            PageFrame &f = frames_[next + p];
+            f.pfn = next + static_cast<Pfn>(p);
+            f.nid = static_cast<NodeId>(i);
+            f.flags = PageFrame::FlagFree;
+        }
+        next += static_cast<Pfn>(nc.capacityPages);
+        if (nc.profile.cpuLess)
+            cxlNodes_.push_back(static_cast<NodeId>(i));
+        else
+            cpuNodes_.push_back(static_cast<NodeId>(i));
+    }
+    if (cpuNodes_.empty())
+        tpp_fatal("MemorySystem needs at least one CPU-attached node");
+
+    // Precompute demotion and fallback orders per node.
+    demotionOrder_.resize(n);
+    fallbackOrder_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<NodeId> all(n);
+        std::iota(all.begin(), all.end(), static_cast<NodeId>(0));
+        std::stable_sort(all.begin(), all.end(),
+                         [this, i](NodeId a, NodeId b) {
+                             return distances_[i][a] < distances_[i][b];
+                         });
+        fallbackOrder_[i] = all;
+        for (NodeId nid : all) {
+            if (nodes_[nid].cpuLess() && nid != static_cast<NodeId>(i))
+                demotionOrder_[i].push_back(nid);
+        }
+    }
+}
+
+MemoryNode &
+MemorySystem::node(NodeId nid)
+{
+    if (nid >= nodes_.size())
+        tpp_panic("node id %u out of range", nid);
+    return nodes_[nid];
+}
+
+const MemoryNode &
+MemorySystem::node(NodeId nid) const
+{
+    if (nid >= nodes_.size())
+        tpp_panic("node id %u out of range", nid);
+    return nodes_[nid];
+}
+
+PageFrame &
+MemorySystem::frame(Pfn pfn)
+{
+    if (pfn >= frames_.size())
+        tpp_panic("pfn %u out of range", pfn);
+    return frames_[pfn];
+}
+
+const PageFrame &
+MemorySystem::frame(Pfn pfn) const
+{
+    if (pfn >= frames_.size())
+        tpp_panic("pfn %u out of range", pfn);
+    return frames_[pfn];
+}
+
+std::uint32_t
+MemorySystem::distance(NodeId from, NodeId to) const
+{
+    return distances_[from][to];
+}
+
+const std::vector<NodeId> &
+MemorySystem::demotionOrder(NodeId from) const
+{
+    return demotionOrder_[from];
+}
+
+const std::vector<NodeId> &
+MemorySystem::fallbackOrder(NodeId from) const
+{
+    return fallbackOrder_[from];
+}
+
+std::uint64_t
+MemorySystem::totalFreePages() const
+{
+    std::uint64_t total = 0;
+    for (const auto &n : nodes_)
+        total += n.freePages();
+    return total;
+}
+
+namespace TopologyBuilder {
+
+MemoryConfig
+cxlSystem(std::uint64_t local_pages, std::uint64_t cxl_pages)
+{
+    MemoryConfig cfg;
+    cfg.nodes.push_back(NodeConfig{
+        local_pages,
+        NodeProfile{kLocalLatencyNs, kLocalBandwidthGBps, false, "local"}});
+    cfg.nodes.push_back(NodeConfig{
+        cxl_pages,
+        NodeProfile{kCxlLatencyNs, kCxlBandwidthGBps, true, "cxl"}});
+    cfg.distances = {{10, 20}, {20, 10}};
+    return cfg;
+}
+
+MemoryConfig
+allLocal(std::uint64_t local_pages)
+{
+    MemoryConfig cfg;
+    cfg.nodes.push_back(NodeConfig{
+        local_pages,
+        NodeProfile{kLocalLatencyNs, kLocalBandwidthGBps, false, "local"}});
+    cfg.distances = {{10}};
+    return cfg;
+}
+
+MemoryConfig
+multiCxlSystem(std::uint64_t local_pages,
+               const std::vector<std::uint64_t> &cxl_pages)
+{
+    MemoryConfig cfg;
+    const std::size_t n = cxl_pages.size() + 1;
+    cfg.nodes.push_back(NodeConfig{
+        local_pages,
+        NodeProfile{kLocalLatencyNs, kLocalBandwidthGBps, false, "local"}});
+    for (std::size_t i = 0; i < cxl_pages.size(); ++i) {
+        NodeProfile prof{kCxlLatencyNs + 30.0 * static_cast<double>(i),
+                         kCxlBandwidthGBps, true,
+                         "cxl" + std::to_string(i)};
+        cfg.nodes.push_back(NodeConfig{cxl_pages[i], prof});
+    }
+    cfg.distances.assign(n, std::vector<std::uint32_t>(n, 0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j) {
+                cfg.distances[i][j] = 10;
+            } else {
+                // Each hop further from the CPU costs 10 distance units.
+                cfg.distances[i][j] = 10 + 10 * static_cast<std::uint32_t>(
+                                               std::max(i, j));
+            }
+        }
+    }
+    return cfg;
+}
+
+MemoryConfig
+dualSocketCxl(std::uint64_t local_pages_per_socket,
+              std::uint64_t cxl_pages)
+{
+    MemoryConfig cfg;
+    for (int socket = 0; socket < 2; ++socket) {
+        cfg.nodes.push_back(NodeConfig{
+            local_pages_per_socket,
+            NodeProfile{kLocalLatencyNs, kLocalBandwidthGBps, false,
+                        "socket" + std::to_string(socket)}});
+    }
+    cfg.nodes.push_back(NodeConfig{
+        cxl_pages,
+        NodeProfile{kCxlLatencyNs, kCxlBandwidthGBps, true, "cxl"}});
+    // Cross-socket slightly closer than the CXL expander.
+    cfg.distances = {{10, 20, 24}, {20, 10, 24}, {24, 24, 10}};
+    return cfg;
+}
+
+} // namespace TopologyBuilder
+
+} // namespace tpp

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The machine's physical memory: the global frame table, the set of
+ * memory nodes (local DRAM and CXL expansion), the inter-node distance
+ * matrix, the latency model, and the swap device.
+ *
+ * Canned topologies for the paper's configurations (2:1, 1:4, all-local)
+ * are provided by TopologyBuilder.
+ */
+
+#ifndef TPP_MEM_MEMORY_SYSTEM_HH
+#define TPP_MEM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/latency.hh"
+#include "mem/node.hh"
+#include "mem/page.hh"
+#include "mem/swap_device.hh"
+#include "sim/types.hh"
+
+namespace tpp {
+
+/** Configuration of one node in a topology. */
+struct NodeConfig {
+    std::uint64_t capacityPages = 0;
+    NodeProfile profile;
+};
+
+/** Full machine memory configuration. */
+struct MemoryConfig {
+    std::vector<NodeConfig> nodes;
+    /** distance[i][j]; ACPI-SLIT style, 10 = local. */
+    std::vector<std::vector<std::uint32_t>> distances;
+    LatencyConfig latency;
+    SwapProfile swap;
+};
+
+/**
+ * Owns all physical-memory state shared by the mm layer and policies.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemoryConfig &cfg);
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    std::size_t numNodes() const { return nodes_.size(); }
+
+    MemoryNode &node(NodeId nid);
+    const MemoryNode &node(NodeId nid) const;
+
+    PageFrame &frame(Pfn pfn);
+    const PageFrame &frame(Pfn pfn) const;
+
+    std::uint64_t totalFrames() const { return frames_.size(); }
+
+    /** @return node ids with local CPUs (the "fast tier"). */
+    const std::vector<NodeId> &cpuNodes() const { return cpuNodes_; }
+
+    /** @return CPU-less node ids (the CXL tier). */
+    const std::vector<NodeId> &cxlNodes() const { return cxlNodes_; }
+
+    /** SLIT-style distance between two nodes. */
+    std::uint32_t distance(NodeId from, NodeId to) const;
+
+    /**
+     * CPU-less nodes ordered by distance from `from`: the static,
+     * distance-based demotion target order of §5.1.
+     */
+    const std::vector<NodeId> &demotionOrder(NodeId from) const;
+
+    /**
+     * All nodes ordered by distance from `from` (self first): the
+     * zonelist fallback order used by the allocator.
+     */
+    const std::vector<NodeId> &fallbackOrder(NodeId from) const;
+
+    const LatencyModel &latencyModel() const { return latencyModel_; }
+
+    SwapDevice &swapDevice() { return swap_; }
+    const SwapDevice &swapDevice() const { return swap_; }
+
+    /** Sum of free pages over all nodes. */
+    std::uint64_t totalFreePages() const;
+
+  private:
+    std::vector<MemoryNode> nodes_;
+    std::vector<PageFrame> frames_;
+    std::vector<std::vector<std::uint32_t>> distances_;
+    std::vector<NodeId> cpuNodes_;
+    std::vector<NodeId> cxlNodes_;
+    std::vector<std::vector<NodeId>> demotionOrder_;
+    std::vector<std::vector<NodeId>> fallbackOrder_;
+    LatencyModel latencyModel_;
+    SwapDevice swap_;
+};
+
+/**
+ * Convenience builders for the paper's machine configurations.
+ */
+namespace TopologyBuilder {
+
+/** Latency points used throughout the evaluation (Figure 2 / §2). */
+inline constexpr double kLocalLatencyNs = 80.0;
+inline constexpr double kCxlLatencyNs = 150.0; // local + ~70 ns
+inline constexpr double kLocalBandwidthGBps = 100.0;
+inline constexpr double kCxlBandwidthGBps = 64.0; // PCIe5 x8-ish
+
+/**
+ * One CPU node plus one CXL node.
+ *
+ * @param local_pages  capacity of the CPU-attached node
+ * @param cxl_pages    capacity of the CXL node
+ */
+MemoryConfig cxlSystem(std::uint64_t local_pages, std::uint64_t cxl_pages);
+
+/** Single-node DRAM-only machine: the "all from local" baseline. */
+MemoryConfig allLocal(std::uint64_t local_pages);
+
+/**
+ * CPU node plus `n_cxl` CXL nodes at increasing distance (multi-tier
+ * demotion-order tests).
+ */
+MemoryConfig multiCxlSystem(std::uint64_t local_pages,
+                            const std::vector<std::uint64_t> &cxl_pages);
+
+/**
+ * Two CPU sockets plus one shared CXL expansion node — the
+ * multiple-local-node case of §5.3 (promotion targets the task's node,
+ * or the least-pressured local node for shared memory).
+ *
+ * Node ids: 0, 1 = sockets; 2 = CXL.
+ */
+MemoryConfig dualSocketCxl(std::uint64_t local_pages_per_socket,
+                           std::uint64_t cxl_pages);
+
+} // namespace TopologyBuilder
+
+} // namespace tpp
+
+#endif // TPP_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Physical page-frame metadata.
+ *
+ * One PageFrame exists per simulated physical page, held in the global
+ * FrameTable owned by MemorySystem. LRU membership is intrusive (prev /
+ * next frame numbers) so list surgery is allocation-free, as in the
+ * kernel's struct page.
+ */
+
+#ifndef TPP_MEM_PAGE_HH
+#define TPP_MEM_PAGE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace tpp {
+
+/** Which per-node LRU list a frame currently sits on. */
+enum class LruListId : std::uint8_t {
+    None = 0,      //!< not on any LRU (free or isolated)
+    InactiveAnon,
+    ActiveAnon,
+    InactiveFile,
+    ActiveFile,
+};
+
+/** Number of real LRU lists (excludes None). */
+inline constexpr std::size_t kNumLruLists = 4;
+
+/** @return true for the two active lists. */
+constexpr bool
+lruIsActive(LruListId id)
+{
+    return id == LruListId::ActiveAnon || id == LruListId::ActiveFile;
+}
+
+/** @return the LRU list for (type, active). */
+constexpr LruListId
+lruListFor(PageType type, bool active)
+{
+    if (type == PageType::Anon)
+        return active ? LruListId::ActiveAnon : LruListId::InactiveAnon;
+    return active ? LruListId::ActiveFile : LruListId::InactiveFile;
+}
+
+/** @return the page type whose pages the given list holds. */
+constexpr PageType
+lruPageType(LruListId id)
+{
+    return (id == LruListId::InactiveAnon || id == LruListId::ActiveAnon)
+               ? PageType::Anon
+               : PageType::File;
+}
+
+/**
+ * Per-frame metadata mirroring the kernel's struct page fields that the
+ * paper's mechanisms read or write.
+ */
+struct PageFrame {
+    /** Frame flag bits (subset of the kernel's page flags). */
+    enum Flag : std::uint8_t {
+        FlagFree = 1 << 0,        //!< on a node free list
+        FlagReferenced = 1 << 1,  //!< PTE accessed bit seen since last scan
+        FlagDirty = 1 << 2,       //!< must be written back / swapped out
+        FlagDemoted = 1 << 3,     //!< PG_demoted: TPP ping-pong tracking
+        FlagIsolated = 1 << 4,    //!< detached from LRU for migration
+        FlagUnevictable = 1 << 5, //!< pinned (not modelled heavily)
+    };
+
+    Pfn pfn = kInvalidPfn;
+    NodeId nid = kInvalidNode;
+    PageType type = PageType::Anon;
+
+    /**
+     * Reverse map. The simulator models one mapping per frame (no shared
+     * pages), which is all TPP's decision logic needs.
+     */
+    Asid ownerAsid = 0;
+    Vpn ownerVpn = 0;
+
+    std::uint8_t flags = FlagFree;
+    LruListId lru = LruListId::None;
+    Pfn lruPrev = kInvalidPfn;
+    Pfn lruNext = kInvalidPfn;
+
+    /** Tick of the NUMA hint fault that last examined this frame. */
+    Tick lastHintFault = 0;
+    /** Hint faults observed recently; policies use it for hysteresis. */
+    std::uint8_t hintRefCount = 0;
+    /** Allocation timestamp, for lifetime statistics. */
+    Tick allocatedAt = 0;
+
+    bool isFree() const { return flags & FlagFree; }
+    bool referenced() const { return flags & FlagReferenced; }
+    bool dirty() const { return flags & FlagDirty; }
+    bool demoted() const { return flags & FlagDemoted; }
+    bool isolated() const { return flags & FlagIsolated; }
+
+    void setFlag(Flag f) { flags |= f; }
+    void clearFlag(Flag f) { flags &= static_cast<std::uint8_t>(~f); }
+
+    /** Reset all policy state when the frame returns to the free list. */
+    void
+    resetForFree()
+    {
+        flags = FlagFree;
+        lru = LruListId::None;
+        lruPrev = lruNext = kInvalidPfn;
+        ownerAsid = 0;
+        ownerVpn = 0;
+        lastHintFault = 0;
+        hintRefCount = 0;
+        allocatedAt = 0;
+    }
+};
+
+} // namespace tpp
+
+#endif // TPP_MEM_PAGE_HH

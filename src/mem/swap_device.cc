@@ -1,0 +1,37 @@
+#include "mem/swap_device.hh"
+
+#include "sim/logging.hh"
+
+namespace tpp {
+
+SwapSlot
+SwapDevice::pageOut(Asid asid, Vpn vpn)
+{
+    if (profile_.capacityPages != 0 &&
+        entries_.size() >= profile_.capacityPages) {
+        return kInvalidSwapSlot;
+    }
+    SwapSlot slot = nextSlot_++;
+    entries_.emplace(slot, Entry{asid, vpn});
+    totalOuts_++;
+    return slot;
+}
+
+bool
+SwapDevice::pageIn(SwapSlot slot)
+{
+    auto it = entries_.find(slot);
+    if (it == entries_.end())
+        return false;
+    entries_.erase(it);
+    totalIns_++;
+    return true;
+}
+
+void
+SwapDevice::release(SwapSlot slot)
+{
+    entries_.erase(slot);
+}
+
+} // namespace tpp

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Swap device model: a block device with per-page transfer latency, the
+ * destination of default Linux's reclaim and the fallback of TPP's
+ * demotion path. Latency is microseconds-scale, which is what makes
+ * paging reclaim so expensive next to CXL migration (§4.1).
+ */
+
+#ifndef TPP_MEM_SWAP_DEVICE_HH
+#define TPP_MEM_SWAP_DEVICE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace tpp {
+
+/** Identifier of a slot on the swap device. */
+using SwapSlot = std::uint64_t;
+
+inline constexpr SwapSlot kInvalidSwapSlot = ~0ULL;
+
+/** Static profile of the swap device. */
+struct SwapProfile {
+    /** Per-page write latency (NVMe-flash scale). */
+    Tick writeLatency = 30 * kMicrosecond;
+    /** Per-page read latency, paid synchronously on major fault. */
+    Tick readLatency = 80 * kMicrosecond;
+    /** Capacity in pages; 0 means unbounded. */
+    std::uint64_t capacityPages = 0;
+};
+
+/**
+ * Swap space bookkeeping: slots holding swapped-out virtual pages.
+ */
+class SwapDevice
+{
+  public:
+    explicit SwapDevice(SwapProfile profile = {}) : profile_(profile) {}
+
+    const SwapProfile &profile() const { return profile_; }
+
+    /**
+     * Write one page out.
+     * @return the slot it landed in, or kInvalidSwapSlot if full.
+     */
+    SwapSlot pageOut(Asid asid, Vpn vpn);
+
+    /**
+     * Read a slot back in and release it.
+     * @return true when the slot was live.
+     */
+    bool pageIn(SwapSlot slot);
+
+    /** Release a slot without reading (owner exited). */
+    void release(SwapSlot slot);
+
+    std::uint64_t usedSlots() const { return entries_.size(); }
+    std::uint64_t totalPageOuts() const { return totalOuts_; }
+    std::uint64_t totalPageIns() const { return totalIns_; }
+
+  private:
+    struct Entry {
+        Asid asid;
+        Vpn vpn;
+    };
+
+    SwapProfile profile_;
+    SwapSlot nextSlot_ = 1;
+    std::unordered_map<SwapSlot, Entry> entries_;
+    std::uint64_t totalOuts_ = 0;
+    std::uint64_t totalIns_ = 0;
+};
+
+} // namespace tpp
+
+#endif // TPP_MEM_SWAP_DEVICE_HH

@@ -1,0 +1,62 @@
+#include "mm/address_space.hh"
+
+#include "sim/logging.hh"
+
+namespace tpp {
+
+Vpn
+AddressSpace::mmap(std::uint64_t pages, PageType type, std::string label,
+                   bool disk_backed)
+{
+    if (pages == 0)
+        tpp_fatal("mmap of zero pages");
+    if (disk_backed && type != PageType::File)
+        tpp_fatal("only file regions can be disk backed");
+    Vpn start;
+    auto pool = freeRanges_.find(pages);
+    if (pool != freeRanges_.end() && !pool->second.empty()) {
+        start = pool->second.back();
+        pool->second.pop_back();
+    } else {
+        start = table_.size();
+        table_.resize(table_.size() + pages);
+    }
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        Pte &entry = table_[start + i];
+        entry.type = type;
+        entry.set(Pte::BitMapped);
+        if (disk_backed)
+            entry.set(Pte::BitDiskBacked);
+    }
+    vmas_.push_back(Vma{start, pages, type, std::move(label)});
+    return start;
+}
+
+void
+AddressSpace::munmap(Vpn start, std::uint64_t pages)
+{
+    if (start + pages > table_.size())
+        tpp_panic("munmap beyond table end");
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        Pte &entry = table_[start + i];
+        if (entry.present())
+            tpp_panic("munmap of a still-present PTE (kernel must unmap "
+                      "frames first)");
+        if (entry.swapped())
+            tpp_panic("munmap of a swapped PTE (kernel must release swap "
+                      "first)");
+        entry = Pte{};
+    }
+    for (auto it = vmas_.begin(); it != vmas_.end(); ++it) {
+        if (it->start == start && it->pages == pages) {
+            vmas_.erase(it);
+            freeRanges_[pages].push_back(start);
+            return;
+        }
+    }
+    tpp_panic("munmap of an unknown VMA [%llu, +%llu)",
+              static_cast<unsigned long long>(start),
+              static_cast<unsigned long long>(pages));
+}
+
+} // namespace tpp

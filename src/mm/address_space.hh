@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Per-process virtual memory: VMA regions and a flat page table.
+ *
+ * Virtual page numbers are handed out by a bump allocator, so the page
+ * table can be a dense vector and the hot access path is a single array
+ * index. Each PTE carries the present bit, the NUMA-hint (prot_none)
+ * bit used for hint-fault sampling, and the swap slot when paged out.
+ */
+
+#ifndef TPP_MM_ADDRESS_SPACE_HH
+#define TPP_MM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/swap_device.hh"
+#include "sim/types.hh"
+
+namespace tpp {
+
+/** One page-table entry. */
+struct Pte {
+    enum Bits : std::uint8_t {
+        BitPresent = 1 << 0,  //!< maps a physical frame
+        BitProtNone = 1 << 1, //!< NUMA-hint sampled: next access faults
+        BitSwapped = 1 << 2,  //!< contents live on the swap device
+        BitMapped = 1 << 3,   //!< vpn belongs to a live VMA
+        BitDiskBacked = 1 << 4, //!< file page refilled from disk if dropped
+        BitTouched = 1 << 5,  //!< has been populated at least once
+    };
+
+    Pfn pfn = kInvalidPfn;
+    SwapSlot swapSlot = 0;
+    /**
+     * Shadow entry: when the page was last evicted (reclaimed). The
+     * fault path uses it for workingset-refault detection — an eviction
+     * followed by a quick refault means reclaim chose a workingset
+     * page, so the refaulted page starts on the active list.
+     */
+    Tick evictedAt = 0;
+    std::uint8_t bits = 0;
+    PageType type = PageType::Anon;
+
+    bool present() const { return bits & BitPresent; }
+    bool protNone() const { return bits & BitProtNone; }
+    bool swapped() const { return bits & BitSwapped; }
+    bool mapped() const { return bits & BitMapped; }
+    bool diskBacked() const { return bits & BitDiskBacked; }
+    bool touched() const { return bits & BitTouched; }
+
+    void set(Bits b) { bits |= b; }
+    void clear(Bits b) { bits &= static_cast<std::uint8_t>(~b); }
+};
+
+/** A contiguous virtual region of one page type. */
+struct Vma {
+    Vpn start = 0;
+    std::uint64_t pages = 0;
+    PageType type = PageType::Anon;
+    std::string label; //!< for reports ("heap", "tmpfs", ...)
+
+    Vpn end() const { return start + pages; }
+};
+
+/**
+ * One process's address space.
+ */
+class AddressSpace
+{
+  public:
+    explicit AddressSpace(Asid asid) : asid_(asid) {}
+
+    Asid asid() const { return asid_; }
+
+    /**
+     * Reserve a new region of `pages` virtual pages.
+     *
+     * @param disk_backed  file pages that can be dropped by reclaim and
+     *                     refilled from disk. tmpfs regions pass false:
+     *                     they are swap-backed like anon memory.
+     * @return the first vpn of the region.
+     */
+    Vpn mmap(std::uint64_t pages, PageType type, std::string label = "",
+             bool disk_backed = false);
+
+    /**
+     * Forget the mapping of [start, start+pages). PTEs are reset to
+     * unmapped; the caller (Kernel) must have released frames/swap first
+     * via forEachPresent/forEachSwapped.
+     */
+    void munmap(Vpn start, std::uint64_t pages);
+
+    /** @return true when the vpn lies inside a live VMA. */
+    bool
+    isMapped(Vpn vpn) const
+    {
+        return vpn < table_.size() && table_[vpn].mapped();
+    }
+
+    /** Direct PTE access; vpn must be < tableSize(). */
+    Pte &pte(Vpn vpn) { return table_[vpn]; }
+    const Pte &pte(Vpn vpn) const { return table_[vpn]; }
+
+    /** Number of vpns ever reserved (dense table size). */
+    std::uint64_t tableSize() const { return table_.size(); }
+
+    const std::vector<Vma> &vmas() const { return vmas_; }
+
+    /** Count of PTEs currently present (resident pages). */
+    std::uint64_t residentPages() const { return resident_; }
+
+    /** Resident pages of one type. */
+    std::uint64_t
+    residentPages(PageType type) const
+    {
+        return residentByType_[static_cast<std::size_t>(type)];
+    }
+
+    /** Bookkeeping hooks used by the Kernel when (un)mapping frames. */
+    void
+    noteMapped(PageType type)
+    {
+        resident_++;
+        residentByType_[static_cast<std::size_t>(type)]++;
+    }
+
+    void
+    noteUnmapped(PageType type)
+    {
+        resident_--;
+        residentByType_[static_cast<std::size_t>(type)]--;
+    }
+
+  private:
+    Asid asid_;
+    std::vector<Pte> table_;
+    std::vector<Vma> vmas_;
+    std::uint64_t resident_ = 0;
+    std::uint64_t residentByType_[kNumPageTypes] = {0, 0};
+    /** Recycled vpn ranges by size, so churny workloads don't grow the
+     *  table without bound. */
+    std::unordered_map<std::uint64_t, std::vector<Vpn>> freeRanges_;
+};
+
+} // namespace tpp
+
+#endif // TPP_MM_ADDRESS_SPACE_HH

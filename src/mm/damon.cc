@@ -1,0 +1,192 @@
+#include "mm/damon.hh"
+
+#include <algorithm>
+
+#include "mm/kernel.hh"
+#include "sim/logging.hh"
+
+namespace tpp {
+
+DamonMonitor::DamonMonitor(Kernel &kernel, DamonConfig cfg)
+    : kernel_(kernel), cfg_(cfg), rng_(cfg.seed)
+{
+    if (cfg_.minRegions == 0 || cfg_.maxRegions < cfg_.minRegions)
+        tpp_fatal("damon: need 0 < minRegions <= maxRegions");
+}
+
+void
+DamonMonitor::rebuildRegions()
+{
+    // Cover every live VMA; carry access state over for regions whose
+    // span survives (approximate overlap match, as the kernel does on
+    // target updates).
+    std::vector<DamonRegion> fresh;
+    for (std::size_t p = 0; p < kernel_.numProcesses(); ++p) {
+        const Asid asid = static_cast<Asid>(p);
+        for (const Vma &vma : kernel_.addressSpace(asid).vmas()) {
+            DamonRegion region;
+            region.asid = asid;
+            region.start = vma.start;
+            region.end = vma.start + vma.pages;
+            for (const DamonRegion &old : regions_) {
+                if (old.asid == asid && old.start < region.end &&
+                    region.start < old.end) {
+                    region.nrAccesses =
+                        std::max(region.nrAccesses, old.nrAccesses);
+                    region.age = std::max(region.age, old.age);
+                }
+            }
+            fresh.push_back(region);
+        }
+    }
+    regions_ = std::move(fresh);
+    splitRegions();
+}
+
+void
+DamonMonitor::splitRegions()
+{
+    // Split the largest regions until the set reaches the midpoint
+    // target, so sampling resolution adapts to big VMAs.
+    const std::size_t target = (cfg_.minRegions + cfg_.maxRegions) / 2;
+    while (regions_.size() < target) {
+        // Find the largest splittable region.
+        std::size_t best = regions_.size();
+        std::uint64_t best_pages = 1;
+        for (std::size_t i = 0; i < regions_.size(); ++i) {
+            if (regions_[i].pages() > best_pages) {
+                best_pages = regions_[i].pages();
+                best = i;
+            }
+        }
+        if (best == regions_.size())
+            break; // nothing splittable left
+        DamonRegion &region = regions_[best];
+        // Split at a random point, biased to the middle half.
+        const std::uint64_t quarter = region.pages() / 4;
+        const Vpn cut = region.start + quarter +
+                        rng_.nextBounded(region.pages() - 2 * quarter);
+        DamonRegion right = region;
+        right.start = cut;
+        region.end = cut;
+        regions_.insert(regions_.begin() + static_cast<long>(best) + 1,
+                        right);
+    }
+}
+
+void
+DamonMonitor::mergeRegions()
+{
+    if (regions_.size() <= cfg_.minRegions)
+        return;
+    std::vector<DamonRegion> merged;
+    merged.reserve(regions_.size());
+    for (const DamonRegion &region : regions_) {
+        if (!merged.empty()) {
+            DamonRegion &prev = merged.back();
+            const bool adjacent = prev.asid == region.asid &&
+                                  prev.end == region.start;
+            const std::uint32_t diff =
+                prev.nrAccesses > region.nrAccesses
+                    ? prev.nrAccesses - region.nrAccesses
+                    : region.nrAccesses - prev.nrAccesses;
+            if (adjacent && diff <= cfg_.mergeThreshold &&
+                merged.size() + (regions_.size() - merged.size()) >
+                    cfg_.minRegions) {
+                prev.end = region.end;
+                prev.nrAccesses =
+                    std::max(prev.nrAccesses, region.nrAccesses);
+                prev.age = std::min(prev.age, region.age);
+                continue;
+            }
+        }
+        merged.push_back(region);
+    }
+    regions_ = std::move(merged);
+}
+
+void
+DamonMonitor::aggregateNow()
+{
+    for (DamonRegion &region : regions_) {
+        const std::uint32_t previous = region.nrAccesses;
+        region.nrAccesses = region.sampled;
+        region.sampled = 0;
+        // Age tracks how long the activity level has persisted; a big
+        // change resets it.
+        const std::uint32_t diff = previous > region.nrAccesses
+                                       ? previous - region.nrAccesses
+                                       : region.nrAccesses - previous;
+        if (diff <= cfg_.mergeThreshold)
+            region.age++;
+        else
+            region.age = 0;
+    }
+    aggregations_++;
+    mergeRegions();
+    splitRegions();
+}
+
+void
+DamonMonitor::sampleTick()
+{
+    const Tick now = kernel_.eventQueue().now();
+
+    for (DamonRegion &region : regions_) {
+        if (region.pages() == 0)
+            continue;
+        AddressSpace &as = kernel_.addressSpace(region.asid);
+
+        // Check phase: was the page prepared last tick touched since?
+        const Vpn prepared = region.preparedVpn;
+        if (prepared != ~0ULL && prepared >= region.start &&
+            prepared < region.end && prepared < as.tableSize() &&
+            as.isMapped(prepared)) {
+            const Pte &pte = as.pte(prepared);
+            if (pte.present() &&
+                kernel_.mem().frame(pte.pfn).referenced()) {
+                region.sampled++;
+            }
+        }
+
+        // Prepare phase: clear the accessed state of the next sample so
+        // the following tick measures fresh activity only.
+        const Vpn vpn = region.start + rng_.nextBounded(region.pages());
+        region.preparedVpn = ~0ULL;
+        if (vpn < as.tableSize() && as.isMapped(vpn)) {
+            const Pte &pte = as.pte(vpn);
+            if (pte.present()) {
+                kernel_.mem()
+                    .frame(pte.pfn)
+                    .clearFlag(PageFrame::FlagReferenced);
+                region.preparedVpn = vpn;
+            }
+        }
+    }
+
+    if (now - lastAggregation_ >= cfg_.aggregationInterval) {
+        lastAggregation_ = now;
+        aggregateNow();
+    }
+    if (now - lastRegionsUpdate_ >= cfg_.regionsUpdateInterval) {
+        lastRegionsUpdate_ = now;
+        rebuildRegions();
+    }
+    kernel_.eventQueue().scheduleAfter(cfg_.samplingInterval,
+                                       [this] { sampleTick(); });
+}
+
+void
+DamonMonitor::start()
+{
+    if (started_)
+        tpp_panic("DamonMonitor::start called twice");
+    started_ = true;
+    rebuildRegions();
+    lastAggregation_ = kernel_.eventQueue().now();
+    lastRegionsUpdate_ = kernel_.eventQueue().now();
+    kernel_.eventQueue().scheduleAfter(cfg_.samplingInterval,
+                                       [this] { sampleTick(); });
+}
+
+} // namespace tpp

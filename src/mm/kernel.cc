@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Kernel core: construction, process management, the access/fault path,
+ * NUMA-hint sampling and traffic statistics. Allocation, reclaim and
+ * migration live in their own translation units.
+ */
+
+#include "mm/kernel.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace tpp {
+
+Kernel::Kernel(MemorySystem &mem, EventQueue &eq,
+               std::unique_ptr<PlacementPolicy> policy, MmCosts costs)
+    : mem_(mem), eq_(eq), policy_(std::move(policy)), costs_(costs)
+{
+    if (!policy_)
+        tpp_fatal("Kernel requires a placement policy");
+    const std::size_t n = mem_.numNodes();
+    lrus_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        lrus_.emplace_back(mem_, static_cast<NodeId>(i));
+    traffic_.resize(n);
+    kswapd_.resize(n);
+    scanCursor_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        scanCursor_[i] = mem_.node(static_cast<NodeId>(i)).firstPfn();
+    policy_->attach(*this);
+}
+
+void
+Kernel::start()
+{
+    if (started_)
+        tpp_panic("Kernel::start called twice");
+    started_ = true;
+    policy_->start();
+}
+
+Asid
+Kernel::createProcess()
+{
+    const Asid asid = static_cast<Asid>(spaces_.size());
+    spaces_.push_back(std::make_unique<AddressSpace>(asid));
+    return asid;
+}
+
+AddressSpace &
+Kernel::addressSpace(Asid asid)
+{
+    if (asid >= spaces_.size())
+        tpp_panic("bad asid %u", asid);
+    return *spaces_[asid];
+}
+
+const AddressSpace &
+Kernel::addressSpace(Asid asid) const
+{
+    if (asid >= spaces_.size())
+        tpp_panic("bad asid %u", asid);
+    return *spaces_[asid];
+}
+
+Vpn
+Kernel::mmap(Asid asid, std::uint64_t pages, PageType type,
+             std::string label, bool disk_backed)
+{
+    return addressSpace(asid).mmap(pages, type, std::move(label),
+                                   disk_backed);
+}
+
+void
+Kernel::munmap(Asid asid, Vpn start, std::uint64_t pages)
+{
+    AddressSpace &as = addressSpace(asid);
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        Pte &pte = as.pte(start + i);
+        if (pte.present())
+            freeFrame(pte.pfn);
+        if (pte.swapped()) {
+            mem_.swapDevice().release(pte.swapSlot);
+            pte.clear(Pte::BitSwapped);
+        }
+    }
+    as.munmap(start, pages);
+}
+
+Pte &
+Kernel::pteOf(const PageFrame &frame)
+{
+    return addressSpace(frame.ownerAsid).pte(frame.ownerVpn);
+}
+
+void
+Kernel::touchFrame(PageFrame &frame)
+{
+    frame.setFlag(PageFrame::FlagReferenced);
+}
+
+void
+Kernel::unmapFrame(PageFrame &frame)
+{
+    Pte &pte = pteOf(frame);
+    if (!pte.present() || pte.pfn != frame.pfn)
+        tpp_panic("unmapFrame: rmap out of sync for pfn %u", frame.pfn);
+    pte.clear(Pte::BitPresent);
+    pte.clear(Pte::BitProtNone);
+    pte.pfn = kInvalidPfn;
+    addressSpace(frame.ownerAsid).noteUnmapped(frame.type);
+}
+
+void
+Kernel::freeFrame(Pfn pfn)
+{
+    PageFrame &frame = mem_.frame(pfn);
+    if (frame.isFree())
+        tpp_panic("freeFrame: pfn %u already free", pfn);
+    if (frame.lru != LruListId::None)
+        lrus_[frame.nid].remove(pfn);
+    unmapFrame(frame);
+    mem_.node(frame.nid).putFree(pfn);
+    frame.resetForFree();
+    vmstat_.inc(Vm::PgFree);
+}
+
+double
+Kernel::faultIn(AddressSpace &as, Vpn vpn, NodeId task_nid,
+                AccessResult &res)
+{
+    Pte &pte = as.pte(vpn);
+    vmstat_.inc(Vm::PgFault);
+
+    const NodeId preferred = policy_->allocPreferredNode(pte.type, task_nid);
+    double stall_ns = 0.0;
+    const AllocReason reason =
+        pte.swapped() ? AllocReason::SwapIn : AllocReason::App;
+    const Pfn pfn = allocPage(preferred, pte.type, reason, &stall_ns);
+    if (pfn == kInvalidPfn) {
+        res.oom = true;
+        return stall_ns;
+    }
+
+    double latency = stall_ns;
+    bool refault = false;
+    if (pte.swapped()) {
+        // Major fault: wait for the swap device.
+        res.majorFault = true;
+        refault = true;
+        vmstat_.inc(Vm::PgMajFault);
+        vmstat_.inc(Vm::PswpIn);
+        mem_.swapDevice().pageIn(pte.swapSlot);
+        pte.clear(Pte::BitSwapped);
+        pte.swapSlot = 0;
+        latency += costs_.majorFaultFixed +
+                   static_cast<double>(mem_.swapDevice().profile().readLatency);
+    } else if (pte.type == PageType::File && pte.diskBacked() &&
+               pte.touched()) {
+        // A dropped file page refaults from the backing store.
+        res.majorFault = true;
+        refault = true;
+        vmstat_.inc(Vm::PgMajFault);
+        latency += costs_.majorFaultFixed + costs_.diskReadNs;
+    } else {
+        // First-touch population. Disk-backed file pages pay the initial
+        // read from storage (the warm-up file I/O of §3.5).
+        res.minorFault = true;
+        latency += costs_.minorFault;
+        if (pte.type == PageType::File && pte.diskBacked())
+            latency += costs_.diskReadNs;
+    }
+
+    // Map the frame.
+    PageFrame &frame = mem_.frame(pfn);
+    frame.clearFlag(PageFrame::FlagFree);
+    frame.type = pte.type;
+    frame.ownerAsid = as.asid();
+    frame.ownerVpn = vpn;
+    frame.allocatedAt = eq_.now();
+    frame.setFlag(PageFrame::FlagReferenced);
+    if (pte.type == PageType::Anon)
+        frame.setFlag(PageFrame::FlagDirty);
+    pte.pfn = pfn;
+    pte.set(Pte::BitPresent);
+    pte.set(Pte::BitTouched);
+    as.noteMapped(pte.type);
+
+    // New and swapped-in pages start on the inactive list, as in Linux
+    // since the anon-workingset rework; reclaim's second chance or TPP's
+    // hint-fault path activates them later. Exception: workingset
+    // refaults — an eviction undone within the workingset window means
+    // reclaim picked a hot page, so it re-enters active.
+    bool activate = false;
+    if (refault) {
+        vmstat_.inc(Vm::WorkingsetRefault);
+        if (eq_.now() - pte.evictedAt <= costs_.workingsetWindow) {
+            vmstat_.inc(Vm::WorkingsetActivate);
+            activate = true;
+        }
+    }
+    lrus_[frame.nid].addHead(lruListFor(frame.type, activate), pfn);
+    return latency;
+}
+
+AccessResult
+Kernel::access(Asid asid, Vpn vpn, AccessKind kind, NodeId task_nid)
+{
+    AccessResult res;
+    AddressSpace &as = addressSpace(asid);
+    if (!as.isMapped(vpn))
+        tpp_panic("access to unmapped vpn %llu in asid %u",
+                  static_cast<unsigned long long>(vpn), asid);
+    Pte &pte = as.pte(vpn);
+
+    double latency = 0.0;
+    if (!pte.present()) {
+        latency += faultIn(as, vpn, task_nid, res);
+        if (res.oom) {
+            res.latencyNs = latency;
+            return res;
+        }
+    }
+
+    if (pte.protNone()) {
+        // NUMA hint fault (§4.2): record and let the policy react. The
+        // policy may migrate the page, updating pte.pfn in place.
+        pte.clear(Pte::BitProtNone);
+        res.hintFault = true;
+        vmstat_.inc(Vm::NumaHintFaults);
+        if (mem_.frame(pte.pfn).nid == task_nid)
+            vmstat_.inc(Vm::NumaHintFaultsLocal);
+        latency += costs_.hintFaultFixed;
+        latency += policy_->onHintFault(pte.pfn, task_nid);
+    }
+
+    PageFrame &frame = mem_.frame(pte.pfn);
+    const NodeId nid = frame.nid;
+    MemoryNode &node = mem_.node(nid);
+    latency += mem_.latencyModel().accessLatencyNs(node, eq_.now());
+    node.recordTraffic(eq_.now(), 64);
+    touchFrame(frame);
+    if (kind == AccessKind::Store)
+        frame.setFlag(PageFrame::FlagDirty);
+
+    NodeTraffic &t = traffic_[nid];
+    t.accesses++;
+    t.accessesByType[static_cast<std::size_t>(frame.type)]++;
+
+    res.servedBy = nid;
+    res.latencyNs = latency;
+    return res;
+}
+
+std::uint64_t
+Kernel::sampleNode(NodeId nid, std::uint64_t batch)
+{
+    const MemoryNode &node = mem_.node(nid);
+    const Pfn first = node.firstPfn();
+    const Pfn end = first + static_cast<Pfn>(node.capacity());
+    Pfn cursor = scanCursor_[nid];
+    std::uint64_t sampled = 0;
+    std::uint64_t visited = 0;
+    const std::uint64_t max_visit = node.capacity();
+
+    while (sampled < batch && visited < max_visit) {
+        if (cursor >= end)
+            cursor = first;
+        PageFrame &frame = mem_.frame(cursor);
+        cursor++;
+        visited++;
+        if (frame.isFree() || frame.lru == LruListId::None)
+            continue;
+        Pte &pte = pteOf(frame);
+        if (!pte.present() || pte.protNone())
+            continue;
+        pte.set(Pte::BitProtNone);
+        vmstat_.inc(Vm::NumaPteUpdates);
+        sampled++;
+    }
+    scanCursor_[nid] = cursor;
+    return sampled;
+}
+
+void
+Kernel::resetTraffic()
+{
+    for (auto &t : traffic_)
+        t = NodeTraffic{};
+}
+
+std::uint64_t
+Kernel::residentPages(NodeId nid, PageType type) const
+{
+    return lrus_[nid].countType(type);
+}
+
+double
+Kernel::trafficShare(NodeId nid) const
+{
+    std::uint64_t total = 0;
+    for (const auto &t : traffic_)
+        total += t.accesses;
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(traffic_[nid].accesses) /
+           static_cast<double>(total);
+}
+
+} // namespace tpp

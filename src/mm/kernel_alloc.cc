@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Page allocation: watermark gates, zonelist fallback, kswapd wake-ups
+ * and the direct-reclaim slow path (§4.1 of the paper).
+ */
+
+#include "mm/kernel.hh"
+#include "sim/logging.hh"
+
+namespace tpp {
+
+WatermarkGate
+Kernel::gateFor(AllocReason reason) const
+{
+    switch (reason) {
+      case AllocReason::App:
+      case AllocReason::SwapIn:
+      case AllocReason::Demotion:
+        return WatermarkGate::Low;
+      case AllocReason::Promotion:
+        // Default NUMA balancing only promotes into a node with plenty of
+        // free memory (migrate_balanced_pgdat checks the high watermark).
+        // TPP bypasses that check so promotions proceed while the
+        // demotion daemon keeps making headroom (§5.3).
+        return promotionIgnoresWatermark_ ? WatermarkGate::Min
+                                          : WatermarkGate::High;
+    }
+    tpp_panic("bad AllocReason");
+}
+
+bool
+Kernel::nodePassesGate(NodeId nid, WatermarkGate gate) const
+{
+    const MemoryNode &node = mem_.node(nid);
+    const Watermarks &wm = node.watermarks();
+    switch (gate) {
+      case WatermarkGate::Low:
+        return node.aboveWatermark(wm.low);
+      case WatermarkGate::Min:
+        return node.aboveWatermark(wm.min);
+      case WatermarkGate::High:
+        return node.aboveWatermark(wm.high);
+      case WatermarkGate::None:
+        return node.freePages() > 0;
+    }
+    tpp_panic("bad WatermarkGate");
+}
+
+Pfn
+Kernel::takeFrameFrom(NodeId nid, AllocReason reason)
+{
+    const Pfn pfn = mem_.node(nid).takeFree();
+    if (pfn != kInvalidPfn) {
+        vmstat_.inc(Vm::PgAlloc);
+        if (reason == AllocReason::App || reason == AllocReason::SwapIn)
+            traffic_[nid].appAllocs++;
+    }
+    return pfn;
+}
+
+void
+Kernel::maybeWakeKswapd(NodeId nid)
+{
+    // <= rather than <: allocation stops exactly at the gate watermark,
+    // and the node must start reclaiming at that point, not one page
+    // later (the kernel wakes kswapd when the low watermark check fails).
+    const ReclaimMarks marks = policy_->kswapdMarks(nid);
+    if (mem_.node(nid).freePages() <= marks.trigger)
+        wakeKswapd(nid);
+}
+
+Pfn
+Kernel::allocPage(NodeId preferred, PageType type, AllocReason reason,
+                  double *stall_ns)
+{
+    const WatermarkGate gate = gateFor(reason);
+
+    if (reason == AllocReason::Promotion || reason == AllocReason::Demotion) {
+        // Migration targets are pinned to one node (__GFP_THISNODE).
+        Pfn pfn = kInvalidPfn;
+        if (nodePassesGate(preferred, gate))
+            pfn = takeFrameFrom(preferred, reason);
+        maybeWakeKswapd(preferred);
+        return pfn;
+    }
+
+    const auto &order = mem_.fallbackOrder(preferred);
+
+    // Fast path: first node in distance order above its low watermark.
+    for (NodeId nid : order) {
+        if (nodePassesGate(nid, gate)) {
+            const Pfn pfn = takeFrameFrom(nid, reason);
+            if (pfn != kInvalidPfn) {
+                if (nid != preferred)
+                    vmstat_.inc(Vm::PgAllocFallback);
+                maybeWakeKswapd(preferred);
+                maybeWakeKswapd(nid);
+                return pfn;
+            }
+        }
+    }
+
+    // Slow path: wake reclaim everywhere and dip to the min watermark.
+    for (NodeId nid : order)
+        maybeWakeKswapd(nid);
+    for (NodeId nid : order) {
+        if (nodePassesGate(nid, WatermarkGate::Min)) {
+            const Pfn pfn = takeFrameFrom(nid, reason);
+            if (pfn != kInvalidPfn) {
+                if (nid != preferred)
+                    vmstat_.inc(Vm::PgAllocFallback);
+                return pfn;
+            }
+        }
+    }
+
+    // Direct reclaim: the allocating task pays for reclaim itself.
+    constexpr int kMaxRetries = 3;
+    constexpr std::uint64_t kReclaimBatch = 32;
+    for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+        vmstat_.inc(Vm::AllocStall);
+        std::uint64_t progress = 0;
+        for (NodeId nid : order) {
+            auto [reclaimed, cost] = directReclaim(nid, kReclaimBatch);
+            progress += reclaimed;
+            if (stall_ns)
+                *stall_ns += cost;
+            if (nodePassesGate(nid, WatermarkGate::Min)) {
+                const Pfn pfn = takeFrameFrom(nid, reason);
+                if (pfn != kInvalidPfn) {
+                    if (nid != preferred)
+                        vmstat_.inc(Vm::PgAllocFallback);
+                    return pfn;
+                }
+            }
+        }
+        if (progress == 0)
+            break;
+    }
+    return kInvalidPfn;
+}
+
+} // namespace tpp

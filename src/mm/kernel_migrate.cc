@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Page migration between memory nodes: the raw move, TPP-style demotion
+ * with distance-ordered targets and classic-reclaim fallback (§5.1),
+ * and promotion with gate checking and failure accounting (§5.3, §5.5).
+ */
+
+#include "mm/kernel.hh"
+#include "sim/logging.hh"
+
+namespace tpp {
+
+Pfn
+Kernel::migratePage(Pfn pfn, NodeId dst, AllocReason reason)
+{
+    PageFrame &frame = mem_.frame(pfn);
+    if (frame.isFree() || frame.lru == LruListId::None) {
+        vmstat_.inc(Vm::PgMigrateFail);
+        return kInvalidPfn;
+    }
+    if (frame.nid == dst)
+        tpp_panic("migratePage: pfn %u already on node %u", pfn, dst);
+
+    const Pfn new_pfn = allocPage(dst, frame.type, reason);
+    if (new_pfn == kInvalidPfn) {
+        vmstat_.inc(Vm::PgMigrateFail);
+        return kInvalidPfn;
+    }
+
+    Pte &pte = pteOf(frame);
+    const bool was_active = lruIsActive(frame.lru);
+    const NodeId src = frame.nid;
+
+    lrus_[src].remove(pfn);
+
+    PageFrame &new_frame = mem_.frame(new_pfn);
+    new_frame.clearFlag(PageFrame::FlagFree);
+    new_frame.type = frame.type;
+    new_frame.ownerAsid = frame.ownerAsid;
+    new_frame.ownerVpn = frame.ownerVpn;
+    new_frame.allocatedAt = frame.allocatedAt;
+    new_frame.lastHintFault = frame.lastHintFault;
+    new_frame.hintRefCount = frame.hintRefCount;
+    if (frame.referenced())
+        new_frame.setFlag(PageFrame::FlagReferenced);
+    if (frame.dirty())
+        new_frame.setFlag(PageFrame::FlagDirty);
+    if (frame.demoted())
+        new_frame.setFlag(PageFrame::FlagDemoted);
+
+    pte.pfn = new_pfn;
+
+    mem_.node(src).putFree(pfn);
+    frame.resetForFree();
+
+    lrus_[dst].addHead(lruListFor(new_frame.type, was_active), new_pfn);
+
+    // The copy moves one page of data off the source and onto the
+    // destination node.
+    mem_.node(src).recordTraffic(eq_.now(), kPageSize);
+    mem_.node(dst).recordTraffic(eq_.now(), kPageSize);
+    vmstat_.inc(Vm::PgMigrateSuccess);
+    return new_pfn;
+}
+
+std::pair<bool, double>
+Kernel::demotePage(Pfn pfn)
+{
+    PageFrame &frame = mem_.frame(pfn);
+    const NodeId src = frame.nid;
+    const PageType type = frame.type;
+
+    // Distance-ordered static target selection (§5.1).
+    for (NodeId dst : mem_.demotionOrder(src)) {
+        const Pfn new_pfn = migratePage(pfn, dst, AllocReason::Demotion);
+        if (new_pfn != kInvalidPfn) {
+            mem_.frame(new_pfn).setFlag(PageFrame::FlagDemoted);
+            vmstat_.inc(type == PageType::Anon ? Vm::PgDemoteAnon
+                                               : Vm::PgDemoteFile);
+            return {true, costs_.migratePage};
+        }
+    }
+
+    // Migration failed (no CXL node, or all of them full): fall back to
+    // the default reclamation mechanism for this page.
+    vmstat_.inc(Vm::PgDemoteFail);
+    return reclaimOnePage(pfn, false);
+}
+
+std::pair<bool, double>
+Kernel::promotePage(Pfn pfn, NodeId dst)
+{
+    vmstat_.inc(Vm::PgPromoteTry);
+
+    PageFrame &frame = mem_.frame(pfn);
+    if (frame.isFree() || frame.lru == LruListId::None) {
+        vmstat_.inc(Vm::PgPromoteFailIsolate);
+        return {false, 0.0};
+    }
+
+    const Pfn new_pfn = migratePage(pfn, dst, AllocReason::Promotion);
+    if (new_pfn == kInvalidPfn) {
+        vmstat_.inc(Vm::PgPromoteFailLowMem);
+        return {false, 0.0};
+    }
+
+    // A successful promotion clears PG_demoted: the ping-pong detector
+    // only counts pages that get demoted *again* afterwards.
+    mem_.frame(new_pfn).clearFlag(PageFrame::FlagDemoted);
+    vmstat_.inc(Vm::PgPromoteSuccess);
+    return {true, costs_.migratePage};
+}
+
+} // namespace tpp

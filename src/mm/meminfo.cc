@@ -1,0 +1,66 @@
+#include "mm/meminfo.hh"
+
+#include <sstream>
+
+#include "mm/kernel.hh"
+
+namespace tpp {
+
+MemInfo
+collectMemInfo(const Kernel &kernel)
+{
+    MemInfo info;
+    const MemorySystem &mem = kernel.mem();
+    for (std::size_t i = 0; i < mem.numNodes(); ++i) {
+        const NodeId nid = static_cast<NodeId>(i);
+        const MemoryNode &node = mem.node(nid);
+        const LruSet &lru = kernel.lru(nid);
+        NodeMemInfo n;
+        n.nid = nid;
+        n.name = node.profile().name;
+        n.cpuLess = node.cpuLess();
+        n.capacityPages = node.capacity();
+        n.freePages = node.freePages();
+        n.min = node.watermarks().min;
+        n.low = node.watermarks().low;
+        n.high = node.watermarks().high;
+        n.demoteTrigger = node.watermarks().demoteTrigger;
+        n.demoteTarget = node.watermarks().demoteTarget;
+        n.activeAnon = lru.count(LruListId::ActiveAnon);
+        n.inactiveAnon = lru.count(LruListId::InactiveAnon);
+        n.activeFile = lru.count(LruListId::ActiveFile);
+        n.inactiveFile = lru.count(LruListId::InactiveFile);
+        info.nodes.push_back(n);
+        info.totalPages += n.capacityPages;
+        info.totalFree += n.freePages;
+    }
+    info.swapUsedSlots = mem.swapDevice().usedSlots();
+    return info;
+}
+
+std::string
+renderMemInfo(const MemInfo &info)
+{
+    std::ostringstream out;
+    out << "MemTotal:  " << info.totalPages << " pages\n";
+    out << "MemFree:   " << info.totalFree << " pages\n";
+    out << "MemUsed:   " << info.totalUsed() << " pages\n";
+    out << "SwapUsed:  " << info.swapUsedSlots << " pages\n";
+    for (const NodeMemInfo &n : info.nodes) {
+        out << "Node " << static_cast<int>(n.nid) << " (" << n.name
+            << (n.cpuLess ? ", cpu-less" : "") << ")\n";
+        out << "  capacity       " << n.capacityPages << '\n';
+        out << "  free           " << n.freePages << '\n';
+        out << "  min/low/high   " << n.min << '/' << n.low << '/'
+            << n.high << '\n';
+        out << "  demote trig/tgt " << n.demoteTrigger << '/'
+            << n.demoteTarget << '\n';
+        out << "  active_anon    " << n.activeAnon << '\n';
+        out << "  inactive_anon  " << n.inactiveAnon << '\n';
+        out << "  active_file    " << n.activeFile << '\n';
+        out << "  inactive_file  " << n.inactiveFile << '\n';
+    }
+    return out.str();
+}
+
+} // namespace tpp

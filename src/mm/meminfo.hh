@@ -1,0 +1,63 @@
+/**
+ * @file
+ * /proc/meminfo- and /proc/zoneinfo-style reporting: per-node memory
+ * state (free pages, watermark ladder, LRU list sizes, residency by
+ * type) and a machine summary. Diagnostic tools print these; tests use
+ * the struct form.
+ */
+
+#ifndef TPP_MM_MEMINFO_HH
+#define TPP_MM_MEMINFO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tpp {
+
+class Kernel;
+
+/** Snapshot of one node's memory state. */
+struct NodeMemInfo {
+    NodeId nid = 0;
+    std::string name;
+    bool cpuLess = false;
+    std::uint64_t capacityPages = 0;
+    std::uint64_t freePages = 0;
+    std::uint64_t min = 0, low = 0, high = 0;
+    std::uint64_t demoteTrigger = 0, demoteTarget = 0;
+    std::uint64_t activeAnon = 0, inactiveAnon = 0;
+    std::uint64_t activeFile = 0, inactiveFile = 0;
+
+    std::uint64_t
+    lruTotal() const
+    {
+        return activeAnon + inactiveAnon + activeFile + inactiveFile;
+    }
+};
+
+/** Machine-wide snapshot. */
+struct MemInfo {
+    std::vector<NodeMemInfo> nodes;
+    std::uint64_t totalPages = 0;
+    std::uint64_t totalFree = 0;
+    std::uint64_t swapUsedSlots = 0;
+
+    std::uint64_t
+    totalUsed() const
+    {
+        return totalPages - totalFree;
+    }
+};
+
+/** Collect the current snapshot. */
+MemInfo collectMemInfo(const Kernel &kernel);
+
+/** Render a zoneinfo-style text report. */
+std::string renderMemInfo(const MemInfo &info);
+
+} // namespace tpp
+
+#endif // TPP_MM_MEMINFO_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Strategy interface separating page-placement *policy* from the mm
+ * *mechanism* in the Kernel.
+ *
+ * The Kernel owns allocation, LRU maintenance, reclaim, swap and
+ * migration machinery; a PlacementPolicy decides where pages go and
+ * when: which node new pages prefer, whether a node reclaims by
+ * swapping or by demotion, which watermarks drive background reclaim,
+ * which nodes get NUMA-hint sampling, and what to do on a hint fault.
+ *
+ * The base class implements the behaviour of a default Linux kernel on
+ * a tiered system: local-first allocation with fallback, swap-based
+ * reclaim, classic coupled watermarks, and no promotion at all.
+ */
+
+#ifndef TPP_MM_PLACEMENT_POLICY_HH
+#define TPP_MM_PLACEMENT_POLICY_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "sim/types.hh"
+
+namespace tpp {
+
+class Kernel;
+struct PageFrame;
+
+/** Watermark level an allocation must clear on a node. */
+enum class WatermarkGate : std::uint8_t {
+    Low,  //!< normal allocations
+    Min,  //!< allocations allowed to dip into the reserve
+    High, //!< conservative: only when the node has lots of room
+    None, //!< no check (used by tests and forced placements)
+};
+
+/** kswapd trigger/target pair, in pages, for one node. */
+struct ReclaimMarks {
+    std::uint64_t trigger = 0; //!< wake background reclaim below this
+    std::uint64_t target = 0;  //!< reclaim until free reaches this
+};
+
+/**
+ * Page placement policy hook points.
+ */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+
+    /** Short identifier for reports ("linux", "tpp", ...). */
+    virtual std::string name() const { return "linux"; }
+
+    /** Called once when the kernel adopts this policy. */
+    virtual void
+    attach(Kernel &kernel)
+    {
+        kernel_ = &kernel;
+    }
+
+    /**
+     * Called when the simulation starts; policies schedule their
+     * periodic daemons (scanners) here.
+     */
+    virtual void start() {}
+
+    /**
+     * Preferred node for a brand-new page of `type` faulted by a task
+     * running on `task_nid`. Default: allocate local to the task.
+     */
+    virtual NodeId
+    allocPreferredNode(PageType type, NodeId task_nid)
+    {
+        (void)type;
+        return task_nid;
+    }
+
+    /**
+     * @return true when background/direct reclaim on `nid` should demote
+     *         pages to the next tier instead of swapping them out.
+     */
+    virtual bool
+    reclaimByDemotion(NodeId nid) const
+    {
+        (void)nid;
+        return false;
+    }
+
+    /**
+     * Watermarks used by kswapd on `nid`. Default Linux couples them to
+     * the allocation watermarks: wake below low, stop at high.
+     */
+    virtual ReclaimMarks kswapdMarks(NodeId nid) const;
+
+    /**
+     * @return true when the NUMA-hint scanner should sample pages on
+     *         `nid`. Default Linux kernels without NUMA balancing never
+     *         sample.
+     */
+    virtual bool
+    scanNode(NodeId nid) const
+    {
+        (void)nid;
+        return false;
+    }
+
+    /**
+     * React to a NUMA hint fault on `pfn` taken by a task on `task_nid`.
+     * The policy may call Kernel::promotePage. @return extra latency in
+     * nanoseconds charged to the faulting access.
+     */
+    virtual double
+    onHintFault(Pfn pfn, NodeId task_nid)
+    {
+        (void)pfn;
+        (void)task_nid;
+        return 0.0;
+    }
+
+  protected:
+    Kernel *kernel_ = nullptr;
+};
+
+} // namespace tpp
+
+#endif // TPP_MM_PLACEMENT_POLICY_HH

@@ -1,0 +1,118 @@
+#include "mm/sysctl.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tpp {
+
+void
+SysctlRegistry::registerKnob(const std::string &name, Getter getter,
+                             Setter setter)
+{
+    knobs_[name] = Knob{std::move(getter), std::move(setter)};
+}
+
+void
+SysctlRegistry::registerReadOnly(const std::string &name, Getter getter)
+{
+    knobs_[name] = Knob{std::move(getter), nullptr};
+}
+
+void
+SysctlRegistry::registerDouble(const std::string &name, double *value,
+                               std::function<void()> on_change)
+{
+    registerKnob(
+        name,
+        [value] {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%g", *value);
+            return std::string(buf);
+        },
+        [value, on_change](const std::string &text) {
+            char *end = nullptr;
+            const double parsed = std::strtod(text.c_str(), &end);
+            if (end == text.c_str() || *end != '\0')
+                return false;
+            *value = parsed;
+            if (on_change)
+                on_change();
+            return true;
+        });
+}
+
+void
+SysctlRegistry::registerBool(const std::string &name, bool *value,
+                             std::function<void()> on_change)
+{
+    registerKnob(
+        name,
+        [value] { return std::string(*value ? "1" : "0"); },
+        [value, on_change](const std::string &text) {
+            if (text == "0")
+                *value = false;
+            else if (text == "1")
+                *value = true;
+            else
+                return false;
+            if (on_change)
+                on_change();
+            return true;
+        });
+}
+
+void
+SysctlRegistry::registerU64(const std::string &name, std::uint64_t *value,
+                            std::function<void()> on_change)
+{
+    registerKnob(
+        name,
+        [value] { return std::to_string(*value); },
+        [value, on_change](const std::string &text) {
+            char *end = nullptr;
+            const unsigned long long parsed =
+                std::strtoull(text.c_str(), &end, 10);
+            if (end == text.c_str() || *end != '\0')
+                return false;
+            *value = parsed;
+            if (on_change)
+                on_change();
+            return true;
+        });
+}
+
+bool
+SysctlRegistry::exists(const std::string &name) const
+{
+    return knobs_.count(name) != 0;
+}
+
+std::string
+SysctlRegistry::get(const std::string &name) const
+{
+    auto it = knobs_.find(name);
+    if (it == knobs_.end())
+        return "";
+    return it->second.getter();
+}
+
+bool
+SysctlRegistry::set(const std::string &name, const std::string &value)
+{
+    auto it = knobs_.find(name);
+    if (it == knobs_.end() || !it->second.setter)
+        return false;
+    return it->second.setter(value);
+}
+
+std::vector<std::string>
+SysctlRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(knobs_.size());
+    for (const auto &[name, knob] : knobs_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace tpp

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A /proc/sys-style knob registry.
+ *
+ * The paper exposes TPP's tunables through sysctl — the
+ * /proc/sys/vm/demote_scale_factor free-memory threshold (§5.2) and the
+ * NUMA_BALANCING_TIERED mode bit (§5.3). SysctlRegistry reproduces that
+ * administration surface: policies register named knobs at attach time
+ * and tools read/write them by string name at runtime.
+ */
+
+#ifndef TPP_MM_SYSCTL_HH
+#define TPP_MM_SYSCTL_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tpp {
+
+/**
+ * Named runtime-configuration knobs.
+ */
+class SysctlRegistry
+{
+  public:
+    using Getter = std::function<std::string()>;
+    /** @return false when the value cannot be parsed / applied. */
+    using Setter = std::function<bool(const std::string &)>;
+
+    /** Register a knob; replaces any previous registration. */
+    void registerKnob(const std::string &name, Getter getter,
+                      Setter setter);
+
+    /** Register a read-only knob. */
+    void registerReadOnly(const std::string &name, Getter getter);
+
+    /** Convenience: bind a double variable, with an optional on-change
+     *  hook (e.g. re-deriving watermarks). */
+    void registerDouble(const std::string &name, double *value,
+                        std::function<void()> on_change = nullptr);
+
+    /** Convenience: bind a bool variable ("0"/"1"). */
+    void registerBool(const std::string &name, bool *value,
+                      std::function<void()> on_change = nullptr);
+
+    /** Convenience: bind an unsigned integer variable. */
+    void registerU64(const std::string &name, std::uint64_t *value,
+                     std::function<void()> on_change = nullptr);
+
+    /** @return true when the knob exists. */
+    bool exists(const std::string &name) const;
+
+    /**
+     * Read a knob.
+     * @return its rendered value; empty string for unknown knobs.
+     */
+    std::string get(const std::string &name) const;
+
+    /**
+     * Write a knob.
+     * @return false for unknown or read-only knobs or unparsable values.
+     */
+    bool set(const std::string &name, const std::string &value);
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    struct Knob {
+        Getter getter;
+        Setter setter; // empty for read-only
+    };
+
+    std::map<std::string, Knob> knobs_;
+};
+
+} // namespace tpp
+
+#endif // TPP_MM_SYSCTL_HH

@@ -1,0 +1,66 @@
+#include "mm/vmstat.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tpp {
+
+const char *
+vmName(Vm counter)
+{
+    switch (counter) {
+      case Vm::PgFault: return "pgfault";
+      case Vm::PgMajFault: return "pgmajfault";
+      case Vm::PgAlloc: return "pgalloc";
+      case Vm::PgAllocFallback: return "pgalloc_fallback";
+      case Vm::AllocStall: return "allocstall";
+      case Vm::PgFree: return "pgfree";
+      case Vm::PgScanKswapd: return "pgscan_kswapd";
+      case Vm::PgScanDirect: return "pgscan_direct";
+      case Vm::PgStealKswapd: return "pgsteal_kswapd";
+      case Vm::PgStealDirect: return "pgsteal_direct";
+      case Vm::PgActivate: return "pgactivate";
+      case Vm::PgDeactivate: return "pgdeactivate";
+      case Vm::PgRefill: return "pgrefill";
+      case Vm::PswpOut: return "pswpout";
+      case Vm::PswpIn: return "pswpin";
+      case Vm::PgDemoteAnon: return "pgdemote_anon";
+      case Vm::PgDemoteFile: return "pgdemote_file";
+      case Vm::PgDemoteFail: return "pgdemote_fail";
+      case Vm::NumaPteUpdates: return "numa_pte_updates";
+      case Vm::NumaHintFaults: return "numa_hint_faults";
+      case Vm::NumaHintFaultsLocal: return "numa_hint_faults_local";
+      case Vm::PgPromoteCandidate: return "pgpromote_candidate";
+      case Vm::PgPromoteCandidateAnon: return "pgpromote_candidate_anon";
+      case Vm::PgPromoteCandidateFile: return "pgpromote_candidate_file";
+      case Vm::PgPromoteCandidateDemoted:
+        return "pgpromote_candidate_demoted";
+      case Vm::PgPromoteTry: return "pgpromote_try";
+      case Vm::PgPromoteSuccess: return "pgpromote_success";
+      case Vm::PgPromoteFailLowMem: return "pgpromote_fail_low_mem";
+      case Vm::PgPromoteFailRefused: return "pgpromote_fail_refused";
+      case Vm::PgPromoteFailIsolate: return "pgpromote_fail_isolate";
+      case Vm::PgPromoteFailRateLimit: return "pgpromote_fail_rate_limit";
+      case Vm::WorkingsetRefault: return "workingset_refault";
+      case Vm::WorkingsetActivate: return "workingset_activate";
+      case Vm::PgMigrateSuccess: return "pgmigrate_success";
+      case Vm::PgMigrateFail: return "pgmigrate_fail";
+      case Vm::NumCounters: break;
+    }
+    tpp_panic("vmName: bad counter %zu", static_cast<std::size_t>(counter));
+}
+
+std::string
+VmStat::report() const
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < kNumVmCounters; ++i) {
+        if (values_[i] == 0)
+            continue;
+        out << vmName(static_cast<Vm>(i)) << ' ' << values_[i] << '\n';
+    }
+    return out.str();
+}
+
+} // namespace tpp

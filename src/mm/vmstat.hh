@@ -1,0 +1,109 @@
+/**
+ * @file
+ * /proc/vmstat-style event counters.
+ *
+ * The set mirrors the counters the paper reads plus the new ones TPP
+ * introduces for observability (§5.5): demotion counters split by page
+ * type, promotion candidate/attempt/success counters, per-cause
+ * promotion failure counters, and the ping-pong detector
+ * pgpromote_candidate_demoted.
+ */
+
+#ifndef TPP_MM_VMSTAT_HH
+#define TPP_MM_VMSTAT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace tpp {
+
+/** Every event counter the simulator maintains. */
+enum class Vm : std::size_t {
+    // Fault / allocation path.
+    PgFault = 0,        //!< all page faults
+    PgMajFault,         //!< faults that waited on the swap device
+    PgAlloc,            //!< successful page allocations
+    PgAllocFallback,    //!< allocations that left the preferred node
+    AllocStall,         //!< allocations that entered direct reclaim
+    PgFree,             //!< pages returned to free lists
+
+    // Reclaim.
+    PgScanKswapd,       //!< pages scanned by background reclaim
+    PgScanDirect,       //!< pages scanned by direct reclaim
+    PgStealKswapd,      //!< pages reclaimed by background reclaim
+    PgStealDirect,      //!< pages reclaimed by direct reclaim
+    PgActivate,         //!< inactive -> active moves
+    PgDeactivate,       //!< active -> inactive moves
+    PgRefill,           //!< pages cycled through shrink_active
+    PswpOut,            //!< pages written to swap
+    PswpIn,             //!< pages read back from swap
+
+    // Demotion (TPP §5.1 / §5.5).
+    PgDemoteAnon,       //!< anon pages demoted to a CXL node
+    PgDemoteFile,       //!< file pages demoted to a CXL node
+    PgDemoteFail,       //!< demotions that fell back to classic reclaim
+
+    // NUMA balancing / promotion (TPP §5.3 / §5.5).
+    NumaPteUpdates,     //!< pages sampled (made prot_none)
+    NumaHintFaults,     //!< hint faults taken
+    NumaHintFaultsLocal,//!< hint faults on the faulting CPU's node
+    PgPromoteCandidate, //!< hint-faulted pages accepted as candidates
+    PgPromoteCandidateAnon,
+    PgPromoteCandidateFile,
+    PgPromoteCandidateDemoted, //!< candidates with PG_demoted: ping-pong
+    PgPromoteTry,       //!< promotion migrations attempted
+    PgPromoteSuccess,   //!< promotion migrations completed
+    PgPromoteFailLowMem,//!< failed: target node below gate watermark
+    PgPromoteFailRefused,//!< failed: policy filter rejected the page
+    PgPromoteFailIsolate,//!< failed: page already isolated / gone
+    PgPromoteFailRateLimit,//!< failed: promotion rate limit exceeded
+
+    // Workingset detection (shadow entries).
+    WorkingsetRefault,  //!< evicted page refaulted
+    WorkingsetActivate, //!< ...within the workingset window: activated
+
+    // Generic migration.
+    PgMigrateSuccess,
+    PgMigrateFail,
+
+    NumCounters,
+};
+
+inline constexpr std::size_t kNumVmCounters =
+    static_cast<std::size_t>(Vm::NumCounters);
+
+/** Readable name for reports, matching kernel spelling where one exists. */
+const char *vmName(Vm counter);
+
+/**
+ * Fixed array of counters with kernel-flavoured accessors.
+ */
+class VmStat
+{
+  public:
+    VmStat() { values_.fill(0); }
+
+    void inc(Vm c, std::uint64_t n = 1)
+    {
+        values_[static_cast<std::size_t>(c)] += n;
+    }
+
+    std::uint64_t
+    get(Vm c) const
+    {
+        return values_[static_cast<std::size_t>(c)];
+    }
+
+    void reset() { values_.fill(0); }
+
+    /** Render all non-zero counters, one "name value" line each. */
+    std::string report() const;
+
+  private:
+    std::array<std::uint64_t, kNumVmCounters> values_;
+};
+
+} // namespace tpp
+
+#endif // TPP_MM_VMSTAT_HH

@@ -1,0 +1,102 @@
+#include "policy/autotiering.hh"
+
+#include "mm/kernel.hh"
+
+namespace tpp {
+
+void
+AutoTieringPolicy::start()
+{
+    if (cfg_.promotionReserve == 0) {
+        const NodeId local = kernel_->mem().cpuNodes().front();
+        cfg_.promotionReserve = std::max<std::uint64_t>(
+            256, kernel_->mem().node(local).capacity() / 20);
+    }
+    budget_ = cfg_.promotionReserve;
+    // AutoTiering dips below the classic watermarks when spending its
+    // reserve; the budget above is what actually limits promotions.
+    kernel_->setPromotionIgnoresWatermark(true);
+    kernel_->eventQueue().scheduleAfter(cfg_.scanPeriod,
+                                        [this] { scanTick(); });
+}
+
+bool
+AutoTieringPolicy::reclaimByDemotion(NodeId nid) const
+{
+    // CPU nodes demote by migration; CXL nodes use default reclaim.
+    return !kernel_->mem().node(nid).cpuLess();
+}
+
+bool
+AutoTieringPolicy::scanNode(NodeId nid) const
+{
+    return kernel_->mem().node(nid).cpuLess();
+}
+
+void
+AutoTieringPolicy::scanTick()
+{
+    for (NodeId nid : kernel_->mem().cxlNodes())
+        kernel_->sampleNode(nid, cfg_.scanBatch);
+
+    // The promotion reserve refills only as the (coupled) background
+    // demotion frees pages — there is no decoupled demotion watermark to
+    // keep headroom proactively.
+    const VmStat &vs = kernel_->vmstat();
+    const std::uint64_t demotions =
+        vs.get(Vm::PgDemoteAnon) + vs.get(Vm::PgDemoteFile);
+    const std::uint64_t refill = demotions - lastDemotions_;
+    lastDemotions_ = demotions;
+    budget_ = std::min(cfg_.promotionReserve, budget_ + refill);
+
+    kernel_->eventQueue().scheduleAfter(cfg_.scanPeriod,
+                                        [this] { scanTick(); });
+}
+
+double
+AutoTieringPolicy::onHintFault(Pfn pfn, NodeId task_nid)
+{
+    PageFrame &frame = kernel_->mem().frame(pfn);
+    const Tick now = kernel_->eventQueue().now();
+
+    // Timer-based hotness: count hint faults inside the window; stale
+    // history resets. Infrequently accessed pages never reach the
+    // threshold — the inefficiency §7 points at.
+    if (now - frame.lastHintFault > cfg_.hotWindow)
+        frame.hintRefCount = 0;
+    frame.lastHintFault = now;
+    if (frame.hintRefCount < 255)
+        frame.hintRefCount++;
+
+    if (frame.nid == task_nid)
+        return 0.0;
+    if (frame.hintRefCount < cfg_.hotThreshold)
+        return 0.0;
+
+    VmStat &vs = kernel_->vmstat();
+    vs.inc(Vm::PgPromoteCandidate);
+    vs.inc(frame.type == PageType::Anon ? Vm::PgPromoteCandidateAnon
+                                        : Vm::PgPromoteCandidateFile);
+    if (frame.demoted())
+        vs.inc(Vm::PgPromoteCandidateDemoted);
+
+    // Promotions come out of the fixed reserve when the target node is
+    // under pressure; an exhausted reserve stalls promotion entirely.
+    MemoryNode &local = kernel_->mem().node(task_nid);
+    const bool plenty_free =
+        local.aboveWatermark(local.watermarks().high);
+    if (!plenty_free) {
+        if (budget_ == 0) {
+            vs.inc(Vm::PgPromoteTry);
+            vs.inc(Vm::PgPromoteFailLowMem);
+            return 0.0;
+        }
+        budget_--;
+    }
+
+    auto [ok, cost] = kernel_->promotePage(pfn, task_nid);
+    (void)ok;
+    return cost;
+}
+
+} // namespace tpp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * AutoTiering baseline (Kim, Choe & Ahn, USENIX ATC'21), reimplemented
+ * to the behaviour the paper compares against (§6.4 and §7):
+ *
+ *  - background *migration* (not swapping) demotes low-access-frequency
+ *    pages to the CXL node, so its reclamation is much faster than
+ *    default Linux's paging;
+ *  - promotion rides on optimized NUMA-hint faults, but hot-page
+ *    detection is timer based: a page is promoted only after repeated
+ *    hint faults inside a time window, which reacts slowly to
+ *    infrequently accessed pages;
+ *  - allocation and reclamation remain *coupled*: there is no separate
+ *    demotion watermark. Instead a fixed-size reserve of free pages is
+ *    kept for promotions; when a surge of CXL accesses drains the
+ *    reserve faster than coupled reclaim refills it, promotion stalls
+ *    (the failure mode in Fig 19a).
+ */
+
+#ifndef TPP_POLICY_AUTOTIERING_HH
+#define TPP_POLICY_AUTOTIERING_HH
+
+#include "mm/placement_policy.hh"
+#include "sim/types.hh"
+
+namespace tpp {
+
+/** AutoTiering tunables. */
+struct AutoTieringConfig {
+    Tick scanPeriod = 20 * kMillisecond;
+    std::uint64_t scanBatch = 512;
+    /** Hint faults within this window needed before promotion. */
+    Tick hotWindow = 3 * kSecond;
+    std::uint8_t hotThreshold = 2;
+    /** Fixed-size promotion reserve, in pages; 0 = 5 % of the local
+     *  node's capacity. */
+    std::uint64_t promotionReserve = 0;
+};
+
+/**
+ * AutoTiering page placement.
+ */
+class AutoTieringPolicy : public PlacementPolicy
+{
+  public:
+    explicit AutoTieringPolicy(AutoTieringConfig cfg = {}) : cfg_(cfg) {}
+
+    std::string name() const override { return "autotiering"; }
+
+    void start() override;
+
+    /** Demote from CPU nodes by migration instead of swapping. */
+    bool reclaimByDemotion(NodeId nid) const override;
+
+    /** Coupled watermarks: trigger low, target high + nothing extra. */
+    // (inherits the default kswapdMarks)
+
+    bool scanNode(NodeId nid) const override;
+
+    double onHintFault(Pfn pfn, NodeId task_nid) override;
+
+    /** Remaining promotion reserve (for tests / reports). */
+    std::uint64_t promotionBudget() const { return budget_; }
+
+  private:
+    void scanTick();
+
+    AutoTieringConfig cfg_;
+    std::uint64_t budget_ = 0;
+    std::uint64_t lastDemotions_ = 0;
+};
+
+} // namespace tpp
+
+#endif // TPP_POLICY_AUTOTIERING_HH

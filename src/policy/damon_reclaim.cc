@@ -1,0 +1,52 @@
+#include "policy/damon_reclaim.hh"
+
+#include "mm/kernel.hh"
+
+namespace tpp {
+
+void
+DamonReclaimPolicy::start()
+{
+    monitor_ = std::make_unique<DamonMonitor>(*kernel_, cfg_.monitor);
+    monitor_->start();
+    kernel_->eventQueue().scheduleAfter(cfg_.opInterval,
+                                       [this] { opTick(); });
+}
+
+void
+DamonReclaimPolicy::opTick()
+{
+    Kernel &k = *kernel_;
+    std::uint64_t quota = cfg_.quotaPagesPerOp;
+
+    for (const DamonRegion &region : monitor_->regions()) {
+        if (quota == 0)
+            break;
+        if (region.nrAccesses != 0 ||
+            region.age < cfg_.coldMinAgeAggregations)
+            continue;
+        AddressSpace &as = k.addressSpace(region.asid);
+        for (Vpn vpn = region.start; vpn < region.end && quota > 0;
+             ++vpn) {
+            if (vpn >= as.tableSize() || !as.isMapped(vpn))
+                continue;
+            const Pte &pte = as.pte(vpn);
+            if (!pte.present())
+                continue;
+            const PageFrame &frame = k.mem().frame(pte.pfn);
+            if (k.mem().node(frame.nid).cpuLess())
+                continue; // already on the slow tier
+            if (frame.lru == LruListId::None || frame.referenced())
+                continue; // racing with activity: leave it
+            auto [freed, cost] = k.demotePage(pte.pfn);
+            if (freed) {
+                demoted_++;
+                quota--;
+            }
+        }
+    }
+    kernel_->eventQueue().scheduleAfter(cfg_.opInterval,
+                                       [this] { opTick(); });
+}
+
+} // namespace tpp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * DAMON-based proactive demotion — the related-work alternative the
+ * paper cites ([28] "Using DAMON for proactive reclaim", combined with
+ * [40] "Migrate pages in lieu of discard").
+ *
+ * A DamonMonitor watches the address spaces; a periodic operation walks
+ * the coldest regions (zero observed accesses for at least
+ * `coldMinAgeAggregations`) whose pages sit on a CPU node and demotes
+ * them to the CXL tier, up to a per-operation quota. Unlike TPP there
+ * is no promotion path and no watermark decoupling: cold data drains
+ * proactively, hot-but-demoted data must rely on nothing — which is why
+ * TPP still wins, and the comparison is instructive.
+ */
+
+#ifndef TPP_POLICY_DAMON_RECLAIM_HH
+#define TPP_POLICY_DAMON_RECLAIM_HH
+
+#include <memory>
+
+#include "mm/damon.hh"
+#include "mm/placement_policy.hh"
+#include "sim/types.hh"
+
+namespace tpp {
+
+/** Tunables (names after the kernel's damon_reclaim module params). */
+struct DamonReclaimConfig {
+    DamonConfig monitor;
+    /** Cadence of the demotion operation. */
+    Tick opInterval = 100 * kMillisecond;
+    /** Regions must be idle for this many aggregations. */
+    std::uint32_t coldMinAgeAggregations = 2;
+    /** Pages demoted per operation at most. */
+    std::uint64_t quotaPagesPerOp = 2048;
+};
+
+/**
+ * Proactive cold-region demotion, no promotion.
+ */
+class DamonReclaimPolicy : public PlacementPolicy
+{
+  public:
+    explicit DamonReclaimPolicy(DamonReclaimConfig cfg = {}) : cfg_(cfg)
+    {
+    }
+
+    std::string name() const override { return "damon-reclaim"; }
+
+    void start() override;
+
+    /** The monitor, for tests and reporting. */
+    DamonMonitor &monitor() { return *monitor_; }
+
+    std::uint64_t pagesDemotedProactively() const { return demoted_; }
+
+  private:
+    void opTick();
+
+    DamonReclaimConfig cfg_;
+    std::unique_ptr<DamonMonitor> monitor_;
+    std::uint64_t demoted_ = 0;
+};
+
+} // namespace tpp
+
+#endif // TPP_POLICY_DAMON_RECLAIM_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The default Linux kernel baseline (§4): local-first allocation with
+ * zonelist fallback, swap-based reclaim coupled to the allocation
+ * watermarks, and no NUMA-hint sampling or promotion whatsoever. Pages
+ * that land on the CXL node stay there forever.
+ *
+ * This is exactly the PlacementPolicy base-class behaviour, wrapped in
+ * a concrete named type.
+ */
+
+#ifndef TPP_POLICY_DEFAULT_LINUX_HH
+#define TPP_POLICY_DEFAULT_LINUX_HH
+
+#include "mm/placement_policy.hh"
+
+namespace tpp {
+
+/** Default Linux page placement: the paper's primary baseline. */
+class DefaultLinuxPolicy : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "linux"; }
+};
+
+} // namespace tpp
+
+#endif // TPP_POLICY_DEFAULT_LINUX_HH

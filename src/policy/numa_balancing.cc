@@ -1,0 +1,59 @@
+#include "policy/numa_balancing.hh"
+
+#include "mm/kernel.hh"
+
+namespace tpp {
+
+void
+NumaBalancingPolicy::start()
+{
+    kernel_->eventQueue().scheduleAfter(cfg_.scanPeriod,
+                                        [this] { scanTick(); });
+}
+
+bool
+NumaBalancingPolicy::scanNode(NodeId nid) const
+{
+    (void)nid;
+    return true;
+}
+
+void
+NumaBalancingPolicy::scanTick()
+{
+    // Sample every node; the local samples produce the useless hint
+    // faults whose overhead the paper calls out (§5.3, §6.4).
+    const std::size_t n = kernel_->mem().numNodes();
+    for (std::size_t i = 0; i < n; ++i)
+        kernel_->sampleNode(static_cast<NodeId>(i), cfg_.scanBatch);
+    kernel_->eventQueue().scheduleAfter(cfg_.scanPeriod,
+                                        [this] { scanTick(); });
+}
+
+double
+NumaBalancingPolicy::onHintFault(Pfn pfn, NodeId task_nid)
+{
+    PageFrame &frame = kernel_->mem().frame(pfn);
+    frame.lastHintFault = kernel_->eventQueue().now();
+
+    if (frame.nid == task_nid) {
+        // Local page: sampling it bought nothing.
+        return 0.0;
+    }
+
+    // Instant promotion attempt, no hotness hysteresis. The Promotion
+    // gate is the high watermark because the kernel never lets NUMA
+    // balancing migrate into a node under pressure (§4.2); Kernel's
+    // promotionIgnoresWatermark flag stays false for this policy.
+    VmStat &vs = kernel_->vmstat();
+    vs.inc(Vm::PgPromoteCandidate);
+    vs.inc(frame.type == PageType::Anon ? Vm::PgPromoteCandidateAnon
+                                        : Vm::PgPromoteCandidateFile);
+    if (frame.demoted())
+        vs.inc(Vm::PgPromoteCandidateDemoted);
+    auto [ok, cost] = kernel_->promotePage(pfn, task_nid);
+    (void)ok;
+    return cost;
+}
+
+} // namespace tpp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * NUMA Balancing (AutoNUMA) baseline (§4.2).
+ *
+ * A kernel task periodically samples pages on *every* node — including
+ * the local one, which on a tiered system is pure overhead — by making
+ * their PTEs prot_none. A hint fault from a remote page triggers an
+ * instant promotion attempt towards the faulting CPU's node, gated on
+ * the target having lots of free memory (the high watermark). Under
+ * local-node pressure promotions therefore stop, which is the failure
+ * mode the paper measures in §6.4.
+ */
+
+#ifndef TPP_POLICY_NUMA_BALANCING_HH
+#define TPP_POLICY_NUMA_BALANCING_HH
+
+#include "mm/placement_policy.hh"
+#include "sim/types.hh"
+
+namespace tpp {
+
+/** Tunables mirroring the numa_balancing sysctls. */
+struct NumaBalancingConfig {
+    /** Scanner period (sysctl numa_balancing_scan_period). */
+    Tick scanPeriod = 20 * kMillisecond;
+    /** Pages sampled per node per period (scan_size equivalent). */
+    std::uint64_t scanBatch = 512;
+};
+
+/**
+ * Linux NUMA Balancing on a tiered memory system.
+ */
+class NumaBalancingPolicy : public PlacementPolicy
+{
+  public:
+    explicit NumaBalancingPolicy(NumaBalancingConfig cfg = {})
+        : cfg_(cfg)
+    {
+    }
+
+    std::string name() const override { return "numa-balancing"; }
+
+    void start() override;
+
+    /** NUMA balancing samples every node, local ones included. */
+    bool scanNode(NodeId nid) const override;
+
+    double onHintFault(Pfn pfn, NodeId task_nid) override;
+
+  private:
+    void scanTick();
+
+    NumaBalancingConfig cfg_;
+};
+
+} // namespace tpp
+
+#endif // TPP_POLICY_NUMA_BALANCING_HH

@@ -1,0 +1,110 @@
+#include "sim/distributions.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tpp {
+
+// ZipfDistribution: rejection-inversion sampling after Hörmann &
+// Derflinger, "Rejection-inversion to generate variates from monotone
+// discrete distributions" (1996), as popularised by Apache Commons RNG.
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    if (n == 0)
+        tpp_fatal("ZipfDistribution requires n >= 1");
+    if (theta < 0.0)
+        tpp_fatal("ZipfDistribution requires theta >= 0");
+    hIntegralX1_ = hIntegral(1.5) - 1.0;
+    hIntegralNumberOfElements_ = hIntegral(static_cast<double>(n) + 0.5);
+    s_ = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
+}
+
+double
+ZipfDistribution::hIntegral(double x) const
+{
+    const double log_x = std::log(x);
+    // Uses expm1/log1p-based helper to stay accurate when theta ~ 1.
+    const double t = log_x * (1.0 - theta_);
+    const double helper =
+        (std::abs(t) > 1e-8) ? std::expm1(t) / t : 1.0 + t / 2.0 + t * t / 6.0;
+    return helper * log_x;
+}
+
+double
+ZipfDistribution::hIntegralInverse(double x) const
+{
+    double t = x * (1.0 - theta_);
+    if (t < -1.0)
+        t = -1.0;
+    const double helper =
+        (std::abs(t) > 1e-8) ? std::log1p(t) / t : 1.0 - t / 2.0 + t * t / 3.0;
+    return std::exp(helper * x);
+}
+
+double
+ZipfDistribution::h(double x) const
+{
+    return std::exp(-theta_ * std::log(x));
+}
+
+std::uint64_t
+ZipfDistribution::operator()(Rng &rng) const
+{
+    if (n_ == 1)
+        return 0;
+    for (;;) {
+        const double u = hIntegralNumberOfElements_ +
+                         rng.nextDouble() *
+                             (hIntegralX1_ - hIntegralNumberOfElements_);
+        const double x = hIntegralInverse(u);
+        double k = std::floor(x + 0.5);
+        if (k < 1.0)
+            k = 1.0;
+        else if (k > static_cast<double>(n_))
+            k = static_cast<double>(n_);
+        if (k - x <= s_ || u >= hIntegral(k + 0.5) - h(k)) {
+            return static_cast<std::uint64_t>(k) - 1;
+        }
+    }
+}
+
+ExponentialDistribution::ExponentialDistribution(double mean) : mean_(mean)
+{
+    if (mean <= 0.0)
+        tpp_fatal("ExponentialDistribution requires mean > 0");
+}
+
+double
+ExponentialDistribution::operator()(Rng &rng) const
+{
+    double u;
+    do {
+        u = rng.nextDouble();
+    } while (u <= 0.0);
+    return -mean_ * std::log(u);
+}
+
+BoundedParetoDistribution::BoundedParetoDistribution(double lo, double hi,
+                                                     double alpha)
+    : lo_(lo), hi_(hi), alpha_(alpha)
+{
+    if (lo <= 0.0 || hi <= lo)
+        tpp_fatal("BoundedParetoDistribution requires 0 < lo < hi");
+    if (alpha <= 0.0)
+        tpp_fatal("BoundedParetoDistribution requires alpha > 0");
+}
+
+double
+BoundedParetoDistribution::operator()(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    const double la = std::pow(lo_, alpha_);
+    const double ha = std::pow(hi_, alpha_);
+    const double x = -(u * ha - u * la - ha) / (ha * la);
+    return std::pow(1.0 / x, 1.0 / alpha_);
+}
+
+} // namespace tpp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Sampling distributions used by workload generators.
+ *
+ * The key one is ZipfDistribution: datacenter access skew (hot keys in
+ * Cache, hot heap objects in Web) is conventionally modelled as Zipfian.
+ * Sampling uses the rejection-inversion method of Hörmann & Derflinger,
+ * which is O(1) per sample and needs no O(n) table.
+ */
+
+#ifndef TPP_SIM_DISTRIBUTIONS_HH
+#define TPP_SIM_DISTRIBUTIONS_HH
+
+#include <cstdint>
+
+#include "sim/rng.hh"
+
+namespace tpp {
+
+/**
+ * Zipf-distributed integers over [0, n). Rank 0 is the most popular.
+ *
+ * P(k) proportional to 1 / (k + 1)^theta.
+ */
+class ZipfDistribution
+{
+  public:
+    /**
+     * @param n      population size, must be >= 1
+     * @param theta  skew exponent; 0 degenerates to uniform, ~0.99 is the
+     *               YCSB default, larger is more skewed
+     */
+    ZipfDistribution(std::uint64_t n, double theta);
+
+    /** Draw one rank in [0, n). */
+    std::uint64_t operator()(Rng &rng) const;
+
+    std::uint64_t size() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    double hIntegral(double x) const;
+    double hIntegralInverse(double x) const;
+    double h(double x) const;
+
+    std::uint64_t n_;
+    double theta_;
+    double hIntegralX1_;
+    double hIntegralNumberOfElements_;
+    double s_;
+};
+
+/**
+ * Exponentially distributed doubles with the given mean.
+ * Used for inter-arrival jitter and lifetime draws.
+ */
+class ExponentialDistribution
+{
+  public:
+    explicit ExponentialDistribution(double mean);
+
+    double operator()(Rng &rng) const;
+
+    double mean() const { return mean_; }
+
+  private:
+    double mean_;
+};
+
+/**
+ * Bounded Pareto distribution over [lo, hi] with shape alpha.
+ * Used for heavy-tailed object lifetimes (short-lived request pages with
+ * a long tail of long-lived ones).
+ */
+class BoundedParetoDistribution
+{
+  public:
+    BoundedParetoDistribution(double lo, double hi, double alpha);
+
+    double operator()(Rng &rng) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double alpha_;
+};
+
+} // namespace tpp
+
+#endif // TPP_SIM_DISTRIBUTIONS_HH

@@ -1,0 +1,74 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tpp {
+
+namespace {
+bool g_verbose = true;
+} // namespace
+
+void
+setLogVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+logVerbose()
+{
+    return g_verbose;
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    if (!g_verbose)
+        return;
+    std::fprintf(stderr, "warn: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    if (!g_verbose)
+        return;
+    std::fprintf(stdout, "info: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stdout, fmt, args);
+    va_end(args);
+    std::fprintf(stdout, "\n");
+}
+
+} // namespace tpp

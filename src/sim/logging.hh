@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  — a simulator invariant was violated: a bug in this code base.
+ *            Aborts so a debugger/core dump can capture state.
+ * fatal()  — the user asked for something impossible (bad configuration,
+ *            invalid arguments). Exits with status 1.
+ * warn()   — behaviour may be surprising but the run can continue.
+ * inform() — neutral status for the console.
+ */
+
+#ifndef TPP_SIM_LOGGING_HH
+#define TPP_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace tpp {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Toggle inform()/warn() console output (tests silence it). */
+void setLogVerbose(bool verbose);
+
+/** @return true when inform()/warn() output is enabled. */
+bool logVerbose();
+
+} // namespace tpp
+
+#define tpp_panic(...) ::tpp::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define tpp_fatal(...) ::tpp::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define tpp_warn(...) ::tpp::warnImpl(__VA_ARGS__)
+#define tpp_inform(...) ::tpp::informImpl(__VA_ARGS__)
+
+/** Assert a simulator invariant; failure is a bug, so it panics. */
+#define tpp_assert(cond, ...)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::tpp::panicImpl(__FILE__, __LINE__,                             \
+                             "assertion failed: %s", #cond);                 \
+        }                                                                    \
+    } while (0)
+
+#endif // TPP_SIM_LOGGING_HH

@@ -1,0 +1,174 @@
+#include "workloads/driver.hh"
+
+#include "mm/kernel.hh"
+#include "sim/logging.hh"
+
+namespace tpp {
+
+WorkloadDriver::WorkloadDriver(Kernel &kernel, Workload &workload,
+                               DriverConfig cfg)
+    : kernel_(kernel), workload_(workload), cfg_(cfg)
+{
+    if (cfg_.measureFrom > cfg_.runUntil)
+        tpp_fatal("driver measurement window starts after the run ends");
+}
+
+void
+WorkloadDriver::start()
+{
+    workload_.init(kernel_);
+    EventQueue &eq = kernel_.eventQueue();
+    lastSampleTick_ = eq.now();
+    eq.scheduleAfter(0, [this] { batchTick(); });
+    eq.scheduleAfter(cfg_.sampleEvery, [this] { sampleTick(); });
+    eq.schedule(cfg_.measureFrom, [this] { beginMeasurement(); });
+}
+
+void
+WorkloadDriver::runToCompletion()
+{
+    start();
+    kernel_.eventQueue().run(cfg_.runUntil);
+}
+
+void
+WorkloadDriver::batchTick()
+{
+    EventQueue &eq = kernel_.eventQueue();
+    if (eq.now() >= cfg_.runUntil || workload_.done())
+        return;
+
+    const bool was_warm = workload_.warmedUp();
+    const BatchResult result = workload_.runBatch(kernel_);
+    if (!warmupEnded_ && !was_warm && workload_.warmedUp()) {
+        warmupEnded_ = true;
+        warmupEndTick_ = eq.now();
+    }
+
+    totalOps_ += result.ops;
+    if (measuring_) {
+        measuredOps_ += result.ops;
+        windowAccessLatencySum_ += result.memLatencyNs;
+        windowAccessCount_ += result.accesses;
+    }
+
+    const Tick duration =
+        std::max<Tick>(1, static_cast<Tick>(result.durationNs));
+    lastBatchEnd_ = eq.now() + duration;
+    eq.scheduleAfter(duration, [this] { batchTick(); });
+}
+
+void
+WorkloadDriver::beginMeasurement()
+{
+    measuring_ = true;
+    measureStartActual_ = kernel_.eventQueue().now();
+    trafficAtMeasureStart_.clear();
+    for (std::size_t i = 0; i < kernel_.mem().numNodes(); ++i) {
+        trafficAtMeasureStart_.push_back(
+            kernel_.traffic(static_cast<NodeId>(i)).accesses);
+    }
+}
+
+void
+WorkloadDriver::sampleTick()
+{
+    EventQueue &eq = kernel_.eventQueue();
+    const Tick now = eq.now();
+    const double dt_sec = static_cast<double>(now - lastSampleTick_) /
+                          static_cast<double>(kSecond);
+    lastSampleTick_ = now;
+
+    const NodeId local = kernel_.mem().cpuNodes().front();
+    std::uint64_t local_acc = kernel_.traffic(local).accesses;
+    std::uint64_t total_acc = 0;
+    for (std::size_t i = 0; i < kernel_.mem().numNodes(); ++i)
+        total_acc += kernel_.traffic(static_cast<NodeId>(i)).accesses;
+
+    const VmStat &vs = kernel_.vmstat();
+    const std::uint64_t promos = vs.get(Vm::PgPromoteSuccess);
+    const std::uint64_t demos =
+        vs.get(Vm::PgDemoteAnon) + vs.get(Vm::PgDemoteFile);
+    const std::uint64_t local_allocs = kernel_.traffic(local).appAllocs;
+
+    IntervalSample sample;
+    sample.tick = now;
+    const std::uint64_t d_total = total_acc - lastTotalAccesses_;
+    const std::uint64_t d_local = local_acc - lastLocalAccesses_;
+    sample.localShare =
+        d_total ? static_cast<double>(d_local) /
+                      static_cast<double>(d_total)
+                : 0.0;
+    if (dt_sec > 0.0) {
+        sample.promotionRate =
+            static_cast<double>(promos - lastPromotions_) / dt_sec;
+        sample.demotionRate =
+            static_cast<double>(demos - lastDemotions_) / dt_sec;
+        sample.localAllocRate =
+            static_cast<double>(local_allocs - lastLocalAllocs_) / dt_sec;
+        sample.throughput =
+            static_cast<double>(totalOps_ - lastOps_) / dt_sec;
+    }
+    sample.localFree = kernel_.mem().node(local).freePages();
+    for (std::size_t p = 0; p < kernel_.numProcesses(); ++p) {
+        const AddressSpace &as =
+            kernel_.addressSpace(static_cast<Asid>(p));
+        sample.anonResident += as.residentPages(PageType::Anon);
+        sample.fileResident += as.residentPages(PageType::File);
+    }
+    sample.anonOnLocal = kernel_.residentPages(local, PageType::Anon);
+    sample.fileOnLocal = kernel_.residentPages(local, PageType::File);
+    samples_.push_back(sample);
+
+    lastLocalAccesses_ = local_acc;
+    lastTotalAccesses_ = total_acc;
+    lastPromotions_ = promos;
+    lastDemotions_ = demos;
+    lastLocalAllocs_ = local_allocs;
+    lastOps_ = totalOps_;
+
+    if (now + cfg_.sampleEvery <= cfg_.runUntil)
+        eq.scheduleAfter(cfg_.sampleEvery, [this] { sampleTick(); });
+}
+
+double
+WorkloadDriver::throughput() const
+{
+    if (lastBatchEnd_ <= measureStartActual_ || measuredOps_ == 0)
+        return 0.0;
+    const double seconds =
+        static_cast<double>(lastBatchEnd_ - measureStartActual_) /
+        static_cast<double>(kSecond);
+    return static_cast<double>(measuredOps_) / seconds;
+}
+
+double
+WorkloadDriver::meanAccessLatencyNs() const
+{
+    if (windowAccessCount_ == 0)
+        return 0.0;
+    return windowAccessLatencySum_ /
+           static_cast<double>(windowAccessCount_);
+}
+
+double
+WorkloadDriver::trafficShare(NodeId nid) const
+{
+    if (trafficAtMeasureStart_.empty())
+        return kernel_.trafficShare(nid);
+    std::uint64_t total = 0;
+    std::uint64_t mine = 0;
+    for (std::size_t i = 0; i < kernel_.mem().numNodes(); ++i) {
+        const std::uint64_t delta =
+            kernel_.traffic(static_cast<NodeId>(i)).accesses -
+            trafficAtMeasureStart_[i];
+        total += delta;
+        if (static_cast<NodeId>(i) == nid)
+            mine = delta;
+    }
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(mine) / static_cast<double>(total);
+}
+
+} // namespace tpp

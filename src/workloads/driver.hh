@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Closed-loop workload driver.
+ *
+ * Schedules workload batches through the event queue (so kernel daemons
+ * interleave with application progress), samples per-interval statistics
+ * (traffic shares, promotion/demotion rates, residency, free pages) and
+ * accounts throughput over a measurement window.
+ */
+
+#ifndef TPP_WORKLOADS_DRIVER_HH
+#define TPP_WORKLOADS_DRIVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "workloads/workload.hh"
+
+namespace tpp {
+
+class Kernel;
+
+/** Driver configuration. */
+struct DriverConfig {
+    /** Stop issuing batches at this simulated time. */
+    Tick runUntil = 10 * kSecond;
+    /** Throughput/traffic accounting starts here (post warm-up/settle). */
+    Tick measureFrom = 2 * kSecond;
+    /** Cadence of the interval sampler. */
+    Tick sampleEvery = 100 * kMillisecond;
+};
+
+/** One sampler observation. */
+struct IntervalSample {
+    Tick tick = 0;
+    /** Fraction of interval accesses served by the first CPU node. */
+    double localShare = 0.0;
+    /** Promotion / demotion migration rates in pages per second. */
+    double promotionRate = 0.0;
+    double demotionRate = 0.0;
+    /** Local-node allocation rate in pages per second. */
+    double localAllocRate = 0.0;
+    /** Free pages on the first CPU node. */
+    std::uint64_t localFree = 0;
+    /** Interval operation throughput in ops per second. */
+    double throughput = 0.0;
+    /** Resident pages by type across all processes (Fig 9/10). */
+    std::uint64_t anonResident = 0;
+    std::uint64_t fileResident = 0;
+    /** Resident pages by type on the first CPU node. */
+    std::uint64_t anonOnLocal = 0;
+    std::uint64_t fileOnLocal = 0;
+};
+
+/**
+ * Runs one workload against one kernel to completion.
+ */
+class WorkloadDriver
+{
+  public:
+    WorkloadDriver(Kernel &kernel, Workload &workload, DriverConfig cfg);
+
+    /** Schedule the run; the caller then drives the event queue. */
+    void start();
+
+    /** Convenience: start() and run the event queue to completion. */
+    void runToCompletion();
+
+    // ---- results ------------------------------------------------------
+
+    /** Ops per second inside the measurement window. */
+    double throughput() const;
+
+    /** Ops completed inside the measurement window. */
+    std::uint64_t measuredOps() const { return measuredOps_; }
+
+    /** Mean access latency inside the window (ns per access). */
+    double meanAccessLatencyNs() const;
+
+    /** Fraction of window accesses served by node `nid`. */
+    double trafficShare(NodeId nid) const;
+
+    const std::vector<IntervalSample> &samples() const { return samples_; }
+
+    /** True once the workload finished its warm-up (if it has one). */
+    bool sawWarmupEnd() const { return warmupEnded_; }
+    Tick warmupEndTick() const { return warmupEndTick_; }
+
+  private:
+    void batchTick();
+    void sampleTick();
+    void beginMeasurement();
+
+    Kernel &kernel_;
+    Workload &workload_;
+    DriverConfig cfg_;
+
+    bool measuring_ = false;
+    std::uint64_t measuredOps_ = 0;
+    Tick measureStartActual_ = 0;
+    Tick lastBatchEnd_ = 0;
+    double windowAccessLatencySum_ = 0.0;
+    std::uint64_t windowAccessCount_ = 0;
+
+    bool warmupEnded_ = false;
+    Tick warmupEndTick_ = 0;
+
+    std::vector<IntervalSample> samples_;
+    // Sampler deltas.
+    std::uint64_t lastLocalAccesses_ = 0;
+    std::uint64_t lastTotalAccesses_ = 0;
+    std::uint64_t lastPromotions_ = 0;
+    std::uint64_t lastDemotions_ = 0;
+    std::uint64_t lastLocalAllocs_ = 0;
+    std::uint64_t lastOps_ = 0;
+    std::uint64_t totalOps_ = 0;
+    Tick lastSampleTick_ = 0;
+
+    std::vector<std::uint64_t> trafficAtMeasureStart_;
+};
+
+} // namespace tpp
+
+#endif // TPP_WORKLOADS_DRIVER_HH

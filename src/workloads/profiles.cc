@@ -1,0 +1,335 @@
+#include "workloads/profiles.hh"
+
+#include "sim/logging.hh"
+
+namespace tpp {
+namespace profiles {
+
+namespace {
+
+/** Pages for a fraction of the working set. */
+std::uint64_t
+frac(std::uint64_t wss_pages, double f)
+{
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(wss_pages) * f));
+}
+
+/**
+ * Rotation step so the hot window advances `region_frac` of the region
+ * per profile interval, with two rotation ticks per interval. This sets
+ * the re-access cadence of Fig 11: a page left behind by the window is
+ * touched again once the window wraps around the region.
+ */
+double
+stepFor(double region_frac_per_interval, double hot_fraction)
+{
+    return region_frac_per_interval / 2.0 / hot_fraction;
+}
+
+
+/**
+ * Split of non-hot references for a region, sized so each page of the
+ * region is re-touched at `per_page_rate` per second regardless of the
+ * simulation scale. This pins the cold-page re-access cadence (Fig 11)
+ * to the behavioural timescale instead of the page count.
+ *
+ * @param pages          region size in pages
+ * @param weight         region's share of the workload's references
+ * @param access_rate    expected references per second for the workload
+ * @param per_page_rate  target cold re-touch rate per page per second
+ */
+double
+uniformShareFor(std::uint64_t pages, double weight, double access_rate,
+                double per_page_rate)
+{
+    const double share = per_page_rate * static_cast<double>(pages) /
+                         (weight * access_rate);
+    return std::min(0.06, std::max(0.0005, share));
+}
+
+/** Rough closed-loop reference rate: ops/s * accesses per op. */
+double
+accessRateFor(double think_ns, std::uint32_t accesses_per_op)
+{
+    const double op_ns = think_ns + 90.0 * accesses_per_op;
+    return 1e9 / op_ns * accesses_per_op;
+}
+
+} // namespace
+
+WorkloadProfile
+web(std::uint64_t wss_pages, std::uint64_t seed)
+{
+    WorkloadProfile p;
+    p.name = "web";
+    p.seed = seed;
+    p.thinkTimePerOpNs = 900.0;
+    p.accessesPerOp = 4;
+    p.opsPerBatch = 2000;
+    // Request rate ramps as the service is put into rotation; anon
+    // usage and throughput rise together (Fig 10a).
+    p.loadRampSeconds = 8.0;
+    p.loadRampStart = 0.4;
+
+    // VM binary + bytecode: preloaded from disk at startup (Fig 9a),
+    // then only ~14 % hot per interval, but wrapped by the drifting
+    // window within ~6 intervals (Fig 11: ~80 % re-accessed <= 10 min),
+    // so dropping these pages costs disk refaults soon after.
+    RegionSpec bytecode;
+    bytecode.label = "bytecode";
+    bytecode.type = PageType::File;
+    bytecode.diskBacked = true;
+    bytecode.pages = frac(wss_pages, 0.44);
+    bytecode.sequentialWarmup = true;
+    bytecode.accessWeight = 0.18;
+    bytecode.hotFraction = 0.14;
+    bytecode.hotAccessShare =
+        1.0 - uniformShareFor(bytecode.pages, bytecode.accessWeight,
+                              accessRateFor(p.thinkTimePerOpNs,
+                                            p.accessesPerOp),
+                              0.15);
+    bytecode.zipfTheta = 0.8;
+    bytecode.storeShare = 0.02;
+    bytecode.rotationPeriod = kProfileInterval / 2;
+    bytecode.rotationStep = stepFor(0.03, 0.14);
+    p.regions.push_back(bytecode);
+
+    // Request-serving heap: grows after start-up and displaces the file
+    // cache (Fig 9a). The hot window rides the allocation frontier —
+    // freshly allocated pages are the hot ones — and drifts so ~35 % is
+    // hot per interval.
+    RegionSpec heap;
+    heap.label = "heap";
+    heap.type = PageType::Anon;
+    heap.pages = frac(wss_pages, 0.56);
+    heap.initialActiveFraction = 0.30;
+    heap.growthPagesPerSec =
+        static_cast<double>(heap.pages) * 0.70 /
+        (6.0 * static_cast<double>(kProfileInterval) /
+         static_cast<double>(kSecond));
+    heap.accessWeight = 0.80;
+    heap.hotFraction = 0.35;
+    heap.hotAccessShare =
+        1.0 - uniformShareFor(heap.pages, heap.accessWeight,
+                              accessRateFor(p.thinkTimePerOpNs,
+                                            p.accessesPerOp),
+                              0.25);
+    heap.zipfTheta = 0.9;
+    heap.storeShare = 0.40;
+    heap.hotFollowsGrowth = true;
+    heap.rotationPeriod = kProfileInterval / 2;
+    heap.rotationStep = stepFor(0.05, 0.35);
+    p.regions.push_back(heap);
+
+    // Short-lived per-request allocations (§5.2: "newly allocated pages
+    // are often short-lived").
+    p.transient.regionsPerSecond = 120.0;
+    p.transient.regionPages = 16;
+    p.transient.lifetime = 300 * kMillisecond;
+    p.transient.touchesPerPage = 2.0;
+    return p;
+}
+
+WorkloadProfile
+cache1(std::uint64_t wss_pages, std::uint64_t seed)
+{
+    WorkloadProfile p;
+    p.name = "cache1";
+    p.seed = seed;
+    p.thinkTimePerOpNs = 800.0;
+    p.accessesPerOp = 4;
+    p.opsPerBatch = 2000;
+
+    // Query-processing anons come up with the process, before the cache
+    // fill, and keep a fixed footprint (§3.6); 40 % hot per interval.
+    RegionSpec heap;
+    heap.label = "heap";
+    heap.type = PageType::Anon;
+    heap.pages = frac(wss_pages, 0.24);
+    heap.sequentialWarmup = true;
+    heap.accessWeight = 0.48;
+    heap.hotFraction = 0.40;
+    heap.hotAccessShare =
+        1.0 - uniformShareFor(heap.pages, heap.accessWeight,
+                              accessRateFor(p.thinkTimePerOpNs,
+                                            p.accessesPerOp),
+                              0.25);
+    heap.zipfTheta = 0.9;
+    heap.storeShare = 0.45;
+    heap.rotationPeriod = kProfileInterval / 2;
+    heap.rotationStep = stepFor(0.06, 0.40);
+    p.regions.push_back(heap);
+
+    // tmpfs lookup store filled during initialisation: ~76 % of memory,
+    // only 25 % hot per interval, strongly skewed lookups.
+    RegionSpec store;
+    store.label = "tmpfs";
+    store.type = PageType::File;
+    store.diskBacked = false; // tmpfs is swap-backed
+    store.pages = frac(wss_pages, 0.76);
+    store.sequentialWarmup = true;
+    store.accessWeight = 0.52;
+    store.hotFraction = 0.25;
+    store.hotAccessShare =
+        1.0 - uniformShareFor(store.pages, store.accessWeight,
+                              accessRateFor(p.thinkTimePerOpNs,
+                                            p.accessesPerOp),
+                              0.18);
+    store.zipfTheta = 0.99;
+    store.storeShare = 0.12;
+    store.rotationPeriod = kProfileInterval / 2;
+    store.rotationStep = stepFor(0.04, 0.25);
+    p.regions.push_back(store);
+
+    // Per-query scratch allocations: short-lived request processing
+    // buffers that keep a modest allocation rate on the local node.
+    p.transient.regionsPerSecond = 60.0;
+    p.transient.regionPages = 16;
+    p.transient.lifetime = 200 * kMillisecond;
+    p.transient.touchesPerPage = 2.0;
+    return p;
+}
+
+WorkloadProfile
+cache2(std::uint64_t wss_pages, std::uint64_t seed)
+{
+    WorkloadProfile p;
+    p.name = "cache2";
+    p.seed = seed;
+    p.thinkTimePerOpNs = 800.0;
+    p.accessesPerOp = 4;
+    p.opsPerBatch = 2000;
+    // Cache2's throughput tracks its anon utilisation (Fig 10c): load
+    // ramps up as the tier warms into traffic and query anons grow with
+    // it.
+    p.loadRampSeconds = 8.0;
+    p.loadRampStart = 0.5;
+
+    RegionSpec heap;
+    heap.label = "heap";
+    heap.type = PageType::Anon;
+    heap.pages = frac(wss_pages, 0.22);
+    heap.sequentialWarmup = true;
+    heap.initialActiveFraction = 0.75;
+    heap.growthPagesPerSec =
+        static_cast<double>(heap.pages) * 0.25 /
+        (8.0 * static_cast<double>(kProfileInterval) /
+         static_cast<double>(kSecond));
+    heap.accessWeight = 0.38;
+    heap.hotFraction = 0.43;
+    heap.hotAccessShare =
+        1.0 - uniformShareFor(heap.pages, heap.accessWeight,
+                              accessRateFor(p.thinkTimePerOpNs,
+                                            p.accessesPerOp),
+                              0.25);
+    heap.zipfTheta = 0.9;
+    heap.storeShare = 0.45;
+    heap.rotationPeriod = kProfileInterval / 2;
+    heap.rotationStep = stepFor(0.06, 0.43);
+    p.regions.push_back(heap);
+
+    // Cache2 touches more of its tmpfs on lookups: file nearly as hot
+    // as anon (45 % vs 43 % per two-minute interval).
+    RegionSpec store;
+    store.label = "tmpfs";
+    store.type = PageType::File;
+    store.diskBacked = false;
+    store.pages = frac(wss_pages, 0.78);
+    store.sequentialWarmup = true;
+    store.accessWeight = 0.62;
+    store.hotFraction = 0.45;
+    store.hotAccessShare =
+        1.0 - uniformShareFor(store.pages, store.accessWeight,
+                              accessRateFor(p.thinkTimePerOpNs,
+                                            p.accessesPerOp),
+                              0.20);
+    store.zipfTheta = 0.9;
+    store.storeShare = 0.12;
+    store.rotationPeriod = kProfileInterval / 2;
+    store.rotationStep = stepFor(0.06, 0.45);
+    p.regions.push_back(store);
+    return p;
+}
+
+WorkloadProfile
+dataWarehouse(std::uint64_t wss_pages, std::uint64_t seed)
+{
+    WorkloadProfile p;
+    p.name = "dwh";
+    p.seed = seed;
+    p.thinkTimePerOpNs = 1200.0;
+    p.accessesPerOp = 6;
+    p.opsPerBatch = 1500;
+
+    // Compute heap: 85 % of memory; each query stage works on a mostly
+    // fresh allocation (Fig 11: only ~20 % of pages are re-accesses) —
+    // the region is dropped and reallocated every few intervals, and the
+    // scan-like window sweeps it fast.
+    // Two query stages in flight, staggered so the machine stays near
+    // full occupancy while individual stage data sets come and go.
+    for (int stage = 0; stage < 2; ++stage) {
+        RegionSpec compute;
+        compute.label = stage == 0 ? "stage-a" : "stage-b";
+        compute.type = PageType::Anon;
+        compute.pages = frac(wss_pages, 0.425);
+        compute.sequentialWarmup = true;
+        compute.accessWeight = 0.45;
+        compute.hotFraction = 0.20;
+        compute.hotAccessShare =
+            1.0 - uniformShareFor(compute.pages, compute.accessWeight,
+                                  accessRateFor(p.thinkTimePerOpNs,
+                                                p.accessesPerOp),
+                                  0.05);
+        compute.zipfTheta = 0.7;
+        compute.storeShare = 0.50;
+        compute.rotationPeriod = kProfileInterval / 2;
+        compute.rotationStep = stepFor(0.10, 0.20);
+        compute.churnPeriod = 6 * kProfileInterval;
+        compute.churnPhase =
+            stage == 0 ? 0 : 3 * kProfileInterval;
+        compute.populateOnChurn = true;
+        p.regions.push_back(compute);
+    }
+
+    // Intermediate results: written once to disk-backed files, then
+    // cold (Fig 9d: files ~15 % of memory, almost all cold).
+    RegionSpec spill;
+    spill.label = "spill";
+    spill.type = PageType::File;
+    spill.diskBacked = true;
+    spill.pages = frac(wss_pages, 0.15);
+    spill.accessWeight = 0.02;
+    spill.hotFraction = 0.06;
+    spill.hotAccessShare =
+        1.0 - uniformShareFor(spill.pages, spill.accessWeight,
+                              accessRateFor(p.thinkTimePerOpNs,
+                                            p.accessesPerOp),
+                              0.05);
+    spill.zipfTheta = 0.2;
+    spill.storeShare = 0.95;
+    spill.rotationPeriod = kProfileInterval / 2;
+    spill.rotationStep = stepFor(1.0 / 12.0, 0.06); // slow sequential writer
+    // Each stage writes new intermediate files; old ones are deleted,
+    // never re-read, so evicting them costs nothing.
+    spill.churnPeriod = 12 * kProfileInterval;
+    p.regions.push_back(spill);
+    return p;
+}
+
+WorkloadProfile
+byName(const std::string &name, std::uint64_t wss_pages, std::uint64_t seed)
+{
+    if (name == "web")
+        return web(wss_pages, seed);
+    if (name == "cache1")
+        return cache1(wss_pages, seed);
+    if (name == "cache2")
+        return cache2(wss_pages, seed);
+    if (name == "dwh" || name == "data-warehouse")
+        return dataWarehouse(wss_pages, seed);
+    tpp_fatal("unknown workload profile '%s'", name.c_str());
+}
+
+} // namespace profiles
+} // namespace tpp

@@ -1,0 +1,302 @@
+#include "workloads/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mm/kernel.hh"
+#include "sim/logging.hh"
+
+namespace tpp {
+
+SyntheticWorkload::SyntheticWorkload(WorkloadProfile profile)
+    : profile_(std::move(profile)), rng_(profile_.seed)
+{
+    if (profile_.regions.empty())
+        tpp_fatal("synthetic workload needs at least one region");
+}
+
+void
+SyntheticWorkload::init(Kernel &kernel)
+{
+    if (inited_)
+        tpp_panic("SyntheticWorkload::init called twice");
+    inited_ = true;
+    asid_ = kernel.createProcess();
+
+    double acc = 0.0;
+    for (const RegionSpec &spec : profile_.regions) {
+        RegionState state;
+        state.spec = spec;
+        state.base = kernel.mmap(asid_, spec.pages, spec.type, spec.label,
+                                 spec.diskBacked);
+        state.createdAt = kernel.eventQueue().now();
+        state.lastChurn = state.createdAt;
+        regions_.push_back(std::move(state));
+        acc += spec.accessWeight;
+        weightPrefix_.push_back(acc);
+    }
+
+    // Regions without sequential warm-up are skipped by the cursor.
+    while (warmupCursorRegion_ < regions_.size() &&
+           !regions_[warmupCursorRegion_].spec.sequentialWarmup) {
+        warmupCursorRegion_++;
+    }
+    lastTransientTick_ = kernel.eventQueue().now();
+}
+
+std::uint64_t
+SyntheticWorkload::totalReservedPages() const
+{
+    std::uint64_t total = 0;
+    for (const RegionSpec &spec : profile_.regions)
+        total += spec.pages;
+    return total;
+}
+
+double
+SyntheticWorkload::issueAccess(Kernel &kernel, Vpn vpn, AccessKind kind,
+                               BatchResult &result)
+{
+    const AccessResult res = kernel.access(asid_, vpn, kind, taskNode_);
+    result.accesses++;
+    result.memLatencyNs += res.latencyNs;
+    if (observer_) {
+        observer_(AccessRecord{asid_, vpn, kind,
+                               kernel.eventQueue().now()});
+    }
+    return res.latencyNs;
+}
+
+std::uint64_t
+SyntheticWorkload::activePages(const RegionState &region, Tick now) const
+{
+    const RegionSpec &spec = region.spec;
+    const double elapsed_sec =
+        static_cast<double>(now - region.lastChurn) /
+        static_cast<double>(kSecond);
+    const double active =
+        static_cast<double>(spec.pages) * spec.initialActiveFraction +
+        spec.growthPagesPerSec * elapsed_sec;
+    const std::uint64_t count = static_cast<std::uint64_t>(active);
+    return std::clamp<std::uint64_t>(count, 1, spec.pages);
+}
+
+Vpn
+SyntheticWorkload::sampleRegionVpn(RegionState &region, Tick now)
+{
+    const RegionSpec &spec = region.spec;
+    const std::uint64_t active = activePages(region, now);
+    std::uint64_t hot_pages = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(spec.hotFraction *
+                                      static_cast<double>(active)));
+
+    std::uint64_t offset;
+    const double roll = rng_.nextDouble();
+    if (roll < spec.hotAccessShare + spec.echoShare) {
+        // Rebuild the Zipf sampler only when the hot-set size moved
+        // noticeably; construction is cheap but not free.
+        if (!region.zipf ||
+            (region.cachedHotPages != hot_pages &&
+             (hot_pages > region.cachedHotPages + region.cachedHotPages / 64 ||
+              hot_pages + hot_pages / 64 < region.cachedHotPages))) {
+            region.zipf.emplace(hot_pages, spec.zipfTheta);
+            region.cachedHotPages = hot_pages;
+        }
+        std::uint64_t hot_start = 0;
+        if (spec.hotFollowsGrowth && active > hot_pages)
+            hot_start = active - hot_pages;
+        if (spec.rotationPeriod != 0) {
+            const std::uint64_t steps =
+                (now - region.lastChurn) / spec.rotationPeriod;
+            const double step_pages =
+                spec.rotationStep * static_cast<double>(hot_pages);
+            hot_start = (hot_start +
+                         static_cast<std::uint64_t>(
+                             static_cast<double>(steps) * step_pages)) %
+                        active;
+        }
+        if (roll < spec.hotAccessShare) {
+            offset = (hot_start + (*region.zipf)(rng_)) % active;
+        } else {
+            // Echo zone: uniform over the window-sized span of pages the
+            // drifting window most recently left behind.
+            const std::uint64_t back = 1 + rng_.nextBounded(hot_pages);
+            offset = (hot_start + active - back) % active;
+        }
+    } else {
+        offset = rng_.nextBounded(active);
+    }
+    return region.base + offset;
+}
+
+double
+SyntheticWorkload::runWarmupChunk(Kernel &kernel, BatchResult &result)
+{
+    // Warm-up covers a region's initially active pages; later growth
+    // faults the rest in on demand.
+    const auto warm_limit = [](const RegionSpec &spec) {
+        return std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   static_cast<double>(spec.pages) *
+                   spec.initialActiveFraction));
+    };
+    double duration = 0.0;
+    std::uint64_t touched = 0;
+    while (touched < profile_.warmupChunkPages &&
+           warmupCursorRegion_ < regions_.size()) {
+        RegionState &region = regions_[warmupCursorRegion_];
+        if (warmupCursorPage_ >= warm_limit(region.spec)) {
+            warmupCursorPage_ = 0;
+            do {
+                warmupCursorRegion_++;
+            } while (warmupCursorRegion_ < regions_.size() &&
+                     !regions_[warmupCursorRegion_].spec.sequentialWarmup);
+            continue;
+        }
+        const Vpn vpn = region.base + warmupCursorPage_;
+        // Preloading reads the file in and writes nothing.
+        duration += issueAccess(kernel, vpn, AccessKind::Load, result);
+        warmupCursorPage_++;
+        touched++;
+    }
+    // If the chunk ended exactly on a region boundary, advance the
+    // cursor now so warmedUp() flips without an empty extra chunk.
+    while (warmupCursorRegion_ < regions_.size() &&
+           warmupCursorPage_ >=
+               warm_limit(regions_[warmupCursorRegion_].spec)) {
+        warmupCursorPage_ = 0;
+        do {
+            warmupCursorRegion_++;
+        } while (warmupCursorRegion_ < regions_.size() &&
+                 !regions_[warmupCursorRegion_].spec.sequentialWarmup);
+    }
+    return duration;
+}
+
+double
+SyntheticWorkload::maintainTransients(Kernel &kernel, Tick now,
+                                      BatchResult &result)
+{
+    const TransientSpec &spec = profile_.transient;
+    double duration = 0.0;
+
+    // Retire dead request regions.
+    while (!transients_.empty() && transients_.front().diesAt <= now) {
+        const TransientRegion &region = transients_.front();
+        kernel.munmap(asid_, region.base, region.pages);
+        transients_.pop_front();
+    }
+
+    if (spec.regionsPerSecond <= 0.0)
+        return 0.0;
+
+    // Allocate new request regions at the configured rate.
+    const double elapsed_sec =
+        static_cast<double>(now - lastTransientTick_) /
+        static_cast<double>(kSecond);
+    lastTransientTick_ = now;
+    transientCredit_ += elapsed_sec * spec.regionsPerSecond;
+    while (transientCredit_ >= 1.0) {
+        transientCredit_ -= 1.0;
+        const Vpn base =
+            kernel.mmap(asid_, spec.regionPages, PageType::Anon, "request");
+        const std::uint64_t touches = static_cast<std::uint64_t>(
+            spec.touchesPerPage * static_cast<double>(spec.regionPages));
+        for (std::uint64_t i = 0; i < touches; ++i) {
+            const Vpn vpn = base + rng_.nextBounded(spec.regionPages);
+            duration += issueAccess(kernel, vpn, AccessKind::Store, result);
+        }
+        transients_.push_back(
+            TransientRegion{base, spec.regionPages, now + spec.lifetime});
+    }
+    return duration;
+}
+
+double
+SyntheticWorkload::maintainChurn(Kernel &kernel, Tick now)
+{
+    double duration = 0.0;
+    BatchResult churn_result;
+    for (RegionState &region : regions_) {
+        const RegionSpec &spec = region.spec;
+        if (spec.churnPeriod == 0)
+            continue;
+        const Tick since = now - region.lastChurn;
+        const bool first_churn = region.lastChurn == region.createdAt;
+        const Tick due = first_churn && spec.churnPhase < spec.churnPeriod
+                             ? spec.churnPeriod - spec.churnPhase
+                             : spec.churnPeriod;
+        if (since < due)
+            continue;
+        // A new batch stage: drop the old data set, allocate a fresh one.
+        kernel.munmap(asid_, region.base, spec.pages);
+        region.base = kernel.mmap(asid_, spec.pages, spec.type, spec.label,
+                                  spec.diskBacked);
+        region.lastChurn = now;
+        region.zipf.reset();
+        region.cachedHotPages = 0;
+        if (spec.populateOnChurn) {
+            for (std::uint64_t i = 0; i < spec.pages; ++i) {
+                duration += issueAccess(kernel, region.base + i,
+                                        AccessKind::Store, churn_result);
+            }
+        }
+    }
+    return duration;
+}
+
+BatchResult
+SyntheticWorkload::runBatch(Kernel &kernel)
+{
+    BatchResult result;
+    const Tick now = kernel.eventQueue().now();
+
+    if (!warmedUp()) {
+        result.durationNs = runWarmupChunk(kernel, result);
+        // Warm-up consumes time but completes no application operations.
+        if (result.durationNs <= 0.0)
+            result.durationNs = 1.0;
+        return result;
+    }
+
+    double duration = 0.0;
+    duration += maintainChurn(kernel, now);
+    duration += maintainTransients(kernel, now, result);
+
+    // Offered-load ramp: lighter load means more think time per op.
+    double load = 1.0;
+    if (profile_.loadRampSeconds > 0.0) {
+        const double elapsed =
+            static_cast<double>(now) / static_cast<double>(kSecond);
+        const double progress =
+            std::min(1.0, elapsed / profile_.loadRampSeconds);
+        load = profile_.loadRampStart +
+               (1.0 - profile_.loadRampStart) * progress;
+    }
+    const double think = profile_.thinkTimePerOpNs / load;
+
+    for (std::uint64_t op = 0; op < profile_.opsPerBatch; ++op) {
+        duration += think;
+        for (std::uint32_t a = 0; a < profile_.accessesPerOp; ++a) {
+            // Pick a region by access weight.
+            const double pick =
+                rng_.nextDouble() * weightPrefix_.back();
+            const std::size_t idx = static_cast<std::size_t>(
+                std::lower_bound(weightPrefix_.begin(),
+                                 weightPrefix_.end(), pick) -
+                weightPrefix_.begin());
+            RegionState &region =
+                regions_[std::min(idx, regions_.size() - 1)];
+            const Vpn vpn = sampleRegionVpn(region, now);
+            const AccessKind kind =
+                rng_.nextBool(region.spec.storeShare) ? AccessKind::Store
+                                                      : AccessKind::Load;
+            duration += issueAccess(kernel, vpn, kind, result);
+        }
+    }
+    result.ops = profile_.opsPerBatch;
+    result.durationNs = std::max(duration, 1.0);
+    return result;
+}
+
+} // namespace tpp

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Configurable synthetic workload engine.
+ *
+ * The production workloads of §3.2 (Web, Cache1, Cache2, Data
+ * Warehouse) are expressed as WorkloadProfile instances over this one
+ * engine: a set of memory regions, each with its own page type, hot-set
+ * size, access skew, hot-set drift (re-access behaviour), growth and
+ * churn, plus optional short-lived request allocations. The published
+ * characterisation (Figures 7-11) provides the parameter targets; see
+ * profiles.hh for the per-workload values.
+ */
+
+#ifndef TPP_WORKLOADS_SYNTHETIC_HH
+#define TPP_WORKLOADS_SYNTHETIC_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/distributions.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+#include "workloads/workload.hh"
+
+namespace tpp {
+
+/** Static description of one memory region. */
+struct RegionSpec {
+    std::string label = "region";
+    PageType type = PageType::Anon;
+    /** File regions backed by real files (droppable); tmpfs passes false. */
+    bool diskBacked = false;
+    /** Full reservation in pages. */
+    std::uint64_t pages = 0;
+    /** Fraction of the region in use at t=0. */
+    double initialActiveFraction = 1.0;
+    /** Active-set growth in pages per simulated second. */
+    double growthPagesPerSec = 0.0;
+    /** Relative share of the workload's references hitting this region. */
+    double accessWeight = 1.0;
+    /** Hot-window size as a fraction of the active pages. */
+    double hotFraction = 0.2;
+    /** Probability that a reference targets the hot window. */
+    double hotAccessShare = 0.9;
+    /**
+     * Probability that a reference targets the "echo zone": the
+     * window-sized span of recently-cooled pages trailing the hot
+     * window. This produces the short cold-to-hot re-access gaps of
+     * Fig 11 without sweeping the bulk hot set around the region.
+     */
+    double echoShare = 0.0;
+    /** Zipf skew inside the hot window. */
+    double zipfTheta = 0.9;
+    /** Probability a reference is a store. */
+    double storeShare = 0.3;
+    /** Hot-window drift cadence; 0 keeps the hot set static. */
+    Tick rotationPeriod = 0;
+    /** Fraction of the hot window the drift advances by. */
+    double rotationStep = 0.05;
+    /**
+     * Anchor the hot window at the allocation frontier while the region
+     * grows: newly allocated pages are the hot ones (§5.2 "new
+     * allocations are often related to request processing and,
+     * therefore, both short-lived and hot").
+     */
+    bool hotFollowsGrowth = false;
+    /** Touch all pages sequentially during warm-up (file preloading). */
+    bool sequentialWarmup = false;
+    /** Drop and reallocate the whole region periodically (batch stages). */
+    Tick churnPeriod = 0;
+    /** Offset of the first churn, to stagger multi-region stages. */
+    Tick churnPhase = 0;
+    /**
+     * Touch the whole region right after each churn (a batch stage
+     * reads its inputs up front, so the fresh data set is resident
+     * almost immediately).
+     */
+    bool populateOnChurn = false;
+};
+
+/** Short-lived request allocations (Web's per-request pages, §5.2). */
+struct TransientSpec {
+    /** Regions allocated per simulated second; 0 disables. */
+    double regionsPerSecond = 0.0;
+    std::uint64_t regionPages = 16;
+    Tick lifetime = 200 * kMillisecond;
+    /** Touches per page right after allocation. */
+    double touchesPerPage = 2.0;
+};
+
+/** Full description of a synthetic workload. */
+struct WorkloadProfile {
+    std::string name = "synthetic";
+    std::vector<RegionSpec> regions;
+    TransientSpec transient;
+    /** CPU time per application operation. */
+    double thinkTimePerOpNs = 500.0;
+    /** Memory references per operation. */
+    std::uint32_t accessesPerOp = 4;
+    /** Operations per scheduling batch. */
+    std::uint64_t opsPerBatch = 2000;
+    /** Pages touched per warm-up batch. */
+    std::uint64_t warmupChunkPages = 4096;
+    /**
+     * Offered-load ramp: the service starts at `loadRampStart` of its
+     * full request rate and reaches 100 % after `loadRampSeconds`
+     * (Fig 10: throughput and memory utilisation rise together as the
+     * service warms into its traffic).
+     */
+    double loadRampSeconds = 0.0;
+    double loadRampStart = 1.0;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * The synthetic workload engine.
+ */
+class SyntheticWorkload : public Workload
+{
+  public:
+    explicit SyntheticWorkload(WorkloadProfile profile);
+
+    std::string name() const override { return profile_.name; }
+
+    void init(Kernel &kernel) override;
+    BatchResult runBatch(Kernel &kernel) override;
+
+    /** @return true once the sequential warm-up phase has finished. */
+    bool
+    warmedUp() const override
+    {
+        return warmupCursorRegion_ >= regions_.size();
+    }
+
+    Asid asid() const { return asid_; }
+    const WorkloadProfile &profile() const { return profile_; }
+
+    /** Sum of full reservations over all permanent regions. */
+    std::uint64_t totalReservedPages() const;
+
+  private:
+    struct RegionState {
+        RegionSpec spec;
+        Vpn base = 0;
+        Tick createdAt = 0;
+        Tick lastChurn = 0;
+        std::uint64_t cachedHotPages = 0;
+        std::optional<ZipfDistribution> zipf;
+    };
+
+    struct TransientRegion {
+        Vpn base;
+        std::uint64_t pages;
+        Tick diesAt;
+    };
+
+    double issueAccess(Kernel &kernel, Vpn vpn, AccessKind kind,
+                       BatchResult &result);
+    Vpn sampleRegionVpn(RegionState &region, Tick now);
+    std::uint64_t activePages(const RegionState &region, Tick now) const;
+    double runWarmupChunk(Kernel &kernel, BatchResult &result);
+    double maintainTransients(Kernel &kernel, Tick now,
+                              BatchResult &result);
+    double maintainChurn(Kernel &kernel, Tick now);
+
+    WorkloadProfile profile_;
+    Rng rng_;
+    Asid asid_ = 0;
+    bool inited_ = false;
+
+    std::vector<RegionState> regions_;
+    std::vector<double> weightPrefix_;
+
+    // Warm-up cursor.
+    std::size_t warmupCursorRegion_ = 0;
+    std::uint64_t warmupCursorPage_ = 0;
+
+    // Transient allocations.
+    std::deque<TransientRegion> transients_;
+    double transientCredit_ = 0.0;
+    Tick lastTransientTick_ = 0;
+};
+
+} // namespace tpp
+
+#endif // TPP_WORKLOADS_SYNTHETIC_HH

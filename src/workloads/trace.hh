@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Trace-replay workload: replays an explicit list of page references.
+ * Used by tests (deterministic micro-scenarios) and available to users
+ * who want to feed recorded traces through the placement policies.
+ */
+
+#ifndef TPP_WORKLOADS_TRACE_HH
+#define TPP_WORKLOADS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "workloads/workload.hh"
+
+namespace tpp {
+
+/** One trace entry: a page reference relative to the trace's region. */
+struct TraceEntry {
+    std::uint64_t pageIndex = 0;
+    AccessKind kind = AccessKind::Load;
+};
+
+/**
+ * Replays a fixed access trace over a single region.
+ */
+class TraceWorkload : public Workload
+{
+  public:
+    /**
+     * @param region_pages  size of the backing region
+     * @param trace         references into [0, region_pages)
+     * @param type          page type of the region
+     * @param batch         references replayed per batch
+     */
+    TraceWorkload(std::uint64_t region_pages, std::vector<TraceEntry> trace,
+                  PageType type = PageType::Anon, std::uint64_t batch = 1024,
+                  double think_ns = 200.0);
+
+    std::string name() const override { return "trace"; }
+
+    void init(Kernel &kernel) override;
+    BatchResult runBatch(Kernel &kernel) override;
+    bool done() const override { return cursor_ >= trace_.size(); }
+
+    Asid asid() const { return asid_; }
+    Vpn base() const { return base_; }
+
+  private:
+    std::uint64_t regionPages_;
+    std::vector<TraceEntry> trace_;
+    PageType type_;
+    std::uint64_t batch_;
+    double thinkNs_;
+
+    Asid asid_ = 0;
+    Vpn base_ = 0;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace tpp
+
+#endif // TPP_WORKLOADS_TRACE_HH

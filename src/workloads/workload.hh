@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Abstract workload interface plus the access-observer hook Chameleon
+ * uses to watch the reference stream.
+ *
+ * A workload runs closed-loop: the driver asks it to execute one batch
+ * of application operations against the Kernel, the batch reports how
+ * much simulated time it consumed (CPU think time + memory latency),
+ * and the driver schedules the next batch after that much time. The
+ * application's throughput therefore *emerges* from page placement —
+ * precisely the feedback loop the paper's evaluation measures.
+ */
+
+#ifndef TPP_WORKLOADS_WORKLOAD_HH
+#define TPP_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace tpp {
+
+class Kernel;
+
+/** One observed reference, as seen by a profiler. */
+struct AccessRecord {
+    Asid asid;
+    Vpn vpn;
+    AccessKind kind;
+    Tick tick;
+};
+
+/** Observer invoked for every access a workload issues. */
+using AccessObserver = std::function<void(const AccessRecord &)>;
+
+/** Outcome of one batch. */
+struct BatchResult {
+    double durationNs = 0.0; //!< simulated time the batch consumed
+    std::uint64_t ops = 0;   //!< application operations completed
+    std::uint64_t accesses = 0;    //!< memory references issued
+    double memLatencyNs = 0.0;     //!< summed memory latency
+};
+
+/**
+ * Something that issues memory accesses in batches.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Create the process and reserve regions. Called once. */
+    virtual void init(Kernel &kernel) = 0;
+
+    /**
+     * Run the warm-up phase (initial file loads etc.) to completion.
+     * @return simulated time consumed in nanoseconds.
+     */
+    virtual double warmup(Kernel &kernel) { (void)kernel; return 0.0; }
+
+    /** Execute one batch of operations. */
+    virtual BatchResult runBatch(Kernel &kernel) = 0;
+
+    /** @return true when the workload has nothing left to run. */
+    virtual bool done() const { return false; }
+
+    /** @return false while an initial warm-up phase is still running. */
+    virtual bool warmedUp() const { return true; }
+
+    /** Attach an observer (Chameleon); nullptr detaches. */
+    void setObserver(AccessObserver observer)
+    {
+        observer_ = std::move(observer);
+    }
+
+    /** The node whose CPUs execute this workload's threads. */
+    NodeId taskNode() const { return taskNode_; }
+    void setTaskNode(NodeId nid) { taskNode_ = nid; }
+
+  protected:
+    AccessObserver observer_;
+    NodeId taskNode_ = 0;
+};
+
+} // namespace tpp
+
+#endif // TPP_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,137 @@
+#include "workloads/ycsb.hh"
+
+#include <algorithm>
+
+#include "mm/kernel.hh"
+#include "sim/logging.hh"
+
+namespace tpp {
+
+YcsbConfig
+YcsbConfig::workloadA(std::uint64_t record_pages)
+{
+    YcsbConfig cfg;
+    cfg.recordPages = record_pages;
+    cfg.readShare = 0.5;
+    return cfg;
+}
+
+YcsbConfig
+YcsbConfig::workloadB(std::uint64_t record_pages)
+{
+    YcsbConfig cfg;
+    cfg.recordPages = record_pages;
+    cfg.readShare = 0.95;
+    return cfg;
+}
+
+YcsbConfig
+YcsbConfig::workloadC(std::uint64_t record_pages)
+{
+    YcsbConfig cfg;
+    cfg.recordPages = record_pages;
+    cfg.readShare = 1.0;
+    return cfg;
+}
+
+YcsbConfig
+YcsbConfig::workloadD(std::uint64_t record_pages)
+{
+    YcsbConfig cfg;
+    cfg.recordPages = record_pages;
+    cfg.readShare = 0.95;
+    cfg.insertShare = 0.05;
+    cfg.distribution = YcsbDistribution::Latest;
+    return cfg;
+}
+
+YcsbWorkload::YcsbWorkload(YcsbConfig cfg) : cfg_(cfg), rng_(cfg.seed)
+{
+    if (cfg_.recordPages == 0)
+        tpp_fatal("ycsb: empty keyspace");
+    if (cfg_.readShare < 0.0 || cfg_.readShare > 1.0 ||
+        cfg_.insertShare < 0.0 ||
+        cfg_.readShare + cfg_.insertShare > 1.0) {
+        tpp_fatal("ycsb: bad operation mix");
+    }
+}
+
+void
+YcsbWorkload::init(Kernel &kernel)
+{
+    // Reserve headroom for inserts: 50 % over the initial keyspace.
+    capacity_ = cfg_.recordPages + cfg_.recordPages / 2;
+    asid_ = kernel.createProcess();
+    base_ = kernel.mmap(asid_, capacity_, PageType::Anon, "records");
+    populated_ = cfg_.recordPages;
+}
+
+Vpn
+YcsbWorkload::sampleKey()
+{
+    switch (cfg_.distribution) {
+      case YcsbDistribution::Uniform:
+        return base_ + rng_.nextBounded(populated_);
+      case YcsbDistribution::Zipfian: {
+        if (!zipf_ || zipfDomain_ != populated_) {
+            zipf_.emplace(populated_, cfg_.zipfTheta);
+            zipfDomain_ = populated_;
+        }
+        return base_ + (*zipf_)(rng_);
+      }
+      case YcsbDistribution::Latest: {
+        // Rank 0 = most recently inserted record.
+        if (!zipf_ || zipfDomain_ != populated_) {
+            zipf_.emplace(populated_, cfg_.zipfTheta);
+            zipfDomain_ = populated_;
+        }
+        const std::uint64_t back = (*zipf_)(rng_);
+        return base_ + (populated_ - 1 - back);
+      }
+    }
+    tpp_panic("bad ycsb distribution");
+}
+
+BatchResult
+YcsbWorkload::runBatch(Kernel &kernel)
+{
+    BatchResult result;
+    double duration = 0.0;
+    for (std::uint64_t op = 0; op < cfg_.opsPerBatch; ++op) {
+        duration += cfg_.thinkTimePerOpNs;
+        const double roll = rng_.nextDouble();
+        AccessKind kind = AccessKind::Load;
+        Vpn vpn;
+        if (roll >= cfg_.readShare &&
+            roll < cfg_.readShare + cfg_.insertShare &&
+            populated_ < capacity_) {
+            // Insert: touch a brand-new record page.
+            vpn = base_ + populated_;
+            populated_++;
+            kind = AccessKind::Store;
+            zipf_.reset(); // domain changed
+        } else {
+            vpn = sampleKey();
+            kind = roll < cfg_.readShare ? AccessKind::Load
+                                         : AccessKind::Store;
+        }
+        for (std::uint32_t a = 0; a < cfg_.pagesPerOp; ++a) {
+            const AccessResult res = kernel.access(
+                asid_, a == 0 ? vpn
+                              : base_ + rng_.nextBounded(populated_),
+                kind, taskNode_);
+            duration += res.latencyNs;
+            result.accesses++;
+            result.memLatencyNs += res.latencyNs;
+            if (observer_) {
+                observer_(AccessRecord{asid_, vpn, kind,
+                                       kernel.eventQueue().now()});
+            }
+        }
+    }
+    result.ops = cfg_.opsPerBatch;
+    result.durationNs = std::max(duration, 1.0);
+    return result;
+}
+
+} // namespace tpp

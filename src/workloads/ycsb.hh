@@ -1,0 +1,82 @@
+/**
+ * @file
+ * YCSB-style key-value workload generator.
+ *
+ * Not one of the paper's workloads, but the lingua franca for tiered-
+ * memory studies: a keyspace of records (pages), a request distribution
+ * (zipfian / uniform / latest), and a read/update/insert mix. Useful to
+ * library users evaluating placement policies on cache/KV shapes beyond
+ * the four Meta profiles.
+ */
+
+#ifndef TPP_WORKLOADS_YCSB_HH
+#define TPP_WORKLOADS_YCSB_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/distributions.hh"
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace tpp {
+
+/** Request-key distribution. */
+enum class YcsbDistribution : std::uint8_t {
+    Zipfian, //!< rank-skewed over the whole keyspace
+    Uniform,
+    Latest,  //!< skewed towards recently inserted records
+};
+
+/** Workload mix, YCSB-letter style. */
+struct YcsbConfig {
+    std::uint64_t recordPages = 65536; //!< keyspace size in pages
+    double readShare = 0.95;           //!< rest are updates
+    double insertShare = 0.0;          //!< inserts extend the keyspace
+    YcsbDistribution distribution = YcsbDistribution::Zipfian;
+    double zipfTheta = 0.99;
+    std::uint64_t opsPerBatch = 2000;
+    double thinkTimePerOpNs = 600.0;
+    std::uint32_t pagesPerOp = 2; //!< index page + record page, say
+    std::uint64_t seed = 7;
+
+    /** Canned mixes. */
+    static YcsbConfig workloadA(std::uint64_t record_pages); //!< 50/50
+    static YcsbConfig workloadB(std::uint64_t record_pages); //!< 95/5
+    static YcsbConfig workloadC(std::uint64_t record_pages); //!< read-only
+    static YcsbConfig workloadD(std::uint64_t record_pages); //!< latest
+};
+
+/**
+ * The generator.
+ */
+class YcsbWorkload : public Workload
+{
+  public:
+    explicit YcsbWorkload(YcsbConfig cfg);
+
+    std::string name() const override { return "ycsb"; }
+
+    void init(Kernel &kernel) override;
+    BatchResult runBatch(Kernel &kernel) override;
+
+    Asid asid() const { return asid_; }
+    std::uint64_t populatedRecords() const { return populated_; }
+
+  private:
+    Vpn sampleKey();
+
+    YcsbConfig cfg_;
+    Rng rng_;
+    Asid asid_ = 0;
+    Vpn base_ = 0;
+    std::uint64_t capacity_ = 0;  //!< reserved keyspace (with insert room)
+    std::uint64_t populated_ = 0; //!< records that exist
+    std::optional<ZipfDistribution> zipf_;
+    std::uint64_t zipfDomain_ = 0;
+};
+
+} // namespace tpp
+
+#endif // TPP_WORKLOADS_YCSB_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for AddressSpace: VMAs, PTEs and range recycling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mm/address_space.hh"
+#include "sim/logging.hh"
+
+namespace tpp {
+namespace {
+
+TEST(AddressSpace, MmapReservesDense)
+{
+    AddressSpace as(0);
+    const Vpn a = as.mmap(10, PageType::Anon, "a");
+    const Vpn b = as.mmap(5, PageType::File, "b");
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 10u);
+    EXPECT_EQ(as.tableSize(), 15u);
+    EXPECT_TRUE(as.isMapped(0));
+    EXPECT_TRUE(as.isMapped(14));
+    EXPECT_FALSE(as.isMapped(15));
+}
+
+TEST(AddressSpace, PteTypeMatchesRegion)
+{
+    AddressSpace as(0);
+    const Vpn a = as.mmap(2, PageType::Anon, "a");
+    const Vpn f = as.mmap(2, PageType::File, "f", true);
+    EXPECT_EQ(as.pte(a).type, PageType::Anon);
+    EXPECT_EQ(as.pte(f).type, PageType::File);
+    EXPECT_FALSE(as.pte(a).diskBacked());
+    EXPECT_TRUE(as.pte(f).diskBacked());
+}
+
+TEST(AddressSpace, VmasTracked)
+{
+    AddressSpace as(0);
+    as.mmap(4, PageType::Anon, "heap");
+    ASSERT_EQ(as.vmas().size(), 1u);
+    EXPECT_EQ(as.vmas()[0].label, "heap");
+    EXPECT_EQ(as.vmas()[0].pages, 4u);
+    EXPECT_EQ(as.vmas()[0].end(), 4u);
+}
+
+TEST(AddressSpace, MunmapClearsAndRecycles)
+{
+    AddressSpace as(0);
+    const Vpn a = as.mmap(8, PageType::Anon, "a");
+    as.munmap(a, 8);
+    EXPECT_FALSE(as.isMapped(a));
+    EXPECT_TRUE(as.vmas().empty());
+    // Same-size reservation reuses the vpn range (no table growth).
+    const Vpn b = as.mmap(8, PageType::File, "b");
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(as.tableSize(), 8u);
+    EXPECT_EQ(as.pte(b).type, PageType::File);
+}
+
+TEST(AddressSpace, DifferentSizeDoesNotRecycle)
+{
+    AddressSpace as(0);
+    const Vpn a = as.mmap(8, PageType::Anon, "a");
+    as.munmap(a, 8);
+    const Vpn b = as.mmap(4, PageType::Anon, "b");
+    EXPECT_EQ(b, 8u);
+}
+
+TEST(AddressSpace, ResidentCounters)
+{
+    AddressSpace as(0);
+    as.mmap(4, PageType::Anon, "a");
+    EXPECT_EQ(as.residentPages(), 0u);
+    as.noteMapped(PageType::Anon);
+    as.noteMapped(PageType::File);
+    EXPECT_EQ(as.residentPages(), 2u);
+    EXPECT_EQ(as.residentPages(PageType::Anon), 1u);
+    EXPECT_EQ(as.residentPages(PageType::File), 1u);
+    as.noteUnmapped(PageType::Anon);
+    EXPECT_EQ(as.residentPages(PageType::Anon), 0u);
+}
+
+TEST(AddressSpace, PteBitOperations)
+{
+    Pte pte;
+    EXPECT_FALSE(pte.present());
+    pte.set(Pte::BitPresent);
+    pte.set(Pte::BitProtNone);
+    EXPECT_TRUE(pte.present());
+    EXPECT_TRUE(pte.protNone());
+    pte.clear(Pte::BitProtNone);
+    EXPECT_FALSE(pte.protNone());
+    EXPECT_TRUE(pte.present());
+}
+
+TEST(AddressSpaceDeathTest, DiskBackedAnonIsFatal)
+{
+    setLogVerbose(false);
+    AddressSpace as(0);
+    EXPECT_DEATH(as.mmap(1, PageType::Anon, "x", true), "file regions");
+}
+
+TEST(AddressSpaceDeathTest, ZeroPageMmapIsFatal)
+{
+    setLogVerbose(false);
+    AddressSpace as(0);
+    EXPECT_DEATH(as.mmap(0, PageType::Anon), "zero");
+}
+
+TEST(AddressSpaceDeathTest, MunmapUnknownVmaPanics)
+{
+    setLogVerbose(false);
+    AddressSpace as(0);
+    as.mmap(8, PageType::Anon, "a");
+    EXPECT_DEATH(as.munmap(1, 4), "unknown VMA");
+}
+
+TEST(AddressSpaceDeathTest, MunmapPresentPtePanics)
+{
+    setLogVerbose(false);
+    AddressSpace as(0);
+    const Vpn a = as.mmap(2, PageType::Anon, "a");
+    as.pte(a).set(Pte::BitPresent);
+    EXPECT_DEATH(as.munmap(a, 2), "present");
+}
+
+} // namespace
+} // namespace tpp

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the DAMON-lite monitor and the damon-reclaim policy.
+ */
+
+#include "policy/damon_reclaim.hh"
+#include "test_common.hh"
+
+namespace tpp {
+namespace {
+
+using test::TestMachine;
+
+DamonConfig
+fastConfig()
+{
+    DamonConfig cfg;
+    cfg.samplingInterval = 1 * kMillisecond;
+    cfg.aggregationInterval = 20 * kMillisecond;
+    cfg.regionsUpdateInterval = 200 * kMillisecond;
+    cfg.minRegions = 4;
+    cfg.maxRegions = 64;
+    return cfg;
+}
+
+TEST(Damon, InitialRegionsCoverVmas)
+{
+    TestMachine m(2048, 2048);
+    m.kernel.mmap(m.asid, 256, PageType::Anon, "a");
+    m.kernel.mmap(m.asid, 128, PageType::File, "b");
+    DamonMonitor monitor(m.kernel, fastConfig());
+    monitor.rebuildRegions();
+    std::uint64_t covered = 0;
+    for (const DamonRegion &region : monitor.regions())
+        covered += region.pages();
+    EXPECT_EQ(covered, 384u);
+    // Split towards the midpoint region target.
+    EXPECT_GE(monitor.regions().size(), 4u);
+    EXPECT_LE(monitor.regions().size(), 64u);
+}
+
+TEST(Damon, RegionsStaySortedAndDisjoint)
+{
+    TestMachine m(2048, 2048);
+    m.kernel.mmap(m.asid, 512, PageType::Anon, "a");
+    DamonMonitor monitor(m.kernel, fastConfig());
+    monitor.rebuildRegions();
+    const auto &regions = monitor.regions();
+    for (std::size_t i = 1; i < regions.size(); ++i) {
+        if (regions[i].asid == regions[i - 1].asid)
+            EXPECT_GE(regions[i].start, regions[i - 1].end);
+    }
+}
+
+TEST(Damon, HotRegionsAccumulateAccesses)
+{
+    TestMachine m(4096, 4096);
+    const Vpn hot = m.populate(128, PageType::Anon);
+    const Vpn cold_base = m.kernel.mmap(m.asid, 128, PageType::Anon, "c");
+    for (int i = 0; i < 128; ++i)
+        m.kernel.access(m.asid, cold_base + i, AccessKind::Store, 0);
+
+    DamonMonitor monitor(m.kernel, fastConfig());
+    monitor.start();
+
+    // Keep the hot region hot while the monitor samples.
+    for (int round = 0; round < 100; ++round) {
+        for (int i = 0; i < 128; ++i)
+            m.kernel.access(m.asid, hot + i, AccessKind::Load, 0);
+        m.eq.run(m.eq.now() + 2 * kMillisecond);
+    }
+    ASSERT_GT(monitor.aggregationsDone(), 2u);
+
+    std::uint32_t hot_hits = 0, cold_hits = 0;
+    for (const DamonRegion &region : monitor.regions()) {
+        if (region.start >= hot && region.end <= hot + 128)
+            hot_hits += region.nrAccesses;
+        if (region.start >= cold_base &&
+            region.end <= cold_base + 128)
+            cold_hits += region.nrAccesses;
+    }
+    EXPECT_GT(hot_hits, cold_hits);
+}
+
+TEST(Damon, ColdRegionsAgeUp)
+{
+    TestMachine m(2048, 2048);
+    m.populate(256, PageType::Anon);
+    DamonMonitor monitor(m.kernel, fastConfig());
+    monitor.start();
+    m.eq.run(m.eq.now() + 200 * kMillisecond);
+    // Nothing touched since population: regions go cold and age.
+    bool saw_aged_cold = false;
+    for (const DamonRegion &region : monitor.regions()) {
+        if (region.nrAccesses == 0 && region.age >= 2)
+            saw_aged_cold = true;
+    }
+    EXPECT_TRUE(saw_aged_cold);
+}
+
+TEST(Damon, RebuildAfterMunmapDropsRegions)
+{
+    TestMachine m(2048, 2048);
+    const Vpn a = m.kernel.mmap(m.asid, 256, PageType::Anon, "a");
+    DamonMonitor monitor(m.kernel, fastConfig());
+    monitor.rebuildRegions();
+    ASSERT_FALSE(monitor.regions().empty());
+    m.kernel.munmap(m.asid, a, 256);
+    monitor.rebuildRegions();
+    EXPECT_TRUE(monitor.regions().empty());
+}
+
+TEST(DamonDeathTest, BadRegionBoundsAreFatal)
+{
+    TestMachine m(256, 256);
+    DamonConfig cfg;
+    cfg.minRegions = 10;
+    cfg.maxRegions = 5;
+    EXPECT_DEATH({ DamonMonitor monitor(m.kernel, cfg); },
+                 "minRegions");
+}
+
+TEST(DamonReclaim, DemotesColdPagesProactively)
+{
+    DamonReclaimConfig cfg;
+    cfg.monitor = fastConfig();
+    cfg.opInterval = 50 * kMillisecond;
+    cfg.coldMinAgeAggregations = 1;
+    TestMachine m(2048, 2048,
+                  std::make_unique<DamonReclaimPolicy>(cfg));
+    const Vpn base = m.populate(512, PageType::Anon);
+    for (int i = 0; i < 512; ++i)
+        m.frameOf(base + i).clearFlag(PageFrame::FlagReferenced);
+
+    m.eq.run(m.eq.now() + kSecond);
+    auto &policy =
+        static_cast<DamonReclaimPolicy &>(m.kernel.policy());
+    EXPECT_GT(policy.pagesDemotedProactively(), 0u);
+    EXPECT_GT(m.kernel.residentPages(m.cxl(), PageType::Anon), 0u);
+    // Demotion, not paging.
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PswpOut), 0u);
+}
+
+TEST(DamonReclaim, SparesHotRegions)
+{
+    DamonReclaimConfig cfg;
+    cfg.monitor = fastConfig();
+    cfg.opInterval = 50 * kMillisecond;
+    cfg.coldMinAgeAggregations = 1;
+    TestMachine m(2048, 2048,
+                  std::make_unique<DamonReclaimPolicy>(cfg));
+    const Vpn hot = m.populate(64, PageType::Anon);
+
+    // Keep touching the hot set while the policy runs.
+    for (int round = 0; round < 40; ++round) {
+        for (int i = 0; i < 64; ++i)
+            m.kernel.access(m.asid, hot + i, AccessKind::Load, 0);
+        m.eq.run(m.eq.now() + 25 * kMillisecond);
+    }
+    // The hot pages stayed local.
+    std::uint64_t still_local = 0;
+    for (int i = 0; i < 64; ++i)
+        still_local += (m.frameOf(hot + i).nid == m.local());
+    EXPECT_GE(still_local, 60u);
+}
+
+} // namespace
+} // namespace tpp

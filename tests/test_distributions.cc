@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit and property tests for the sampling distributions.
+ */
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/distributions.hh"
+#include "sim/rng.hh"
+
+namespace tpp {
+namespace {
+
+TEST(Zipf, StaysInRange)
+{
+    Rng rng(1);
+    ZipfDistribution zipf(100, 0.99);
+    for (int i = 0; i < 20000; ++i)
+        EXPECT_LT(zipf(rng), 100u);
+}
+
+TEST(Zipf, SingleElement)
+{
+    Rng rng(2);
+    ZipfDistribution zipf(1, 0.99);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(Zipf, RankZeroMostPopular)
+{
+    Rng rng(3);
+    ZipfDistribution zipf(1000, 0.99);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 100000; ++i)
+        counts[zipf(rng)]++;
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[1], counts[100]);
+}
+
+TEST(Zipf, FrequencyMatchesTheory)
+{
+    Rng rng(4);
+    const double theta = 0.99;
+    ZipfDistribution zipf(1000, theta);
+    std::vector<int> counts(1000, 0);
+    const int n = 500000;
+    for (int i = 0; i < n; ++i)
+        counts[zipf(rng)]++;
+    // P(0)/P(9) should be close to 10^theta.
+    const double expected = std::pow(10.0, theta);
+    const double observed =
+        static_cast<double>(counts[0]) / static_cast<double>(counts[9]);
+    EXPECT_NEAR(observed, expected, expected * 0.15);
+}
+
+TEST(Zipf, ZeroThetaIsUniform)
+{
+    Rng rng(5);
+    ZipfDistribution zipf(16, 0.0);
+    std::vector<int> counts(16, 0);
+    const int n = 160000;
+    for (int i = 0; i < n; ++i)
+        counts[zipf(rng)]++;
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 16, n / 16 * 0.1);
+}
+
+/** Property sweep: every (n, theta) combination stays in range and
+ *  keeps rank-0 the mode. */
+class ZipfSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>>
+{
+};
+
+TEST_P(ZipfSweep, RangeAndMode)
+{
+    const auto [n, theta] = GetParam();
+    Rng rng(n * 31 + static_cast<std::uint64_t>(theta * 100));
+    ZipfDistribution zipf(n, theta);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 30000; ++i) {
+        const std::uint64_t v = zipf(rng);
+        ASSERT_LT(v, n);
+        counts[v]++;
+    }
+    if (theta > 0.3 && n > 4) {
+        // Rank 0 must be sampled at least as often as any deep rank.
+        int deep_max = 0;
+        for (const auto &[rank, c] : counts) {
+            if (rank >= n / 2)
+                deep_max = std::max(deep_max, c);
+        }
+        EXPECT_GE(counts[0], deep_max);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZipfSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 16, 1024,
+                                                        1048576),
+                       ::testing::Values(0.0, 0.5, 0.9, 0.99, 1.2)));
+
+TEST(Exponential, MeanConverges)
+{
+    Rng rng(6);
+    ExponentialDistribution exp_dist(42.0);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += exp_dist(rng);
+    EXPECT_NEAR(sum / n, 42.0, 1.0);
+}
+
+TEST(Exponential, AlwaysPositive)
+{
+    Rng rng(7);
+    ExponentialDistribution exp_dist(1.0);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GT(exp_dist(rng), 0.0);
+}
+
+TEST(BoundedPareto, StaysInBounds)
+{
+    Rng rng(8);
+    BoundedParetoDistribution pareto(1.0, 100.0, 1.5);
+    for (int i = 0; i < 20000; ++i) {
+        const double v = pareto(rng);
+        EXPECT_GE(v, 1.0);
+        EXPECT_LE(v, 100.0 + 1e-9);
+    }
+}
+
+TEST(BoundedPareto, HeavyTailSkewsLow)
+{
+    Rng rng(9);
+    BoundedParetoDistribution pareto(1.0, 1000.0, 2.0);
+    int low = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        if (pareto(rng) < 10.0)
+            low++;
+    }
+    // With alpha=2 the vast majority of mass sits near the low bound.
+    EXPECT_GT(low, n * 9 / 10);
+}
+
+} // namespace
+} // namespace tpp

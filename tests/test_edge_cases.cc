@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Edge-case coverage across the mechanism layer: sampling vs teardown
+ * races, full promote/demote cycles, bandwidth-driven latency
+ * inflation, hot-window semantics of the synthetic engine, and driver
+ * phase tracking.
+ */
+
+#include "core/tpp_policy.hh"
+#include "policy/damon_reclaim.hh"
+#include "test_common.hh"
+#include "workloads/driver.hh"
+#include "workloads/synthetic.hh"
+
+namespace tpp {
+namespace {
+
+using test::TestMachine;
+
+TEST(EdgeCases, MunmapClearsProtNone)
+{
+    TestMachine m;
+    const Vpn base = m.populate(4, PageType::Anon);
+    m.kernel.sampleNode(0, 4);
+    ASSERT_TRUE(m.pte(base).protNone());
+    m.kernel.munmap(m.asid, base, 4);
+    // Remapping the recycled range must start with clean PTEs.
+    const Vpn again = m.kernel.mmap(m.asid, 4, PageType::Anon, "again");
+    EXPECT_EQ(again, base);
+    EXPECT_FALSE(m.pte(again).protNone());
+    EXPECT_FALSE(m.pte(again).present());
+    const AccessResult res =
+        m.kernel.access(m.asid, again, AccessKind::Load, 0);
+    EXPECT_FALSE(res.hintFault);
+}
+
+TEST(EdgeCases, SampleAfterReclaimSkipsSwappedPages)
+{
+    TestMachine m;
+    const Vpn base = m.populate(8, PageType::Anon);
+    for (int i = 0; i < 8; ++i)
+        m.frameOf(base + i).clearFlag(PageFrame::FlagReferenced);
+    m.kernel.directReclaim(0, 8);
+    // Everything swapped; nothing mapped on node 0 to sample.
+    EXPECT_EQ(m.kernel.sampleNode(0, 16), 0u);
+}
+
+TEST(EdgeCases, FullDemotePromoteDemoteCycleCounters)
+{
+    TestMachine m(512, 512, std::make_unique<TppPolicy>());
+    const Vpn vpn = m.populate(1, PageType::Anon);
+
+    // Demote.
+    m.kernel.demotePage(m.pte(vpn).pfn);
+    EXPECT_TRUE(m.frameOf(vpn).demoted());
+    // Promote via two hint faults.
+    for (int round = 0; round < 2; ++round) {
+        m.kernel.sampleNode(m.cxl(), 2);
+        m.kernel.access(m.asid, vpn, AccessKind::Load, 0);
+    }
+    ASSERT_EQ(m.frameOf(vpn).nid, m.local());
+    EXPECT_FALSE(m.frameOf(vpn).demoted());
+    // Demote again: the ping-pong counter saw exactly one demoted
+    // candidate so far.
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgPromoteCandidateDemoted), 1u);
+    m.kernel.lru(m.local()).deactivate(m.pte(vpn).pfn);
+    m.frameOf(vpn).clearFlag(PageFrame::FlagReferenced);
+    m.kernel.demotePage(m.pte(vpn).pfn);
+    EXPECT_TRUE(m.frameOf(vpn).demoted());
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgDemoteAnon), 2u);
+}
+
+TEST(EdgeCases, BandwidthSaturationInflatesAccessLatency)
+{
+    TestMachine m(4096, 4096);
+    const Vpn base = m.populate(64, PageType::Anon);
+    const double idle =
+        m.kernel.access(m.asid, base, AccessKind::Load, 0).latencyNs;
+    // Hammer the node far past its bandwidth within a short window.
+    // Each access accounts 64 bytes; force gigabytes/s of load.
+    for (int burst = 0; burst < 50; ++burst) {
+        for (int i = 0; i < 64; ++i) {
+            m.mem.node(0).recordTraffic(m.eq.now(), 4 << 20);
+        }
+        m.eq.run(m.eq.now() + kMillisecond);
+    }
+    const double loaded =
+        m.kernel.access(m.asid, base, AccessKind::Load, 0).latencyNs;
+    EXPECT_GT(loaded, idle * 1.5);
+}
+
+TEST(EdgeCases, HotFollowsGrowthTargetsFrontier)
+{
+    TestMachine m(8192, 8192);
+    WorkloadProfile p;
+    p.name = "frontier";
+    p.opsPerBatch = 500;
+    p.accessesPerOp = 1;
+    RegionSpec r;
+    r.label = "grow";
+    r.pages = 4096;
+    r.initialActiveFraction = 0.25;
+    r.growthPagesPerSec = 1 << 20; // effectively instant growth
+    r.hotFraction = 0.1;
+    r.hotAccessShare = 1.0;
+    r.hotFollowsGrowth = true;
+    p.regions.push_back(r);
+    SyntheticWorkload wl(p);
+    wl.init(m.kernel);
+    wl.runBatch(m.kernel); // active still ~1024 at t=0
+    m.eq.run(m.eq.now() + kSecond);
+    wl.runBatch(m.kernel); // active = 4096; hot window at the end
+    // Every page the second batch faulted in must lie inside the
+    // frontier window (the last ~10 % of the grown region).
+    const std::uint64_t window_start = 4096 - 410;
+    std::uint64_t in_window = 0, outside = 0;
+    for (Vpn v = 1024; v < 4096; ++v) {
+        if (!m.kernel.addressSpace(wl.asid()).pte(v).present())
+            continue;
+        if (v >= window_start)
+            in_window++;
+        else
+            outside++;
+    }
+    EXPECT_GT(in_window, 100u);
+    EXPECT_EQ(outside, 0u);
+}
+
+TEST(EdgeCases, EchoZoneTouchesRecentlyCooledPages)
+{
+    TestMachine m(8192, 8192);
+    WorkloadProfile p;
+    p.name = "echo";
+    p.opsPerBatch = 2000;
+    p.accessesPerOp = 1;
+    RegionSpec r;
+    r.label = "echo";
+    r.pages = 1000;
+    r.hotFraction = 0.1;
+    r.hotAccessShare = 0.0;
+    r.echoShare = 1.0; // every access goes to the echo zone
+    p.regions.push_back(r);
+    SyntheticWorkload wl(p);
+    wl.init(m.kernel);
+    wl.runBatch(m.kernel);
+    // Echo zone = the window-sized span behind hot_start (= 0), i.e.
+    // the last 100 pages of the region (wrapping).
+    std::uint64_t echo_resident = 0;
+    for (Vpn v = 900; v < 1000; ++v)
+        echo_resident += m.kernel.addressSpace(wl.asid()).pte(v).present();
+    EXPECT_GT(echo_resident, 90u);
+    EXPECT_EQ(m.kernel.addressSpace(wl.asid()).residentPages(),
+              echo_resident);
+}
+
+TEST(EdgeCases, DriverRecordsWarmupEnd)
+{
+    TestMachine m(8192, 8192);
+    WorkloadProfile p;
+    p.name = "warm";
+    p.opsPerBatch = 100;
+    p.accessesPerOp = 1;
+    p.warmupChunkPages = 128;
+    RegionSpec r;
+    r.label = "file";
+    r.type = PageType::File;
+    r.pages = 512;
+    r.sequentialWarmup = true;
+    p.regions.push_back(r);
+    SyntheticWorkload wl(p);
+    DriverConfig cfg;
+    cfg.runUntil = 200 * kMillisecond;
+    cfg.measureFrom = 100 * kMillisecond;
+    WorkloadDriver driver(m.kernel, wl, cfg);
+    driver.runToCompletion();
+    EXPECT_TRUE(driver.sawWarmupEnd());
+    EXPECT_GT(driver.warmupEndTick(), 0u);
+    EXPECT_LT(driver.warmupEndTick(), cfg.measureFrom);
+}
+
+TEST(EdgeCases, DamonReclaimSurvivesRegionChurn)
+{
+    DamonReclaimConfig cfg;
+    cfg.monitor.samplingInterval = kMillisecond;
+    cfg.monitor.aggregationInterval = 10 * kMillisecond;
+    cfg.monitor.regionsUpdateInterval = 30 * kMillisecond;
+    cfg.opInterval = 20 * kMillisecond;
+    TestMachine m(2048, 2048,
+                  std::make_unique<DamonReclaimPolicy>(cfg));
+    // Map and unmap regions while the monitor runs.
+    for (int round = 0; round < 10; ++round) {
+        const Vpn base =
+            m.kernel.mmap(m.asid, 128, PageType::Anon, "churn");
+        for (int i = 0; i < 128; ++i)
+            m.kernel.access(m.asid, base + i, AccessKind::Store, 0);
+        m.eq.run(m.eq.now() + 50 * kMillisecond);
+        m.kernel.munmap(m.asid, base, 128);
+        m.eq.run(m.eq.now() + 10 * kMillisecond);
+    }
+    // Nothing crashed; frame accounting is intact.
+    EXPECT_EQ(m.mem.node(0).freePages() + m.kernel.lru(0).countAll(),
+              m.mem.node(0).capacity());
+}
+
+TEST(EdgeCases, ZeroLengthRunProducesNoThroughput)
+{
+    TestMachine m(2048, 2048);
+    WorkloadProfile p;
+    p.name = "nil";
+    p.opsPerBatch = 10;
+    p.accessesPerOp = 1;
+    RegionSpec r;
+    r.pages = 16;
+    p.regions.push_back(r);
+    SyntheticWorkload wl(p);
+    DriverConfig cfg;
+    cfg.runUntil = 0;
+    cfg.measureFrom = 0;
+    WorkloadDriver driver(m.kernel, wl, cfg);
+    driver.runToCompletion();
+    EXPECT_EQ(driver.measuredOps(), 0u);
+    EXPECT_DOUBLE_EQ(driver.throughput(), 0.0);
+}
+
+} // namespace
+} // namespace tpp

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+namespace tpp {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RunUntilBoundaryInclusive)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { fired++; });
+    eq.schedule(11, [&] { fired++; });
+    eq.run(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 10u);
+    eq.run(11);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunAdvancesClockToHorizon)
+{
+    EventQueue eq;
+    eq.run(500);
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue eq;
+    int fired = 0;
+    const EventId id = eq.schedule(10, [&] { fired++; });
+    eq.schedule(20, [&] { fired++; });
+    eq.cancel(id);
+    eq.runAll();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelUnknownIsNoop)
+{
+    EventQueue eq;
+    eq.cancel(0);
+    eq.cancel(9999);
+    int fired = 0;
+    eq.schedule(1, [&] { fired++; });
+    eq.runAll();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, PendingCountsLiveEvents)
+{
+    EventQueue eq;
+    const EventId a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runAll();
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    std::vector<Tick> fire_ticks;
+    std::function<void()> chain = [&]() {
+        fire_ticks.push_back(eq.now());
+        if (fire_ticks.size() < 5)
+            eq.scheduleAfter(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.runAll();
+    EXPECT_EQ(fire_ticks,
+              (std::vector<Tick>{0, 10, 20, 30, 40}));
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { fired++; });
+    eq.reset();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.now(), 0u);
+    eq.runAll();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, RunStopsBeforeLaterEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(100, [&] { fired++; });
+    eq.run(50);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.run(150);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelledHeadBeyondHorizonStaysQueued)
+{
+    EventQueue eq;
+    int fired = 0;
+    const EventId head = eq.schedule(10, [&] { fired += 1; });
+    eq.schedule(100, [&] { fired += 10; });
+    eq.cancel(head);
+    eq.run(50);
+    EXPECT_EQ(fired, 0);
+    eq.run(100);
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.runAll();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+}
+
+} // namespace
+} // namespace tpp

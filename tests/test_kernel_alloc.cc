@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the page allocator: preferred-node placement, zonelist
+ * fallback, watermark gates, kswapd wake-up and direct-reclaim stalls.
+ */
+
+#include "test_common.hh"
+
+namespace tpp {
+namespace {
+
+using test::TestMachine;
+
+TEST(KernelAlloc, PrefersRequestedNode)
+{
+    TestMachine m;
+    EXPECT_EQ(m.mem.frame(m.kernel.allocPage(0, PageType::Anon,
+                                             AllocReason::App))
+                  .nid,
+              0);
+    EXPECT_EQ(m.mem.frame(m.kernel.allocPage(1, PageType::Anon,
+                                             AllocReason::App))
+                  .nid,
+              1);
+}
+
+TEST(KernelAlloc, FallsBackWhenPreferredBelowLow)
+{
+    TestMachine m(64, 64);
+    const Watermarks &wm = m.mem.node(0).watermarks();
+    // Drain node 0 down to its low watermark.
+    while (m.mem.node(0).freePages() > wm.low)
+        m.mem.node(0).takeFree();
+    const Pfn pfn = m.kernel.allocPage(0, PageType::Anon,
+                                       AllocReason::App);
+    ASSERT_NE(pfn, kInvalidPfn);
+    EXPECT_EQ(m.mem.frame(pfn).nid, 1);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgAllocFallback), 1u);
+}
+
+TEST(KernelAlloc, FallbackWakesKswapdOnPreferred)
+{
+    TestMachine m(64, 64);
+    const Watermarks &wm = m.mem.node(0).watermarks();
+    while (m.mem.node(0).freePages() > wm.low)
+        m.mem.node(0).takeFree();
+    m.kernel.allocPage(0, PageType::Anon, AllocReason::App);
+    EXPECT_TRUE(m.kernel.kswapdActive(0));
+}
+
+TEST(KernelAlloc, PromotionGateIsHighByDefault)
+{
+    TestMachine m(64, 64);
+    const Watermarks &wm = m.mem.node(0).watermarks();
+    // Sit free pages exactly at the high watermark: the default
+    // promotion gate (migrate_balanced_pgdat) must refuse.
+    while (m.mem.node(0).freePages() > wm.high)
+        m.mem.node(0).takeFree();
+    EXPECT_EQ(m.kernel.allocPage(0, PageType::Anon,
+                                 AllocReason::Promotion),
+              kInvalidPfn);
+    // TPP mode bypasses the allocation watermark for promotions.
+    m.kernel.setPromotionIgnoresWatermark(true);
+    EXPECT_NE(m.kernel.allocPage(0, PageType::Anon,
+                                 AllocReason::Promotion),
+              kInvalidPfn);
+}
+
+TEST(KernelAlloc, MigrationTargetsNeverFallBack)
+{
+    TestMachine m(64, 64);
+    // Exhaust node 1 completely.
+    while (m.mem.node(1).freePages() > 0)
+        m.mem.node(1).takeFree();
+    EXPECT_EQ(m.kernel.allocPage(1, PageType::File,
+                                 AllocReason::Demotion),
+              kInvalidPfn);
+    // Plain app allocation would have fallen back to node 0.
+    const Pfn pfn =
+        m.kernel.allocPage(1, PageType::File, AllocReason::App);
+    ASSERT_NE(pfn, kInvalidPfn);
+    EXPECT_EQ(m.mem.frame(pfn).nid, 0);
+}
+
+TEST(KernelAlloc, DirectReclaimRescuesAllocation)
+{
+    TestMachine m(128, 128);
+    // Fill both nodes with reclaimable cold anon pages...
+    const std::uint64_t pages = 200;
+    const Vpn base = m.kernel.mmap(m.asid, pages, PageType::Anon, "fill");
+    for (std::uint64_t i = 0; i < pages; ++i)
+        m.kernel.access(m.asid, base + i, AccessKind::Store, 0);
+    for (std::uint64_t i = 0; i < pages; ++i)
+        m.frameOf(base + i).clearFlag(PageFrame::FlagReferenced);
+    // ...then push both nodes below even the min watermark so only
+    // direct reclaim can satisfy the next allocation.
+    while (m.mem.node(0).freePages() > 0)
+        m.mem.node(0).takeFree();
+    while (m.mem.node(1).freePages() > 0)
+        m.mem.node(1).takeFree();
+
+    double stall = 0.0;
+    const Pfn pfn =
+        m.kernel.allocPage(0, PageType::Anon, AllocReason::App, &stall);
+    EXPECT_NE(pfn, kInvalidPfn);
+    EXPECT_GT(m.kernel.vmstat().get(Vm::AllocStall), 0u);
+    EXPECT_GT(stall, 0.0);
+    EXPECT_GT(m.kernel.vmstat().get(Vm::PgStealDirect), 0u);
+}
+
+TEST(KernelAlloc, AppAllocCountsPerNode)
+{
+    TestMachine m;
+    m.populate(8, PageType::Anon);
+    EXPECT_EQ(m.kernel.traffic(0).appAllocs, 8u);
+    // Promotion-reason allocations don't count as app allocations.
+    m.kernel.allocPage(0, PageType::Anon, AllocReason::Demotion);
+    EXPECT_EQ(m.kernel.traffic(0).appAllocs, 8u);
+}
+
+TEST(KernelAlloc, GateForMapping)
+{
+    TestMachine m;
+    EXPECT_EQ(m.kernel.gateFor(AllocReason::App), WatermarkGate::Low);
+    EXPECT_EQ(m.kernel.gateFor(AllocReason::SwapIn), WatermarkGate::Low);
+    EXPECT_EQ(m.kernel.gateFor(AllocReason::Demotion),
+              WatermarkGate::Low);
+    EXPECT_EQ(m.kernel.gateFor(AllocReason::Promotion),
+              WatermarkGate::High);
+    m.kernel.setPromotionIgnoresWatermark(true);
+    EXPECT_EQ(m.kernel.gateFor(AllocReason::Promotion),
+              WatermarkGate::Min);
+}
+
+TEST(KernelAlloc, FreeFrameReturnsToNode)
+{
+    TestMachine m;
+    const Vpn base = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    m.kernel.access(m.asid, base, AccessKind::Store, 0);
+    const std::uint64_t free_before = m.mem.node(0).freePages();
+    const Pfn pfn = m.pte(base).pfn;
+    m.kernel.freeFrame(pfn);
+    EXPECT_EQ(m.mem.node(0).freePages(), free_before + 1);
+    EXPECT_FALSE(m.pte(base).present());
+    EXPECT_TRUE(m.mem.frame(pfn).isFree());
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgFree), 1u);
+}
+
+TEST(KernelAllocDeathTest, DoubleFreePanics)
+{
+    TestMachine m;
+    const Vpn base = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    m.kernel.access(m.asid, base, AccessKind::Store, 0);
+    const Pfn pfn = m.pte(base).pfn;
+    m.kernel.freeFrame(pfn);
+    EXPECT_DEATH(m.kernel.freeFrame(pfn), "already free");
+}
+
+} // namespace
+} // namespace tpp

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the Kernel access/fault path: minor faults, major
+ * faults (swap-in and disk refault), LRU placement, referenced/dirty
+ * tracking, traffic accounting and teardown.
+ */
+
+#include "test_common.hh"
+
+namespace tpp {
+namespace {
+
+using test::TestMachine;
+
+TEST(KernelFault, MinorFaultMapsPage)
+{
+    TestMachine m;
+    const Vpn base = m.kernel.mmap(m.asid, 4, PageType::Anon, "a");
+    const AccessResult res =
+        m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    EXPECT_TRUE(res.minorFault);
+    EXPECT_FALSE(res.majorFault);
+    EXPECT_EQ(res.servedBy, 0);
+    EXPECT_TRUE(m.pte(base).present());
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgFault), 1u);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgAlloc), 1u);
+    EXPECT_EQ(m.kernel.addressSpace(m.asid).residentPages(), 1u);
+}
+
+TEST(KernelFault, SecondAccessIsNotAFault)
+{
+    TestMachine m;
+    const Vpn base = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    const AccessResult res =
+        m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    EXPECT_FALSE(res.minorFault);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgFault), 1u);
+    // A resident hit costs roughly the node's idle latency.
+    EXPECT_NEAR(res.latencyNs, m.mem.node(0).profile().idleLatencyNs,
+                5.0);
+}
+
+TEST(KernelFault, NewPagesStartInactive)
+{
+    TestMachine m;
+    const Vpn a = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    const Vpn f = m.kernel.mmap(m.asid, 1, PageType::File, "f");
+    m.kernel.access(m.asid, a, AccessKind::Store, 0);
+    m.kernel.access(m.asid, f, AccessKind::Load, 0);
+    EXPECT_EQ(m.frameOf(a).lru, LruListId::InactiveAnon);
+    EXPECT_EQ(m.frameOf(f).lru, LruListId::InactiveFile);
+}
+
+TEST(KernelFault, ReferencedAndDirtyTracking)
+{
+    TestMachine m;
+    const Vpn base = m.kernel.mmap(m.asid, 2, PageType::File, "f");
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    EXPECT_TRUE(m.frameOf(base).referenced());
+    EXPECT_FALSE(m.frameOf(base).dirty());
+    m.kernel.access(m.asid, base + 1, AccessKind::Store, 0);
+    EXPECT_TRUE(m.frameOf(base + 1).dirty());
+    // Anon pages are born dirty.
+    const Vpn a = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    m.kernel.access(m.asid, a, AccessKind::Load, 0);
+    EXPECT_TRUE(m.frameOf(a).dirty());
+}
+
+TEST(KernelFault, DiskBackedFirstTouchPaysDiskRead)
+{
+    TestMachine m;
+    const Vpn f = m.kernel.mmap(m.asid, 1, PageType::File, "f", true);
+    const Vpn t = m.kernel.mmap(m.asid, 1, PageType::File, "tmpfs");
+    const AccessResult disk =
+        m.kernel.access(m.asid, f, AccessKind::Load, 0);
+    const AccessResult tmpfs =
+        m.kernel.access(m.asid, t, AccessKind::Load, 0);
+    EXPECT_GT(disk.latencyNs,
+              tmpfs.latencyNs + m.kernel.costs().diskReadNs / 2);
+}
+
+TEST(KernelFault, SwapInIsMajorFault)
+{
+    TestMachine m;
+    const Vpn base = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    m.kernel.access(m.asid, base, AccessKind::Store, 0);
+    // Manually page it out through the reclaim path.
+    m.frameOf(base).clearFlag(PageFrame::FlagReferenced);
+    auto [reclaimed, cost] = m.kernel.directReclaim(0, 1);
+    ASSERT_EQ(reclaimed, 1u);
+    ASSERT_TRUE(m.pte(base).swapped());
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PswpOut), 1u);
+
+    const AccessResult res =
+        m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    EXPECT_TRUE(res.majorFault);
+    EXPECT_GT(res.latencyNs, 50000.0); // waits on the swap device
+    EXPECT_FALSE(m.pte(base).swapped());
+    EXPECT_TRUE(m.pte(base).present());
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PswpIn), 1u);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgMajFault), 1u);
+}
+
+TEST(KernelFault, DroppedFilePageRefaultsFromDisk)
+{
+    TestMachine m;
+    const Vpn f = m.kernel.mmap(m.asid, 1, PageType::File, "f", true);
+    m.kernel.access(m.asid, f, AccessKind::Load, 0);
+    m.frameOf(f).clearFlag(PageFrame::FlagReferenced);
+    auto [reclaimed, cost] = m.kernel.directReclaim(0, 1);
+    ASSERT_EQ(reclaimed, 1u);
+    EXPECT_FALSE(m.pte(f).present());
+    EXPECT_FALSE(m.pte(f).swapped()); // dropped, not swapped
+
+    const AccessResult res =
+        m.kernel.access(m.asid, f, AccessKind::Load, 0);
+    EXPECT_TRUE(res.majorFault);
+    EXPECT_GT(res.latencyNs, m.kernel.costs().diskReadNs);
+}
+
+TEST(KernelFault, TrafficAccounting)
+{
+    TestMachine m;
+    const Vpn a = m.kernel.mmap(m.asid, 2, PageType::Anon, "a");
+    const Vpn f = m.kernel.mmap(m.asid, 2, PageType::File, "f");
+    m.kernel.access(m.asid, a, AccessKind::Load, 0);
+    m.kernel.access(m.asid, a, AccessKind::Load, 0);
+    m.kernel.access(m.asid, f, AccessKind::Load, 0);
+    const NodeTraffic &t = m.kernel.traffic(0);
+    EXPECT_EQ(t.accesses, 3u);
+    EXPECT_EQ(t.accessesByType[0], 2u); // anon
+    EXPECT_EQ(t.accessesByType[1], 1u); // file
+    EXPECT_DOUBLE_EQ(m.kernel.trafficShare(0), 1.0);
+    m.kernel.resetTraffic();
+    EXPECT_EQ(m.kernel.traffic(0).accesses, 0u);
+}
+
+TEST(KernelFault, MunmapFreesFramesAndSwap)
+{
+    TestMachine m;
+    const Vpn base = m.kernel.mmap(m.asid, 4, PageType::Anon, "a");
+    for (int i = 0; i < 4; ++i)
+        m.kernel.access(m.asid, base + i, AccessKind::Store, 0);
+    // Swap one page out first.
+    m.frameOf(base).clearFlag(PageFrame::FlagReferenced);
+    m.kernel.directReclaim(0, 1);
+    ASSERT_TRUE(m.pte(base).swapped());
+    const std::uint64_t free_before = m.mem.node(0).freePages();
+
+    m.kernel.munmap(m.asid, base, 4);
+    EXPECT_EQ(m.mem.node(0).freePages(), free_before + 3);
+    EXPECT_EQ(m.mem.swapDevice().usedSlots(), 0u);
+    EXPECT_EQ(m.kernel.addressSpace(m.asid).residentPages(), 0u);
+    EXPECT_EQ(m.kernel.lru(0).countAll(), 0u);
+}
+
+TEST(KernelFault, TaskNodePreferenceDrivesPlacement)
+{
+    TestMachine m;
+    const Vpn base = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    // Fault from a task notionally on the CXL node: default policy
+    // allocates local to the task.
+    const AccessResult res =
+        m.kernel.access(m.asid, base, AccessKind::Store, m.cxl());
+    EXPECT_EQ(res.servedBy, m.cxl());
+}
+
+TEST(KernelFaultDeathTest, UnmappedAccessPanics)
+{
+    TestMachine m;
+    m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    EXPECT_DEATH(m.kernel.access(m.asid, 99, AccessKind::Load, 0),
+                 "unmapped");
+}
+
+TEST(KernelFaultDeathTest, BadAsidPanics)
+{
+    TestMachine m;
+    EXPECT_DEATH(m.kernel.addressSpace(42), "bad asid");
+}
+
+} // namespace
+} // namespace tpp

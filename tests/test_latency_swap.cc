@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the latency model and the swap device.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/latency.hh"
+#include "mem/swap_device.hh"
+
+namespace tpp {
+namespace {
+
+TEST(LatencyModel, IdleIsUninflated)
+{
+    LatencyModel model;
+    EXPECT_DOUBLE_EQ(model.inflate(100.0, 0.0), 100.0);
+}
+
+TEST(LatencyModel, InflationMonotonicInUtilization)
+{
+    LatencyModel model;
+    double prev = 0.0;
+    for (double u = 0.0; u <= 0.95; u += 0.05) {
+        const double v = model.inflate(100.0, u);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(LatencyModel, NegligibleBelowKnee)
+{
+    LatencyModel model;
+    EXPECT_LT(model.inflate(100.0, 0.3), 101.0);
+}
+
+TEST(LatencyModel, SignificantNearSaturation)
+{
+    LatencyModel model;
+    EXPECT_GT(model.inflate(100.0, 0.95), 150.0);
+}
+
+TEST(LatencyModel, UtilizationClampsAtMax)
+{
+    LatencyModel model;
+    EXPECT_DOUBLE_EQ(model.inflate(100.0, 2.0),
+                     model.inflate(100.0, 0.95));
+}
+
+TEST(LatencyModel, ScalesWithIdleLatency)
+{
+    LatencyModel model;
+    EXPECT_DOUBLE_EQ(model.inflate(200.0, 0.8),
+                     2.0 * model.inflate(100.0, 0.8));
+}
+
+TEST(LatencyModel, NodeAccessUsesProfile)
+{
+    LatencyModel model;
+    MemoryNode node(0, 0, 8, NodeProfile{123.0, 10.0, false, "n"});
+    EXPECT_DOUBLE_EQ(model.accessLatencyNs(node, 0), 123.0);
+}
+
+TEST(SwapDevice, PageOutInRoundTrip)
+{
+    SwapDevice swap;
+    const SwapSlot slot = swap.pageOut(1, 42);
+    ASSERT_NE(slot, kInvalidSwapSlot);
+    EXPECT_EQ(swap.usedSlots(), 1u);
+    EXPECT_TRUE(swap.pageIn(slot));
+    EXPECT_EQ(swap.usedSlots(), 0u);
+    EXPECT_EQ(swap.totalPageOuts(), 1u);
+    EXPECT_EQ(swap.totalPageIns(), 1u);
+}
+
+TEST(SwapDevice, DoublePageInFails)
+{
+    SwapDevice swap;
+    const SwapSlot slot = swap.pageOut(1, 42);
+    EXPECT_TRUE(swap.pageIn(slot));
+    EXPECT_FALSE(swap.pageIn(slot));
+}
+
+TEST(SwapDevice, CapacityEnforced)
+{
+    SwapProfile profile;
+    profile.capacityPages = 2;
+    SwapDevice swap(profile);
+    EXPECT_NE(swap.pageOut(1, 1), kInvalidSwapSlot);
+    EXPECT_NE(swap.pageOut(1, 2), kInvalidSwapSlot);
+    EXPECT_EQ(swap.pageOut(1, 3), kInvalidSwapSlot);
+}
+
+TEST(SwapDevice, ReleaseFreesSlot)
+{
+    SwapProfile profile;
+    profile.capacityPages = 1;
+    SwapDevice swap(profile);
+    const SwapSlot slot = swap.pageOut(1, 1);
+    swap.release(slot);
+    EXPECT_EQ(swap.usedSlots(), 0u);
+    EXPECT_NE(swap.pageOut(1, 2), kInvalidSwapSlot);
+}
+
+TEST(SwapDevice, SlotsAreUnique)
+{
+    SwapDevice swap;
+    const SwapSlot a = swap.pageOut(1, 1);
+    const SwapSlot b = swap.pageOut(1, 2);
+    EXPECT_NE(a, b);
+}
+
+TEST(SwapDevice, DefaultLatenciesAreMicrosecondScale)
+{
+    SwapDevice swap;
+    EXPECT_GE(swap.profile().writeLatency, 10 * kMicrosecond);
+    EXPECT_GE(swap.profile().readLatency, 10 * kMicrosecond);
+}
+
+} // namespace
+} // namespace tpp

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for the intrusive per-node LRU lists.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mm/lru.hh"
+#include "sim/logging.hh"
+
+namespace tpp {
+namespace {
+
+struct LruFixture : public ::testing::Test {
+    LruFixture()
+        : mem(TopologyBuilder::cxlSystem(64, 64)), lru(mem, 0)
+    {
+        setLogVerbose(false);
+        // Take frames off the free list so they can be LRU members.
+        for (int i = 0; i < 16; ++i) {
+            const Pfn pfn = mem.node(0).takeFree();
+            mem.frame(pfn).clearFlag(PageFrame::FlagFree);
+            frames.push_back(pfn);
+        }
+    }
+
+    MemorySystem mem;
+    LruSet lru;
+    std::vector<Pfn> frames;
+};
+
+TEST_F(LruFixture, AddHeadOrdering)
+{
+    lru.addHead(LruListId::InactiveAnon, frames[0]);
+    lru.addHead(LruListId::InactiveAnon, frames[1]);
+    lru.addHead(LruListId::InactiveAnon, frames[2]);
+    EXPECT_EQ(lru.head(LruListId::InactiveAnon), frames[2]);
+    EXPECT_EQ(lru.tail(LruListId::InactiveAnon), frames[0]);
+    EXPECT_EQ(lru.count(LruListId::InactiveAnon), 3u);
+    lru.checkConsistency();
+}
+
+TEST_F(LruFixture, AddTailOrdering)
+{
+    lru.addTail(LruListId::InactiveFile, frames[0]);
+    lru.addTail(LruListId::InactiveFile, frames[1]);
+    EXPECT_EQ(lru.head(LruListId::InactiveFile), frames[0]);
+    EXPECT_EQ(lru.tail(LruListId::InactiveFile), frames[1]);
+    lru.checkConsistency();
+}
+
+TEST_F(LruFixture, RemoveMiddleKeepsLinks)
+{
+    for (int i = 0; i < 3; ++i)
+        lru.addHead(LruListId::InactiveAnon, frames[i]);
+    lru.remove(frames[1]);
+    EXPECT_EQ(lru.count(LruListId::InactiveAnon), 2u);
+    EXPECT_EQ(lru.head(LruListId::InactiveAnon), frames[2]);
+    EXPECT_EQ(lru.tail(LruListId::InactiveAnon), frames[0]);
+    EXPECT_EQ(mem.frame(frames[1]).lru, LruListId::None);
+    lru.checkConsistency();
+}
+
+TEST_F(LruFixture, RemoveOnlyElementEmptiesList)
+{
+    lru.addHead(LruListId::ActiveFile, frames[0]);
+    lru.remove(frames[0]);
+    EXPECT_EQ(lru.head(LruListId::ActiveFile), kInvalidPfn);
+    EXPECT_EQ(lru.tail(LruListId::ActiveFile), kInvalidPfn);
+    EXPECT_EQ(lru.count(LruListId::ActiveFile), 0u);
+    lru.checkConsistency();
+}
+
+TEST_F(LruFixture, ActivateMovesToActiveHead)
+{
+    mem.frame(frames[0]).type = PageType::Anon;
+    lru.addHead(LruListId::InactiveAnon, frames[0]);
+    lru.activate(frames[0]);
+    EXPECT_EQ(mem.frame(frames[0]).lru, LruListId::ActiveAnon);
+    EXPECT_EQ(lru.count(LruListId::InactiveAnon), 0u);
+    EXPECT_EQ(lru.count(LruListId::ActiveAnon), 1u);
+    lru.checkConsistency();
+}
+
+TEST_F(LruFixture, DeactivateMovesToInactiveHead)
+{
+    mem.frame(frames[0]).type = PageType::File;
+    lru.addHead(LruListId::ActiveFile, frames[0]);
+    lru.deactivate(frames[0]);
+    EXPECT_EQ(mem.frame(frames[0]).lru, LruListId::InactiveFile);
+    lru.checkConsistency();
+}
+
+TEST_F(LruFixture, RotateToHead)
+{
+    for (int i = 0; i < 3; ++i)
+        lru.addHead(LruListId::InactiveAnon, frames[i]);
+    // frames[0] is the tail; rotate makes it the head.
+    lru.rotate(frames[0]);
+    EXPECT_EQ(lru.head(LruListId::InactiveAnon), frames[0]);
+    EXPECT_EQ(lru.tail(LruListId::InactiveAnon), frames[1]);
+    lru.checkConsistency();
+}
+
+TEST_F(LruFixture, CountsByType)
+{
+    mem.frame(frames[0]).type = PageType::Anon;
+    mem.frame(frames[1]).type = PageType::Anon;
+    mem.frame(frames[2]).type = PageType::File;
+    lru.addHead(LruListId::InactiveAnon, frames[0]);
+    lru.addHead(LruListId::ActiveAnon, frames[1]);
+    lru.addHead(LruListId::InactiveFile, frames[2]);
+    EXPECT_EQ(lru.countType(PageType::Anon), 2u);
+    EXPECT_EQ(lru.countType(PageType::File), 1u);
+    EXPECT_EQ(lru.countAll(), 3u);
+    EXPECT_EQ(lru.countInactive(), 2u);
+}
+
+TEST_F(LruFixture, WalkFromTailVisitsInOrder)
+{
+    for (int i = 0; i < 4; ++i)
+        lru.addHead(LruListId::InactiveAnon, frames[i]);
+    std::vector<Pfn> visited;
+    lru.walkFromTail(LruListId::InactiveAnon, [&](Pfn pfn) {
+        visited.push_back(pfn);
+        return true;
+    });
+    EXPECT_EQ(visited,
+              (std::vector<Pfn>{frames[0], frames[1], frames[2],
+                                frames[3]}));
+}
+
+TEST_F(LruFixture, WalkFromTailEarlyStop)
+{
+    for (int i = 0; i < 4; ++i)
+        lru.addHead(LruListId::InactiveAnon, frames[i]);
+    int visits = 0;
+    lru.walkFromTail(LruListId::InactiveAnon, [&](Pfn) {
+        visits++;
+        return visits < 2;
+    });
+    EXPECT_EQ(visits, 2);
+}
+
+TEST_F(LruFixture, LruHelpers)
+{
+    EXPECT_TRUE(lruIsActive(LruListId::ActiveAnon));
+    EXPECT_TRUE(lruIsActive(LruListId::ActiveFile));
+    EXPECT_FALSE(lruIsActive(LruListId::InactiveAnon));
+    EXPECT_EQ(lruListFor(PageType::Anon, true), LruListId::ActiveAnon);
+    EXPECT_EQ(lruListFor(PageType::File, false),
+              LruListId::InactiveFile);
+    EXPECT_EQ(lruPageType(LruListId::ActiveAnon), PageType::Anon);
+    EXPECT_EQ(lruPageType(LruListId::InactiveFile), PageType::File);
+}
+
+TEST_F(LruFixture, DoubleAddPanics)
+{
+    lru.addHead(LruListId::InactiveAnon, frames[0]);
+    EXPECT_DEATH(lru.addHead(LruListId::InactiveAnon, frames[0]),
+                 "already on a list");
+}
+
+TEST_F(LruFixture, RemoveUnlistedPanics)
+{
+    EXPECT_DEATH(lru.remove(frames[0]), "not on any list");
+}
+
+TEST_F(LruFixture, ForeignNodeFramePanics)
+{
+    const Pfn foreign = mem.node(1).takeFree();
+    mem.frame(foreign).clearFlag(PageFrame::FlagFree);
+    EXPECT_DEATH(lru.addHead(LruListId::InactiveAnon, foreign),
+                 "belongs to node");
+}
+
+TEST_F(LruFixture, ActivateActivePanics)
+{
+    lru.addHead(LruListId::ActiveAnon, frames[0]);
+    EXPECT_DEATH(lru.activate(frames[0]), "already active");
+}
+
+} // namespace
+} // namespace tpp

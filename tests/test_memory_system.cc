@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for MemorySystem and the topology builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.hh"
+#include "sim/logging.hh"
+
+namespace tpp {
+namespace {
+
+TEST(TopologyBuilder, CxlSystemShape)
+{
+    MemorySystem mem(TopologyBuilder::cxlSystem(1000, 500));
+    EXPECT_EQ(mem.numNodes(), 2u);
+    EXPECT_EQ(mem.cpuNodes().size(), 1u);
+    EXPECT_EQ(mem.cxlNodes().size(), 1u);
+    EXPECT_FALSE(mem.node(0).cpuLess());
+    EXPECT_TRUE(mem.node(1).cpuLess());
+    EXPECT_EQ(mem.node(0).capacity(), 1000u);
+    EXPECT_EQ(mem.node(1).capacity(), 500u);
+    EXPECT_EQ(mem.totalFrames(), 1500u);
+}
+
+TEST(TopologyBuilder, CxlLatencyAboveLocal)
+{
+    MemorySystem mem(TopologyBuilder::cxlSystem(10, 10));
+    EXPECT_GT(mem.node(1).profile().idleLatencyNs,
+              mem.node(0).profile().idleLatencyNs);
+    // CXL adds ~50-100 ns over local DRAM (Figure 2 / §2).
+    const double delta = mem.node(1).profile().idleLatencyNs -
+                         mem.node(0).profile().idleLatencyNs;
+    EXPECT_GE(delta, 50.0);
+    EXPECT_LE(delta, 100.0);
+}
+
+TEST(TopologyBuilder, AllLocalHasNoCxl)
+{
+    MemorySystem mem(TopologyBuilder::allLocal(100));
+    EXPECT_EQ(mem.numNodes(), 1u);
+    EXPECT_TRUE(mem.cxlNodes().empty());
+    EXPECT_TRUE(mem.demotionOrder(0).empty());
+}
+
+TEST(TopologyBuilder, MultiCxlDistanceOrder)
+{
+    MemorySystem mem(
+        TopologyBuilder::multiCxlSystem(100, {50, 50, 50}));
+    EXPECT_EQ(mem.numNodes(), 4u);
+    const auto &order = mem.demotionOrder(0);
+    ASSERT_EQ(order.size(), 3u);
+    // Closest CXL node first.
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 3);
+}
+
+TEST(MemorySystem, FramesCarryNodeIds)
+{
+    MemorySystem mem(TopologyBuilder::cxlSystem(10, 20));
+    EXPECT_EQ(mem.frame(0).nid, 0);
+    EXPECT_EQ(mem.frame(9).nid, 0);
+    EXPECT_EQ(mem.frame(10).nid, 1);
+    EXPECT_EQ(mem.frame(29).nid, 1);
+    EXPECT_EQ(mem.frame(5).pfn, 5u);
+    EXPECT_TRUE(mem.frame(5).isFree());
+}
+
+TEST(MemorySystem, FallbackOrderSelfFirst)
+{
+    MemorySystem mem(TopologyBuilder::cxlSystem(10, 10));
+    EXPECT_EQ(mem.fallbackOrder(0).front(), 0);
+    EXPECT_EQ(mem.fallbackOrder(1).front(), 1);
+    EXPECT_EQ(mem.fallbackOrder(0).size(), 2u);
+}
+
+TEST(MemorySystem, DistanceMatrix)
+{
+    MemorySystem mem(TopologyBuilder::cxlSystem(10, 10));
+    EXPECT_EQ(mem.distance(0, 0), 10u);
+    EXPECT_EQ(mem.distance(0, 1), 20u);
+    EXPECT_EQ(mem.distance(1, 0), 20u);
+}
+
+TEST(MemorySystem, TotalFreeDecreasesOnTake)
+{
+    MemorySystem mem(TopologyBuilder::cxlSystem(10, 10));
+    EXPECT_EQ(mem.totalFreePages(), 20u);
+    mem.node(0).takeFree();
+    EXPECT_EQ(mem.totalFreePages(), 19u);
+}
+
+TEST(MemorySystem, DefaultDistancesWhenUnspecified)
+{
+    MemoryConfig cfg;
+    cfg.nodes.push_back({16, NodeProfile{80, 100, false, "a"}});
+    cfg.nodes.push_back({16, NodeProfile{150, 64, true, "b"}});
+    // No distance matrix supplied.
+    MemorySystem mem(cfg);
+    EXPECT_EQ(mem.distance(0, 0), 10u);
+    EXPECT_EQ(mem.distance(0, 1), 20u);
+}
+
+TEST(MemorySystemDeathTest, NoNodesIsFatal)
+{
+    setLogVerbose(false);
+    MemoryConfig cfg;
+    EXPECT_DEATH({ MemorySystem mem(cfg); }, "at least one node");
+}
+
+TEST(MemorySystemDeathTest, NoCpuNodeIsFatal)
+{
+    setLogVerbose(false);
+    MemoryConfig cfg;
+    cfg.nodes.push_back({16, NodeProfile{150, 64, true, "cxl"}});
+    EXPECT_DEATH({ MemorySystem mem(cfg); }, "CPU-attached");
+}
+
+TEST(MemorySystemDeathTest, BadDistanceMatrixIsFatal)
+{
+    setLogVerbose(false);
+    MemoryConfig cfg;
+    cfg.nodes.push_back({16, NodeProfile{80, 100, false, "a"}});
+    cfg.nodes.push_back({16, NodeProfile{150, 64, true, "b"}});
+    cfg.distances = {{10}};
+    EXPECT_DEATH({ MemorySystem mem(cfg); }, "distance matrix");
+}
+
+TEST(MemorySystemDeathTest, OutOfRangePfnPanics)
+{
+    setLogVerbose(false);
+    MemorySystem mem(TopologyBuilder::allLocal(8));
+    EXPECT_DEATH(mem.frame(8), "out of range");
+}
+
+TEST(MemorySystemDeathTest, OutOfRangeNodePanics)
+{
+    setLogVerbose(false);
+    MemorySystem mem(TopologyBuilder::allLocal(8));
+    EXPECT_DEATH(mem.node(1), "out of range");
+}
+
+} // namespace
+} // namespace tpp

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Multi-process tests: several address spaces sharing the machine,
+ * cross-process reclaim and migration, and per-process accounting.
+ */
+
+#include "core/tpp_policy.hh"
+#include "test_common.hh"
+
+namespace tpp {
+namespace {
+
+using test::TestMachine;
+
+TEST(MultiProcess, IndependentAddressSpaces)
+{
+    TestMachine m;
+    const Asid p1 = m.asid;
+    const Asid p2 = m.kernel.createProcess();
+    const Vpn a1 = m.kernel.mmap(p1, 8, PageType::Anon, "p1");
+    const Vpn a2 = m.kernel.mmap(p2, 8, PageType::File, "p2");
+    EXPECT_EQ(a1, a2); // same vpn in different spaces is fine
+    for (int i = 0; i < 8; ++i) {
+        m.kernel.access(p1, a1 + i, AccessKind::Store, 0);
+        m.kernel.access(p2, a2 + i, AccessKind::Load, 0);
+    }
+    EXPECT_EQ(m.kernel.addressSpace(p1).residentPages(), 8u);
+    EXPECT_EQ(m.kernel.addressSpace(p2).residentPages(), 8u);
+    EXPECT_EQ(m.kernel.addressSpace(p1).residentPages(PageType::File),
+              0u);
+    EXPECT_EQ(m.kernel.addressSpace(p2).residentPages(PageType::File),
+              8u);
+}
+
+TEST(MultiProcess, ReclaimCrossesProcessBoundaries)
+{
+    TestMachine m;
+    const Asid p2 = m.kernel.createProcess();
+    const Vpn a1 = m.kernel.mmap(m.asid, 8, PageType::Anon, "p1");
+    const Vpn a2 = m.kernel.mmap(p2, 8, PageType::Anon, "p2");
+    for (int i = 0; i < 8; ++i) {
+        m.kernel.access(m.asid, a1 + i, AccessKind::Store, 0);
+        m.kernel.access(p2, a2 + i, AccessKind::Store, 0);
+    }
+    // Only p1's pages are cold.
+    for (int i = 0; i < 8; ++i) {
+        m.mem.frame(m.kernel.addressSpace(m.asid).pte(a1 + i).pfn)
+            .clearFlag(PageFrame::FlagReferenced);
+    }
+    auto [reclaimed, cost] = m.kernel.directReclaim(0, 8);
+    EXPECT_EQ(reclaimed, 8u);
+    EXPECT_EQ(m.kernel.addressSpace(m.asid).residentPages(), 0u);
+    EXPECT_EQ(m.kernel.addressSpace(p2).residentPages(), 8u);
+    (void)cost;
+}
+
+TEST(MultiProcess, MigrationKeepsRmapStraight)
+{
+    TestMachine m;
+    const Asid p2 = m.kernel.createProcess();
+    const Vpn a1 = m.kernel.mmap(m.asid, 4, PageType::Anon, "p1");
+    const Vpn a2 = m.kernel.mmap(p2, 4, PageType::Anon, "p2");
+    for (int i = 0; i < 4; ++i) {
+        m.kernel.access(m.asid, a1 + i, AccessKind::Store, 0);
+        m.kernel.access(p2, a2 + i, AccessKind::Store, 0);
+    }
+    // Demote everything, then verify each PTE points to a CXL frame
+    // owned by the right process.
+    for (int i = 0; i < 4; ++i) {
+        m.kernel.demotePage(m.kernel.addressSpace(m.asid).pte(a1 + i).pfn);
+        m.kernel.demotePage(m.kernel.addressSpace(p2).pte(a2 + i).pfn);
+    }
+    for (int i = 0; i < 4; ++i) {
+        const Pte &pte1 = m.kernel.addressSpace(m.asid).pte(a1 + i);
+        const Pte &pte2 = m.kernel.addressSpace(p2).pte(a2 + i);
+        EXPECT_EQ(m.mem.frame(pte1.pfn).ownerAsid, m.asid);
+        EXPECT_EQ(m.mem.frame(pte2.pfn).ownerAsid, p2);
+        EXPECT_EQ(m.mem.frame(pte1.pfn).nid, m.cxl());
+    }
+    // Both processes can still touch their memory.
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_FALSE(
+            m.kernel.access(m.asid, a1 + i, AccessKind::Load, 0).oom);
+        EXPECT_FALSE(
+            m.kernel.access(p2, a2 + i, AccessKind::Load, 0).oom);
+    }
+}
+
+TEST(MultiProcess, TppPromotionWorksAcrossProcesses)
+{
+    TestMachine m(512, 512, std::make_unique<TppPolicy>());
+    const Asid p2 = m.kernel.createProcess();
+    const Vpn a2 = m.kernel.mmap(p2, 2, PageType::Anon, "p2");
+    for (int i = 0; i < 2; ++i)
+        m.kernel.access(p2, a2 + i, AccessKind::Store, m.cxl());
+    for (int round = 0; round < 2; ++round) {
+        m.kernel.sampleNode(m.cxl(), 4);
+        for (int i = 0; i < 2; ++i)
+            m.kernel.access(p2, a2 + i, AccessKind::Load, 0);
+    }
+    EXPECT_EQ(m.mem.frame(m.kernel.addressSpace(p2).pte(a2).pfn).nid,
+              m.local());
+}
+
+TEST(MultiProcess, SamplingCoversAllProcesses)
+{
+    TestMachine m;
+    const Asid p2 = m.kernel.createProcess();
+    const Vpn a1 = m.kernel.mmap(m.asid, 4, PageType::Anon, "p1");
+    const Vpn a2 = m.kernel.mmap(p2, 4, PageType::Anon, "p2");
+    for (int i = 0; i < 4; ++i) {
+        m.kernel.access(m.asid, a1 + i, AccessKind::Store, 0);
+        m.kernel.access(p2, a2 + i, AccessKind::Store, 0);
+    }
+    EXPECT_EQ(m.kernel.sampleNode(0, 64), 8u);
+    int sampled = 0;
+    for (int i = 0; i < 4; ++i) {
+        sampled += m.kernel.addressSpace(m.asid).pte(a1 + i).protNone();
+        sampled += m.kernel.addressSpace(p2).pte(a2 + i).protNone();
+    }
+    EXPECT_EQ(sampled, 8);
+}
+
+} // namespace
+} // namespace tpp

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for MemoryNode: free-list mechanics, watermark derivation
+ * and bandwidth accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/node.hh"
+#include "sim/logging.hh"
+
+namespace tpp {
+namespace {
+
+NodeProfile
+profile(bool cpu_less = false)
+{
+    return NodeProfile{100.0, 50.0, cpu_less, "test"};
+}
+
+TEST(Watermarks, OrderingHolds)
+{
+    const Watermarks wm = Watermarks::forCapacity(100000);
+    EXPECT_LT(wm.min, wm.low);
+    EXPECT_LT(wm.low, wm.high);
+    EXPECT_GT(wm.demoteTrigger, wm.high);
+    EXPECT_GT(wm.demoteTarget, wm.demoteTrigger);
+}
+
+TEST(Watermarks, ScaleFactorControlsDemoteTrigger)
+{
+    const Watermarks wm2 = Watermarks::forCapacity(1000000, 2.0);
+    const Watermarks wm5 = Watermarks::forCapacity(1000000, 5.0);
+    EXPECT_EQ(wm2.demoteTrigger, 20000u);
+    EXPECT_EQ(wm5.demoteTrigger, 50000u);
+}
+
+TEST(Watermarks, TinyNodesKeepFloor)
+{
+    const Watermarks wm = Watermarks::forCapacity(100);
+    EXPECT_GE(wm.min, 8u);
+    EXPECT_GT(wm.demoteTrigger, wm.high);
+}
+
+TEST(MemoryNode, TakePutRoundTrip)
+{
+    MemoryNode node(0, 100, 16, profile());
+    EXPECT_EQ(node.freePages(), 16u);
+    const Pfn pfn = node.takeFree();
+    EXPECT_NE(pfn, kInvalidPfn);
+    EXPECT_TRUE(node.ownsPfn(pfn));
+    EXPECT_EQ(node.freePages(), 15u);
+    EXPECT_EQ(node.usedPages(), 1u);
+    node.putFree(pfn);
+    EXPECT_EQ(node.freePages(), 16u);
+}
+
+TEST(MemoryNode, LowestPfnFirst)
+{
+    MemoryNode node(0, 100, 8, profile());
+    EXPECT_EQ(node.takeFree(), 100u);
+    EXPECT_EQ(node.takeFree(), 101u);
+}
+
+TEST(MemoryNode, ExhaustionReturnsInvalid)
+{
+    MemoryNode node(0, 0, 2, profile());
+    node.takeFree();
+    node.takeFree();
+    EXPECT_EQ(node.takeFree(), kInvalidPfn);
+}
+
+TEST(MemoryNode, OwnsPfnBoundaries)
+{
+    MemoryNode node(0, 100, 10, profile());
+    EXPECT_FALSE(node.ownsPfn(99));
+    EXPECT_TRUE(node.ownsPfn(100));
+    EXPECT_TRUE(node.ownsPfn(109));
+    EXPECT_FALSE(node.ownsPfn(110));
+}
+
+TEST(MemoryNode, AboveWatermarkAccountsRequest)
+{
+    MemoryNode node(0, 0, 100, profile());
+    EXPECT_TRUE(node.aboveWatermark(50, 1));
+    EXPECT_TRUE(node.aboveWatermark(99, 1));
+    EXPECT_FALSE(node.aboveWatermark(100, 1));
+    EXPECT_FALSE(node.aboveWatermark(99, 2));
+}
+
+TEST(MemoryNodeDeathTest, ForeignPutPanics)
+{
+    setLogVerbose(false);
+    MemoryNode node(0, 100, 10, profile());
+    EXPECT_DEATH(node.putFree(50), "belong");
+}
+
+TEST(MemoryNodeDeathTest, OverfillPanics)
+{
+    setLogVerbose(false);
+    MemoryNode node(0, 100, 4, profile());
+    EXPECT_DEATH(node.putFree(101), "overflow");
+}
+
+TEST(MemoryNode, UtilizationStartsIdle)
+{
+    MemoryNode node(0, 0, 64, profile());
+    EXPECT_DOUBLE_EQ(node.utilization(0), 0.0);
+}
+
+TEST(MemoryNode, UtilizationRisesUnderTraffic)
+{
+    MemoryNode node(0, 0, 64, profile());
+    // Push ~50 GB/s of traffic (the node's full bandwidth) for 10 ms.
+    for (Tick t = 0; t < 10 * kMillisecond; t += kMicrosecond)
+        node.recordTraffic(t, 50000);
+    const double util = node.utilization(10 * kMillisecond);
+    EXPECT_GT(util, 0.3);
+    EXPECT_LE(util, 1.0);
+}
+
+TEST(MemoryNode, UtilizationDecaysWhenIdle)
+{
+    MemoryNode node(0, 0, 64, profile());
+    for (Tick t = 0; t < 5 * kMillisecond; t += kMicrosecond)
+        node.recordTraffic(t, 50000);
+    const double busy = node.utilization(5 * kMillisecond);
+    const double later = node.utilization(1 * kSecond);
+    EXPECT_GT(busy, later);
+    EXPECT_DOUBLE_EQ(later, 0.0);
+}
+
+TEST(MemoryNode, CpuLessFlagPropagates)
+{
+    MemoryNode node(3, 0, 8, profile(true));
+    EXPECT_TRUE(node.cpuLess());
+    EXPECT_EQ(node.id(), 3);
+}
+
+} // namespace
+} // namespace tpp

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for NUMA-hint sampling and the hint-fault plumbing.
+ */
+
+#include "test_common.hh"
+
+namespace tpp {
+namespace {
+
+using test::TestMachine;
+
+/** Policy that records hint faults it receives. */
+class RecordingPolicy : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "recording"; }
+
+    double
+    onHintFault(Pfn pfn, NodeId task_nid) override
+    {
+        faults.push_back({pfn, task_nid});
+        return 123.0;
+    }
+
+    std::vector<std::pair<Pfn, NodeId>> faults;
+};
+
+TEST(NumaSampling, SampleSetsProtNone)
+{
+    TestMachine m;
+    const Vpn base = m.populate(8, PageType::Anon);
+    const std::uint64_t sampled = m.kernel.sampleNode(0, 4);
+    EXPECT_EQ(sampled, 4u);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::NumaPteUpdates), 4u);
+    int prot_none = 0;
+    for (int i = 0; i < 8; ++i)
+        prot_none += m.pte(base + i).protNone();
+    EXPECT_EQ(prot_none, 4);
+}
+
+TEST(NumaSampling, SampleSkipsFreeFrames)
+{
+    TestMachine m(32, 32);
+    m.populate(4, PageType::Anon);
+    // Asking for more than mapped yields only the mapped count.
+    EXPECT_EQ(m.kernel.sampleNode(0, 100), 4u);
+}
+
+TEST(NumaSampling, CursorWrapsAround)
+{
+    TestMachine m;
+    const Vpn base = m.populate(8, PageType::Anon);
+    EXPECT_EQ(m.kernel.sampleNode(0, 5), 5u);
+    EXPECT_EQ(m.kernel.sampleNode(0, 5), 3u); // only 3 unsampled left
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(m.pte(base + i).protNone());
+}
+
+TEST(NumaSampling, AccessTriggersHintFault)
+{
+    auto policy = std::make_unique<RecordingPolicy>();
+    RecordingPolicy *rec = policy.get();
+    TestMachine m(1024, 1024, std::move(policy));
+    const Vpn base = m.populate(1, PageType::Anon);
+    m.kernel.sampleNode(0, 1);
+    ASSERT_TRUE(m.pte(base).protNone());
+
+    const AccessResult res =
+        m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    EXPECT_TRUE(res.hintFault);
+    EXPECT_FALSE(m.pte(base).protNone());
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::NumaHintFaults), 1u);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::NumaHintFaultsLocal), 1u);
+    ASSERT_EQ(rec->faults.size(), 1u);
+    EXPECT_EQ(rec->faults[0].first, m.pte(base).pfn);
+    // Policy latency contribution shows up in the access.
+    EXPECT_GT(res.latencyNs, 123.0);
+}
+
+TEST(NumaSampling, HintFaultFiresOnce)
+{
+    auto policy = std::make_unique<RecordingPolicy>();
+    RecordingPolicy *rec = policy.get();
+    TestMachine m(1024, 1024, std::move(policy));
+    const Vpn base = m.populate(1, PageType::Anon);
+    m.kernel.sampleNode(0, 1);
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    EXPECT_EQ(rec->faults.size(), 1u);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::NumaHintFaults), 1u);
+}
+
+TEST(NumaSampling, RemoteFaultNotCountedLocal)
+{
+    auto policy = std::make_unique<RecordingPolicy>();
+    TestMachine m(1024, 1024, std::move(policy));
+    // Populate on the CXL node by faulting from a task there.
+    const Vpn base = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    m.kernel.access(m.asid, base, AccessKind::Store, m.cxl());
+    ASSERT_EQ(m.frameOf(base).nid, m.cxl());
+    m.kernel.sampleNode(m.cxl(), 1);
+    // Task on node 0 touches the remote page.
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::NumaHintFaults), 1u);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::NumaHintFaultsLocal), 0u);
+}
+
+TEST(NumaSampling, ResampleAfterClearWorks)
+{
+    TestMachine m;
+    const Vpn base = m.populate(1, PageType::Anon);
+    EXPECT_EQ(m.kernel.sampleNode(0, 8), 1u);
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    EXPECT_EQ(m.kernel.sampleNode(0, 8), 1u);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::NumaPteUpdates), 2u);
+}
+
+} // namespace
+} // namespace tpp

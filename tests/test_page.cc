@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for PageFrame flags and the LRU-list helper functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/page.hh"
+
+namespace tpp {
+namespace {
+
+TEST(PageFrame, FreshFrameIsFree)
+{
+    PageFrame f;
+    EXPECT_TRUE(f.isFree());
+    EXPECT_FALSE(f.referenced());
+    EXPECT_FALSE(f.dirty());
+    EXPECT_FALSE(f.demoted());
+    EXPECT_EQ(f.lru, LruListId::None);
+}
+
+TEST(PageFrame, FlagSetClear)
+{
+    PageFrame f;
+    f.setFlag(PageFrame::FlagReferenced);
+    f.setFlag(PageFrame::FlagDirty);
+    EXPECT_TRUE(f.referenced());
+    EXPECT_TRUE(f.dirty());
+    f.clearFlag(PageFrame::FlagReferenced);
+    EXPECT_FALSE(f.referenced());
+    EXPECT_TRUE(f.dirty());
+}
+
+TEST(PageFrame, DemotedFlagIndependent)
+{
+    PageFrame f;
+    f.setFlag(PageFrame::FlagDemoted);
+    EXPECT_TRUE(f.demoted());
+    f.clearFlag(PageFrame::FlagDemoted);
+    EXPECT_FALSE(f.demoted());
+}
+
+TEST(PageFrame, ResetForFreeClearsPolicyState)
+{
+    PageFrame f;
+    f.clearFlag(PageFrame::FlagFree);
+    f.setFlag(PageFrame::FlagDirty);
+    f.setFlag(PageFrame::FlagDemoted);
+    f.ownerAsid = 7;
+    f.ownerVpn = 99;
+    f.lastHintFault = 1234;
+    f.hintRefCount = 3;
+    f.lru = LruListId::ActiveAnon;
+    f.resetForFree();
+    EXPECT_TRUE(f.isFree());
+    EXPECT_FALSE(f.dirty());
+    EXPECT_FALSE(f.demoted());
+    EXPECT_EQ(f.ownerAsid, 0u);
+    EXPECT_EQ(f.ownerVpn, 0u);
+    EXPECT_EQ(f.lastHintFault, 0u);
+    EXPECT_EQ(f.hintRefCount, 0);
+    EXPECT_EQ(f.lru, LruListId::None);
+}
+
+TEST(LruHelpers, ListForTypeAndState)
+{
+    EXPECT_EQ(lruListFor(PageType::Anon, false),
+              LruListId::InactiveAnon);
+    EXPECT_EQ(lruListFor(PageType::Anon, true), LruListId::ActiveAnon);
+    EXPECT_EQ(lruListFor(PageType::File, false),
+              LruListId::InactiveFile);
+    EXPECT_EQ(lruListFor(PageType::File, true), LruListId::ActiveFile);
+}
+
+TEST(LruHelpers, RoundTripThroughPageType)
+{
+    for (PageType type : {PageType::Anon, PageType::File}) {
+        for (bool active : {false, true}) {
+            const LruListId list = lruListFor(type, active);
+            EXPECT_EQ(lruPageType(list), type);
+            EXPECT_EQ(lruIsActive(list), active);
+        }
+    }
+}
+
+} // namespace
+} // namespace tpp

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the baseline policies: default Linux, NUMA Balancing
+ * and AutoTiering.
+ */
+
+#include "policy/autotiering.hh"
+#include "policy/numa_balancing.hh"
+#include "test_common.hh"
+
+namespace tpp {
+namespace {
+
+using test::TestMachine;
+
+TEST(DefaultLinux, NeverScansOrPromotes)
+{
+    TestMachine m;
+    EXPECT_EQ(m.kernel.policy().name(), "linux");
+    EXPECT_FALSE(m.kernel.policy().scanNode(0));
+    EXPECT_FALSE(m.kernel.policy().scanNode(1));
+    EXPECT_FALSE(m.kernel.policy().reclaimByDemotion(0));
+    m.populate(64, PageType::Anon);
+    m.eq.run(m.eq.now() + kSecond);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::NumaPteUpdates), 0u);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgPromoteTry), 0u);
+}
+
+TEST(DefaultLinux, CoupledKswapdMarks)
+{
+    TestMachine m;
+    const ReclaimMarks marks = m.kernel.policy().kswapdMarks(0);
+    EXPECT_EQ(marks.trigger, m.mem.node(0).watermarks().low);
+    EXPECT_EQ(marks.target, m.mem.node(0).watermarks().high);
+}
+
+TEST(NumaBalancing, ScansEveryNode)
+{
+    TestMachine m(512, 512, std::make_unique<NumaBalancingPolicy>());
+    EXPECT_TRUE(m.kernel.policy().scanNode(0));
+    EXPECT_TRUE(m.kernel.policy().scanNode(1));
+    EXPECT_FALSE(m.kernel.policy().reclaimByDemotion(0));
+}
+
+TEST(NumaBalancing, ScannerDaemonSamples)
+{
+    NumaBalancingConfig cfg;
+    cfg.scanPeriod = 10 * kMillisecond;
+    cfg.scanBatch = 16;
+    TestMachine m(512, 512,
+                  std::make_unique<NumaBalancingPolicy>(cfg));
+    m.populate(64, PageType::Anon);
+    m.eq.run(m.eq.now() + 100 * kMillisecond);
+    EXPECT_GT(m.kernel.vmstat().get(Vm::NumaPteUpdates), 0u);
+}
+
+TEST(NumaBalancing, PromotesRemotePageInstantly)
+{
+    TestMachine m(512, 512, std::make_unique<NumaBalancingPolicy>());
+    const Vpn base = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    m.kernel.access(m.asid, base, AccessKind::Store, m.cxl());
+    ASSERT_EQ(m.frameOf(base).nid, m.cxl());
+    m.kernel.sampleNode(m.cxl(), 1);
+    // First touch from node 0: instant promotion, no hysteresis.
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    EXPECT_EQ(m.frameOf(base).nid, m.local());
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgPromoteSuccess), 1u);
+}
+
+TEST(NumaBalancing, LocalHintFaultIsPureOverhead)
+{
+    TestMachine m(512, 512, std::make_unique<NumaBalancingPolicy>());
+    const Vpn base = m.populate(1, PageType::Anon);
+    m.kernel.sampleNode(0, 1);
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::NumaHintFaultsLocal), 1u);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgPromoteTry), 0u);
+}
+
+TEST(NumaBalancing, PromotionRespectsHighWatermark)
+{
+    TestMachine m(64, 512, std::make_unique<NumaBalancingPolicy>());
+    const Vpn base = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    m.kernel.access(m.asid, base, AccessKind::Store, m.cxl());
+    m.kernel.sampleNode(m.cxl(), 1);
+    // Local node squeezed to the high watermark: promotion refused.
+    while (m.mem.node(0).freePages() > m.mem.node(0).watermarks().high)
+        m.mem.node(0).takeFree();
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    EXPECT_EQ(m.frameOf(base).nid, m.cxl());
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgPromoteFailLowMem), 1u);
+}
+
+TEST(AutoTiering, DemotesByMigration)
+{
+    TestMachine m(512, 512, std::make_unique<AutoTieringPolicy>());
+    EXPECT_TRUE(m.kernel.policy().reclaimByDemotion(0));
+    EXPECT_FALSE(m.kernel.policy().reclaimByDemotion(1));
+    EXPECT_FALSE(m.kernel.policy().scanNode(0));
+    EXPECT_TRUE(m.kernel.policy().scanNode(1));
+}
+
+TEST(AutoTiering, TimerBasedHotnessNeedsRepeatedFaults)
+{
+    AutoTieringConfig cfg;
+    cfg.hotThreshold = 2;
+    cfg.hotWindow = kSecond;
+    TestMachine m(512, 512, std::make_unique<AutoTieringPolicy>(cfg));
+    const Vpn base = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    m.kernel.access(m.asid, base, AccessKind::Store, m.cxl());
+    ASSERT_EQ(m.frameOf(base).nid, m.cxl());
+
+    // First hint fault: below threshold, no promotion.
+    m.kernel.sampleNode(m.cxl(), 1);
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    EXPECT_EQ(m.frameOf(base).nid, m.cxl());
+
+    // Second hint fault inside the window: promoted.
+    m.kernel.sampleNode(m.cxl(), 1);
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    EXPECT_EQ(m.frameOf(base).nid, m.local());
+}
+
+TEST(AutoTiering, StaleHistoryResets)
+{
+    AutoTieringConfig cfg;
+    cfg.hotThreshold = 2;
+    cfg.hotWindow = 100 * kMillisecond;
+    TestMachine m(512, 512, std::make_unique<AutoTieringPolicy>(cfg));
+    const Vpn base = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    m.kernel.access(m.asid, base, AccessKind::Store, m.cxl());
+
+    m.kernel.sampleNode(m.cxl(), 1);
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    // Let the window lapse before the second fault.
+    m.eq.run(m.eq.now() + kSecond);
+    m.kernel.sampleNode(m.cxl(), 1);
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    // Window expired between faults: still not promoted.
+    EXPECT_EQ(m.frameOf(base).nid, m.cxl());
+}
+
+TEST(AutoTiering, BudgetAutoSizesFromLocalCapacity)
+{
+    TestMachine m(10240, 512, std::make_unique<AutoTieringPolicy>());
+    auto &policy = static_cast<AutoTieringPolicy &>(m.kernel.policy());
+    EXPECT_EQ(policy.promotionBudget(), 512u); // capacity / 20
+}
+
+TEST(AutoTiering, BudgetSpentUnderPressure)
+{
+    AutoTieringConfig cfg;
+    cfg.hotThreshold = 1;
+    cfg.promotionReserve = 2;
+    TestMachine m(256, 512, std::make_unique<AutoTieringPolicy>(cfg));
+    auto &policy = static_cast<AutoTieringPolicy &>(m.kernel.policy());
+
+    // Three hot pages on the CXL node, local below its high watermark.
+    const Vpn base = m.kernel.mmap(m.asid, 3, PageType::Anon, "a");
+    for (int i = 0; i < 3; ++i)
+        m.kernel.access(m.asid, base + i, AccessKind::Store, m.cxl());
+    while (m.mem.node(0).freePages() > m.mem.node(0).watermarks().high)
+        m.mem.node(0).takeFree();
+
+    for (int i = 0; i < 3; ++i) {
+        m.kernel.sampleNode(m.cxl(), 3);
+        m.kernel.access(m.asid, base + i, AccessKind::Load, 0);
+    }
+    // Only the reserve-sized number of promotions went through.
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgPromoteSuccess), 2u);
+    EXPECT_EQ(policy.promotionBudget(), 0u);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgPromoteFailLowMem), 1u);
+}
+
+} // namespace
+} // namespace tpp

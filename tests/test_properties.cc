@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Property-based invariant tests: random workload activity under every
+ * policy and several seeds, with global consistency checks after each
+ * phase — no frame leaks, LRU list integrity, rmap coherence, counter
+ * sanity. These are the guards that keep the mechanism layer honest as
+ * policies shuffle pages around.
+ */
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "core/tpp_policy.hh"
+#include "harness/experiment.hh"
+#include "policy/autotiering.hh"
+#include "policy/damon_reclaim.hh"
+#include "policy/numa_balancing.hh"
+#include "test_common.hh"
+#include "sim/rng.hh"
+
+namespace tpp {
+namespace {
+
+std::unique_ptr<PlacementPolicy>
+policyByName(const std::string &name)
+{
+    if (name == "damon-reclaim")
+        return std::make_unique<DamonReclaimPolicy>();
+    ExperimentConfig cfg;
+    cfg.policy = name;
+    return makePolicy(cfg);
+}
+
+/** Full-system invariant check. */
+void
+checkInvariants(test::TestMachine &m)
+{
+    // 1. Per-node frame conservation: free + on-LRU == capacity.
+    for (std::size_t n = 0; n < m.mem.numNodes(); ++n) {
+        const NodeId nid = static_cast<NodeId>(n);
+        m.kernel.lru(nid).checkConsistency();
+        EXPECT_EQ(m.mem.node(nid).freePages() +
+                      m.kernel.lru(nid).countAll(),
+                  m.mem.node(nid).capacity())
+            << "frame leak on node " << n;
+    }
+
+    // 2. Rmap coherence: every mapped frame's owner PTE points back.
+    std::uint64_t mapped_frames = 0;
+    for (Pfn pfn = 0; pfn < m.mem.totalFrames(); ++pfn) {
+        const PageFrame &f = m.mem.frame(pfn);
+        if (f.isFree())
+            continue;
+        mapped_frames++;
+        const Pte &pte = m.kernel.addressSpace(f.ownerAsid).pte(f.ownerVpn);
+        EXPECT_TRUE(pte.present());
+        EXPECT_EQ(pte.pfn, pfn);
+        EXPECT_EQ(pte.type, f.type);
+        EXPECT_EQ(f.nid, m.mem.frame(pfn).nid);
+        EXPECT_NE(f.lru, LruListId::None);
+    }
+
+    // 3. Residency bookkeeping agrees with the frame table.
+    std::uint64_t resident = 0;
+    for (std::size_t p = 0; p < m.kernel.numProcesses(); ++p)
+        resident += m.kernel.addressSpace(static_cast<Asid>(p))
+                        .residentPages();
+    EXPECT_EQ(resident, mapped_frames);
+
+    // 4. Counter sanity.
+    const VmStat &vs = m.kernel.vmstat();
+    EXPECT_LE(vs.get(Vm::PgPromoteSuccess), vs.get(Vm::PgPromoteTry));
+    EXPECT_LE(vs.get(Vm::PgStealKswapd), vs.get(Vm::PgScanKswapd));
+    EXPECT_LE(vs.get(Vm::PgStealDirect), vs.get(Vm::PgScanDirect));
+    EXPECT_LE(vs.get(Vm::NumaHintFaults), vs.get(Vm::NumaPteUpdates));
+    EXPECT_GE(vs.get(Vm::PswpOut), vs.get(Vm::PswpIn));
+    // Live swap slots never exceed net page-outs (munmap may release
+    // slots without a page-in).
+    EXPECT_LE(m.mem.swapDevice().usedSlots(),
+              vs.get(Vm::PswpOut) - vs.get(Vm::PswpIn));
+}
+
+class PolicyProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::uint64_t>>
+{
+};
+
+TEST_P(PolicyProperty, RandomChurnPreservesInvariants)
+{
+    const auto &[policy_name, seed] = GetParam();
+    test::TestMachine m(700, 1400, policyByName(policy_name));
+    Rng rng(seed);
+
+    // A few long-lived regions plus transient ones, random access mix.
+    struct Region {
+        Vpn base;
+        std::uint64_t pages;
+        bool transient;
+    };
+    std::vector<Region> regions;
+    for (int i = 0; i < 3; ++i) {
+        const std::uint64_t pages = 64 + rng.nextBounded(128);
+        const PageType type =
+            rng.nextBool(0.5) ? PageType::Anon : PageType::File;
+        const bool disk = type == PageType::File && rng.nextBool(0.5);
+        regions.push_back(
+            {m.kernel.mmap(m.asid, pages, type, "perm", disk), pages,
+             false});
+    }
+
+    for (int phase = 0; phase < 8; ++phase) {
+        // Random accesses.
+        for (int i = 0; i < 2000; ++i) {
+            const Region &r =
+                regions[rng.nextBounded(regions.size())];
+            const Vpn vpn = r.base + rng.nextBounded(r.pages);
+            const AccessKind kind =
+                rng.nextBool(0.4) ? AccessKind::Store : AccessKind::Load;
+            const NodeId task =
+                rng.nextBool(0.9) ? m.local() : m.cxl();
+            m.kernel.access(m.asid, vpn, kind, task);
+        }
+        // Random transient allocation / teardown.
+        if (rng.nextBool(0.7)) {
+            const std::uint64_t pages = 16 + rng.nextBounded(32);
+            const Vpn base =
+                m.kernel.mmap(m.asid, pages, PageType::Anon, "tmp");
+            for (std::uint64_t i = 0; i < pages; ++i)
+                m.kernel.access(m.asid, base + i, AccessKind::Store,
+                                m.local());
+            regions.push_back({base, pages, true});
+        }
+        if (regions.size() > 4 && rng.nextBool(0.5)) {
+            for (std::size_t i = 0; i < regions.size(); ++i) {
+                if (regions[i].transient) {
+                    m.kernel.munmap(m.asid, regions[i].base,
+                                    regions[i].pages);
+                    regions.erase(regions.begin() +
+                                  static_cast<long>(i));
+                    break;
+                }
+            }
+        }
+        // Random daemon activity.
+        if (rng.nextBool(0.5))
+            m.kernel.wakeKswapd(m.local());
+        if (rng.nextBool(0.3))
+            m.kernel.sampleNode(m.cxl(), 64);
+        m.eq.run(m.eq.now() + 20 * kMillisecond);
+
+        checkInvariants(m);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyProperty,
+    ::testing::Combine(::testing::Values("linux", "numa-balancing",
+                                         "autotiering", "tpp",
+                                         "damon-reclaim"),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param);
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+/** Migration round-trips must preserve every invariant. */
+class MigrationProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MigrationProperty, RandomMigrationStorm)
+{
+    test::TestMachine m(512, 512);
+    Rng rng(GetParam());
+    const Vpn base = m.populate(200, PageType::Anon);
+
+    for (int i = 0; i < 2000; ++i) {
+        const Vpn vpn = base + rng.nextBounded(200);
+        const Pte &pte = m.pte(vpn);
+        if (!pte.present())
+            continue;
+        const PageFrame &f = m.mem.frame(pte.pfn);
+        const NodeId dst = f.nid == 0 ? m.cxl() : m.local();
+        m.kernel.migratePage(pte.pfn, dst, AllocReason::Demotion);
+    }
+    checkInvariants(m);
+    // Every page still accessible afterwards.
+    for (int i = 0; i < 200; ++i) {
+        const AccessResult res =
+            m.kernel.access(m.asid, base + i, AccessKind::Load, 0);
+        EXPECT_FALSE(res.oom);
+    }
+    checkInvariants(m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationProperty,
+                         ::testing::Values<std::uint64_t>(11, 22, 33, 44));
+
+/** Reclaim under every (policy, pressure) combination stays sound. */
+class ReclaimProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(ReclaimProperty, PressureCyclesStaySound)
+{
+    const auto &[policy_name, fill_percent] = GetParam();
+    test::TestMachine m(256, 512, policyByName(policy_name));
+    const std::uint64_t pages = 256 * fill_percent / 100;
+    const Vpn base = m.kernel.mmap(m.asid, pages * 2, PageType::Anon,
+                                   "pressure");
+    Rng rng(fill_percent);
+
+    for (int cycle = 0; cycle < 4; ++cycle) {
+        for (std::uint64_t i = 0; i < pages; ++i) {
+            m.kernel.access(m.asid,
+                            base + rng.nextBounded(pages * 2),
+                            AccessKind::Store, m.local());
+        }
+        m.eq.run(m.eq.now() + 50 * kMillisecond);
+        checkInvariants(m);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pressure, ReclaimProperty,
+    ::testing::Combine(::testing::Values("linux", "tpp", "autotiering"),
+                       ::testing::Values(50, 90, 140)),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param);
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name + "_fill" + std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace tpp

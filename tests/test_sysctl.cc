@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the sysctl knob registry and the knobs TPP registers.
+ */
+
+#include "core/tpp_policy.hh"
+#include "test_common.hh"
+
+namespace tpp {
+namespace {
+
+using test::TestMachine;
+
+TEST(Sysctl, RegisterGetSet)
+{
+    SysctlRegistry reg;
+    double value = 2.5;
+    reg.registerDouble("vm.knob", &value);
+    EXPECT_TRUE(reg.exists("vm.knob"));
+    EXPECT_EQ(reg.get("vm.knob"), "2.5");
+    EXPECT_TRUE(reg.set("vm.knob", "7"));
+    EXPECT_DOUBLE_EQ(value, 7.0);
+    EXPECT_FALSE(reg.set("vm.knob", "garbage"));
+    EXPECT_DOUBLE_EQ(value, 7.0);
+}
+
+TEST(Sysctl, BoolKnob)
+{
+    SysctlRegistry reg;
+    bool flag = false;
+    reg.registerBool("vm.flag", &flag);
+    EXPECT_TRUE(reg.set("vm.flag", "1"));
+    EXPECT_TRUE(flag);
+    EXPECT_TRUE(reg.set("vm.flag", "0"));
+    EXPECT_FALSE(flag);
+    EXPECT_FALSE(reg.set("vm.flag", "yes"));
+}
+
+TEST(Sysctl, U64Knob)
+{
+    SysctlRegistry reg;
+    std::uint64_t value = 42;
+    reg.registerU64("vm.count", &value);
+    EXPECT_EQ(reg.get("vm.count"), "42");
+    EXPECT_TRUE(reg.set("vm.count", "1000000"));
+    EXPECT_EQ(value, 1000000u);
+    EXPECT_FALSE(reg.set("vm.count", "12x"));
+}
+
+TEST(Sysctl, OnChangeHookFires)
+{
+    SysctlRegistry reg;
+    double value = 1.0;
+    int fired = 0;
+    reg.registerDouble("vm.knob", &value, [&] { fired++; });
+    reg.set("vm.knob", "2");
+    reg.set("vm.knob", "3");
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Sysctl, ReadOnlyRejectsWrites)
+{
+    SysctlRegistry reg;
+    reg.registerReadOnly("vm.ro", [] { return std::string("x"); });
+    EXPECT_EQ(reg.get("vm.ro"), "x");
+    EXPECT_FALSE(reg.set("vm.ro", "y"));
+}
+
+TEST(Sysctl, UnknownKnob)
+{
+    SysctlRegistry reg;
+    EXPECT_FALSE(reg.exists("nope"));
+    EXPECT_EQ(reg.get("nope"), "");
+    EXPECT_FALSE(reg.set("nope", "1"));
+}
+
+TEST(Sysctl, NamesSorted)
+{
+    SysctlRegistry reg;
+    bool b = false;
+    reg.registerBool("z.last", &b);
+    reg.registerBool("a.first", &b);
+    const auto names = reg.names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a.first");
+    EXPECT_EQ(names[1], "z.last");
+}
+
+TEST(SysctlTpp, DemoteScaleFactorKnobReappliesWatermarks)
+{
+    TestMachine m(10000, 10000, std::make_unique<TppPolicy>());
+    SysctlRegistry &sysctl = m.kernel.sysctl();
+    ASSERT_TRUE(sysctl.exists("vm.demote_scale_factor"));
+    EXPECT_EQ(sysctl.get("vm.demote_scale_factor"), "2");
+    EXPECT_EQ(m.mem.node(0).watermarks().demoteTrigger, 200u);
+
+    ASSERT_TRUE(sysctl.set("vm.demote_scale_factor", "5"));
+    EXPECT_EQ(m.mem.node(0).watermarks().demoteTrigger, 500u);
+}
+
+TEST(SysctlTpp, ModeKnobIsReadOnly)
+{
+    TestMachine m(512, 512, std::make_unique<TppPolicy>());
+    SysctlRegistry &sysctl = m.kernel.sysctl();
+    EXPECT_NE(sysctl.get("kernel.numa_balancing")
+                  .find("NUMA_BALANCING_TIERED"),
+              std::string::npos);
+    EXPECT_FALSE(sysctl.set("kernel.numa_balancing", "1"));
+}
+
+TEST(SysctlTpp, TypeAwareToggleTakesEffect)
+{
+    TestMachine m(512, 512, std::make_unique<TppPolicy>());
+    ASSERT_TRUE(
+        m.kernel.sysctl().set("vm.tpp.type_aware_allocation", "1"));
+    const Vpn f = m.kernel.mmap(m.asid, 1, PageType::File, "f");
+    m.kernel.access(m.asid, f, AccessKind::Load, 0);
+    EXPECT_EQ(m.frameOf(f).nid, m.cxl());
+}
+
+} // namespace
+} // namespace tpp

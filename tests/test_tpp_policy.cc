@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the TPP policy: watermark decoupling, CXL-only
+ * sampling, the active-LRU promotion filter, ping-pong accounting and
+ * page-type-aware allocation.
+ */
+
+#include "core/tpp_policy.hh"
+#include "test_common.hh"
+
+namespace tpp {
+namespace {
+
+using test::TestMachine;
+
+std::unique_ptr<TppPolicy>
+makeTpp(TppConfig cfg = {})
+{
+    return std::make_unique<TppPolicy>(cfg);
+}
+
+TEST(TppPolicy, AppliesDemoteScaleFactorToWatermarks)
+{
+    TppConfig cfg;
+    cfg.demoteScaleFactor = 5.0;
+    TestMachine m(10000, 10000, makeTpp(cfg));
+    const Watermarks &wm = m.mem.node(m.local()).watermarks();
+    EXPECT_EQ(wm.demoteTrigger, 500u); // 5 % of 10000
+}
+
+TEST(TppPolicy, DecoupledMarksOnLocalOnly)
+{
+    TestMachine m(10000, 10000, makeTpp());
+    const ReclaimMarks local = m.kernel.policy().kswapdMarks(m.local());
+    const ReclaimMarks cxl = m.kernel.policy().kswapdMarks(m.cxl());
+    const Watermarks &wm_local = m.mem.node(m.local()).watermarks();
+    const Watermarks &wm_cxl = m.mem.node(m.cxl()).watermarks();
+    EXPECT_EQ(local.trigger, wm_local.demoteTrigger);
+    EXPECT_EQ(local.target, wm_local.demoteTarget);
+    EXPECT_EQ(cxl.trigger, wm_cxl.low);
+    EXPECT_EQ(cxl.target, wm_cxl.high);
+}
+
+TEST(TppPolicy, CoupledWhenDecouplingDisabled)
+{
+    TppConfig cfg;
+    cfg.decoupleWatermarks = false;
+    TestMachine m(10000, 10000, makeTpp(cfg));
+    const ReclaimMarks marks = m.kernel.policy().kswapdMarks(m.local());
+    EXPECT_EQ(marks.trigger, m.mem.node(m.local()).watermarks().low);
+}
+
+TEST(TppPolicy, ScansOnlyCxlNodes)
+{
+    TestMachine m(512, 512, makeTpp());
+    EXPECT_FALSE(m.kernel.policy().scanNode(m.local()));
+    EXPECT_TRUE(m.kernel.policy().scanNode(m.cxl()));
+}
+
+TEST(TppPolicy, DemotionModeOnCpuNodesOnly)
+{
+    TestMachine m(512, 512, makeTpp());
+    EXPECT_TRUE(m.kernel.policy().reclaimByDemotion(m.local()));
+    EXPECT_FALSE(m.kernel.policy().reclaimByDemotion(m.cxl()));
+}
+
+TEST(TppPolicy, ScannerDaemonSamplesCxl)
+{
+    TppConfig cfg;
+    cfg.scanPeriod = 10 * kMillisecond;
+    cfg.scanBatch = 32;
+    TestMachine m(512, 512, makeTpp(cfg));
+    // Pages on the CXL node.
+    const Vpn base = m.kernel.mmap(m.asid, 16, PageType::Anon, "a");
+    for (int i = 0; i < 16; ++i)
+        m.kernel.access(m.asid, base + i, AccessKind::Store, m.cxl());
+    m.eq.run(m.eq.now() + 100 * kMillisecond);
+    EXPECT_GT(m.kernel.vmstat().get(Vm::NumaPteUpdates), 0u);
+    // Local pages must not be sampled.
+    const Vpn l = m.populate(4, PageType::Anon);
+    m.eq.run(m.eq.now() + 100 * kMillisecond);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(m.pte(l + i).protNone());
+}
+
+TEST(TppPolicy, InactiveFaultActivatesInsteadOfPromoting)
+{
+    TestMachine m(512, 512, makeTpp());
+    const Vpn base = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    m.kernel.access(m.asid, base, AccessKind::Store, m.cxl());
+    ASSERT_EQ(m.frameOf(base).lru, LruListId::InactiveAnon);
+
+    m.kernel.sampleNode(m.cxl(), 1);
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    // Fig 14 (2): first fault moves to the active list, no promotion.
+    EXPECT_EQ(m.frameOf(base).nid, m.cxl());
+    EXPECT_EQ(m.frameOf(base).lru, LruListId::ActiveAnon);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgPromoteTry), 0u);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgPromoteCandidate), 0u);
+}
+
+TEST(TppPolicy, SecondFaultPromotesActivePage)
+{
+    TestMachine m(512, 512, makeTpp());
+    const Vpn base = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    m.kernel.access(m.asid, base, AccessKind::Store, m.cxl());
+
+    m.kernel.sampleNode(m.cxl(), 1);
+    m.kernel.access(m.asid, base, AccessKind::Load, 0); // activate
+    m.kernel.sampleNode(m.cxl(), 1);
+    m.kernel.access(m.asid, base, AccessKind::Load, 0); // promote
+    EXPECT_EQ(m.frameOf(base).nid, m.local());
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgPromoteSuccess), 1u);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgPromoteCandidateAnon), 1u);
+}
+
+TEST(TppPolicy, InstantPromotionWhenFilterDisabled)
+{
+    TppConfig cfg;
+    cfg.activeLruFilter = false;
+    TestMachine m(512, 512, makeTpp(cfg));
+    const Vpn base = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    m.kernel.access(m.asid, base, AccessKind::Store, m.cxl());
+    m.kernel.sampleNode(m.cxl(), 1);
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    EXPECT_EQ(m.frameOf(base).nid, m.local());
+}
+
+TEST(TppPolicy, PingPongCounterTracksDemotedCandidates)
+{
+    TestMachine m(512, 512, makeTpp());
+    const Vpn base = m.populate(1, PageType::Anon);
+    m.kernel.demotePage(m.pte(base).pfn);
+    ASSERT_TRUE(m.frameOf(base).demoted());
+
+    // Two hint faults: activate, then candidate + promote.
+    m.kernel.sampleNode(m.cxl(), 1);
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    m.kernel.sampleNode(m.cxl(), 1);
+    m.kernel.access(m.asid, base, AccessKind::Load, 0);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgPromoteCandidateDemoted), 1u);
+    // Promotion cleared PG_demoted.
+    EXPECT_FALSE(m.frameOf(base).demoted());
+}
+
+TEST(TppPolicy, PromotionIgnoresAllocationWatermark)
+{
+    TestMachine m(256, 512, makeTpp());
+    const Vpn base = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    m.kernel.access(m.asid, base, AccessKind::Store, m.cxl());
+    // Local down to its high watermark: default NUMA balancing would
+    // refuse, TPP proceeds.
+    while (m.mem.node(0).freePages() > m.mem.node(0).watermarks().high)
+        m.mem.node(0).takeFree();
+    m.kernel.sampleNode(m.cxl(), 1);
+    m.kernel.access(m.asid, base, AccessKind::Load, 0); // activate
+    m.kernel.sampleNode(m.cxl(), 1);
+    m.kernel.access(m.asid, base, AccessKind::Load, 0); // promote
+    EXPECT_EQ(m.frameOf(base).nid, m.local());
+}
+
+TEST(TppPolicy, TypeAwareAllocationSteersFileToCxl)
+{
+    TppConfig cfg;
+    cfg.typeAwareAllocation = true;
+    TestMachine m(512, 512, makeTpp(cfg));
+    const Vpn f = m.kernel.mmap(m.asid, 1, PageType::File, "f");
+    const Vpn a = m.kernel.mmap(m.asid, 1, PageType::Anon, "a");
+    m.kernel.access(m.asid, f, AccessKind::Load, 0);
+    m.kernel.access(m.asid, a, AccessKind::Store, 0);
+    EXPECT_EQ(m.frameOf(f).nid, m.cxl());
+    EXPECT_EQ(m.frameOf(a).nid, m.local());
+}
+
+TEST(TppPolicy, TypeAwareDisabledKeepsFileLocal)
+{
+    TestMachine m(512, 512, makeTpp());
+    const Vpn f = m.kernel.mmap(m.asid, 1, PageType::File, "f");
+    m.kernel.access(m.asid, f, AccessKind::Load, 0);
+    EXPECT_EQ(m.frameOf(f).nid, m.local());
+}
+
+TEST(TppPolicy, KswapdDemotesToKeepHeadroom)
+{
+    TppConfig cfg;
+    cfg.scanPeriod = kSecond; // keep the scanner quiet
+    TestMachine m(256, 1024, makeTpp(cfg));
+    // Fill local past the demotion trigger with cold pages.
+    const Vpn base = m.kernel.mmap(m.asid, 250, PageType::Anon, "a");
+    for (int i = 0; i < 250; ++i)
+        m.kernel.access(m.asid, base + i, AccessKind::Store, 0);
+    for (int i = 0; i < 250; ++i)
+        m.frameOf(base + i).clearFlag(PageFrame::FlagReferenced);
+    m.kernel.wakeKswapd(m.local());
+    m.eq.run(m.eq.now() + kSecond);
+    // Headroom restored up to the demotion target, via migration.
+    EXPECT_GE(m.mem.node(m.local()).freePages(),
+              m.mem.node(m.local()).watermarks().demoteTarget);
+    EXPECT_GT(m.kernel.vmstat().get(Vm::PgDemoteAnon), 0u);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PswpOut), 0u);
+}
+
+TEST(TppPolicy, NameAndConfigExposed)
+{
+    TppConfig cfg;
+    cfg.demoteScaleFactor = 3.0;
+    TestMachine m(256, 256, makeTpp(cfg));
+    EXPECT_EQ(m.kernel.policy().name(), "tpp");
+    const auto &policy = static_cast<TppPolicy &>(m.kernel.policy());
+    EXPECT_DOUBLE_EQ(policy.config().demoteScaleFactor, 3.0);
+}
+
+} // namespace
+} // namespace tpp

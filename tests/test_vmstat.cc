@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the vmstat counter set.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mm/vmstat.hh"
+
+namespace tpp {
+namespace {
+
+TEST(VmStat, StartsAtZero)
+{
+    VmStat vs;
+    for (std::size_t i = 0; i < kNumVmCounters; ++i)
+        EXPECT_EQ(vs.get(static_cast<Vm>(i)), 0u);
+}
+
+TEST(VmStat, IncrementAndGet)
+{
+    VmStat vs;
+    vs.inc(Vm::PgFault);
+    vs.inc(Vm::PgFault, 9);
+    EXPECT_EQ(vs.get(Vm::PgFault), 10u);
+    EXPECT_EQ(vs.get(Vm::PgMajFault), 0u);
+}
+
+TEST(VmStat, ResetClears)
+{
+    VmStat vs;
+    vs.inc(Vm::PswpOut, 5);
+    vs.reset();
+    EXPECT_EQ(vs.get(Vm::PswpOut), 0u);
+}
+
+TEST(VmStat, NamesMatchKernelSpelling)
+{
+    EXPECT_STREQ(vmName(Vm::PgDemoteAnon), "pgdemote_anon");
+    EXPECT_STREQ(vmName(Vm::PgDemoteFile), "pgdemote_file");
+    EXPECT_STREQ(vmName(Vm::PgPromoteCandidateDemoted),
+                 "pgpromote_candidate_demoted");
+    EXPECT_STREQ(vmName(Vm::NumaHintFaults), "numa_hint_faults");
+    EXPECT_STREQ(vmName(Vm::PswpIn), "pswpin");
+}
+
+TEST(VmStat, EveryCounterHasAName)
+{
+    for (std::size_t i = 0; i < kNumVmCounters; ++i) {
+        const char *name = vmName(static_cast<Vm>(i));
+        ASSERT_NE(name, nullptr);
+        EXPECT_GT(std::string(name).size(), 0u);
+    }
+}
+
+TEST(VmStat, NamesAreUnique)
+{
+    for (std::size_t i = 0; i < kNumVmCounters; ++i) {
+        for (std::size_t j = i + 1; j < kNumVmCounters; ++j) {
+            EXPECT_STRNE(vmName(static_cast<Vm>(i)),
+                         vmName(static_cast<Vm>(j)));
+        }
+    }
+}
+
+TEST(VmStat, ReportListsNonZeroOnly)
+{
+    VmStat vs;
+    vs.inc(Vm::PgAlloc, 3);
+    vs.inc(Vm::PswpOut, 7);
+    const std::string report = vs.report();
+    EXPECT_NE(report.find("pgalloc 3"), std::string::npos);
+    EXPECT_NE(report.find("pswpout 7"), std::string::npos);
+    EXPECT_EQ(report.find("pgmajfault"), std::string::npos);
+}
+
+} // namespace
+} // namespace tpp
