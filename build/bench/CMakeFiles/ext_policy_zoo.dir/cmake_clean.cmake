@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_policy_zoo.dir/ext_policy_zoo.cpp.o"
+  "CMakeFiles/ext_policy_zoo.dir/ext_policy_zoo.cpp.o.d"
+  "ext_policy_zoo"
+  "ext_policy_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_policy_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

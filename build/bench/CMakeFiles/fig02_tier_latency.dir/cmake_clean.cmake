@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_tier_latency.dir/fig02_tier_latency.cpp.o"
+  "CMakeFiles/fig02_tier_latency.dir/fig02_tier_latency.cpp.o.d"
+  "fig02_tier_latency"
+  "fig02_tier_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_tier_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_page_temperature.dir/fig07_page_temperature.cpp.o"
+  "CMakeFiles/fig07_page_temperature.dir/fig07_page_temperature.cpp.o.d"
+  "fig07_page_temperature"
+  "fig07_page_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_page_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_page_temperature.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_page_type_temperature.dir/fig08_page_type_temperature.cpp.o"
+  "CMakeFiles/fig08_page_type_temperature.dir/fig08_page_type_temperature.cpp.o.d"
+  "fig08_page_type_temperature"
+  "fig08_page_type_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_page_type_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_usage_over_time.dir/fig09_usage_over_time.cpp.o"
+  "CMakeFiles/fig09_usage_over_time.dir/fig09_usage_over_time.cpp.o.d"
+  "fig09_usage_over_time"
+  "fig09_usage_over_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_usage_over_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

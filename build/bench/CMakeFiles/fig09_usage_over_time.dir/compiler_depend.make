@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_usage_over_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_throughput_sensitivity.dir/fig10_throughput_sensitivity.cpp.o"
+  "CMakeFiles/fig10_throughput_sensitivity.dir/fig10_throughput_sensitivity.cpp.o.d"
+  "fig10_throughput_sensitivity"
+  "fig10_throughput_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_throughput_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

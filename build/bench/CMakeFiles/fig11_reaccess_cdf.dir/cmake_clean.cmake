@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_reaccess_cdf.dir/fig11_reaccess_cdf.cpp.o"
+  "CMakeFiles/fig11_reaccess_cdf.dir/fig11_reaccess_cdf.cpp.o.d"
+  "fig11_reaccess_cdf"
+  "fig11_reaccess_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_reaccess_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_default_production.dir/fig15_default_production.cpp.o"
+  "CMakeFiles/fig15_default_production.dir/fig15_default_production.cpp.o.d"
+  "fig15_default_production"
+  "fig15_default_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_default_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

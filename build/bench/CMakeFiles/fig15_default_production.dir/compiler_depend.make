@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_default_production.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_memory_expansion.dir/fig16_memory_expansion.cpp.o"
+  "CMakeFiles/fig16_memory_expansion.dir/fig16_memory_expansion.cpp.o.d"
+  "fig16_memory_expansion"
+  "fig16_memory_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_memory_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_decoupling_ablation.dir/fig17_decoupling_ablation.cpp.o"
+  "CMakeFiles/fig17_decoupling_ablation.dir/fig17_decoupling_ablation.cpp.o.d"
+  "fig17_decoupling_ablation"
+  "fig17_decoupling_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_decoupling_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig18_lru_filter_ablation.cpp" "bench/CMakeFiles/fig18_lru_filter_ablation.dir/fig18_lru_filter_ablation.cpp.o" "gcc" "bench/CMakeFiles/fig18_lru_filter_ablation.dir/fig18_lru_filter_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/tpp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/tpp_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/chameleon/CMakeFiles/tpp_chameleon.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tpp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/tpp_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tpp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

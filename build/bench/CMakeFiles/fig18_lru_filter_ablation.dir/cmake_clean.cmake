@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_lru_filter_ablation.dir/fig18_lru_filter_ablation.cpp.o"
+  "CMakeFiles/fig18_lru_filter_ablation.dir/fig18_lru_filter_ablation.cpp.o.d"
+  "fig18_lru_filter_ablation"
+  "fig18_lru_filter_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_lru_filter_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

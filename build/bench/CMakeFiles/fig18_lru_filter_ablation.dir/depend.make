@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_lru_filter_ablation.
+# This may be replaced when dependencies are built.

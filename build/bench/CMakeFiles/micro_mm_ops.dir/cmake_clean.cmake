@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mm_ops.dir/micro_mm_ops.cpp.o"
+  "CMakeFiles/micro_mm_ops.dir/micro_mm_ops.cpp.o.d"
+  "micro_mm_ops"
+  "micro_mm_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mm_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_type_aware_alloc.dir/table1_type_aware_alloc.cpp.o"
+  "CMakeFiles/table1_type_aware_alloc.dir/table1_type_aware_alloc.cpp.o.d"
+  "table1_type_aware_alloc"
+  "table1_type_aware_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_type_aware_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_expansion.dir/cache_expansion.cpp.o"
+  "CMakeFiles/cache_expansion.dir/cache_expansion.cpp.o.d"
+  "cache_expansion"
+  "cache_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

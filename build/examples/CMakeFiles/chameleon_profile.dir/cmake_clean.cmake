@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_profile.dir/chameleon_profile.cpp.o"
+  "CMakeFiles/chameleon_profile.dir/chameleon_profile.cpp.o.d"
+  "chameleon_profile"
+  "chameleon_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

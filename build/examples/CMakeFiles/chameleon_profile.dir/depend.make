@@ -1,0 +1,2 @@
+# Empty dependencies file for chameleon_profile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiering_lab.dir/tiering_lab.cpp.o"
+  "CMakeFiles/tiering_lab.dir/tiering_lab.cpp.o.d"
+  "tiering_lab"
+  "tiering_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiering_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmstat_dump.dir/vmstat_dump.cpp.o"
+  "CMakeFiles/vmstat_dump.dir/vmstat_dump.cpp.o.d"
+  "vmstat_dump"
+  "vmstat_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmstat_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

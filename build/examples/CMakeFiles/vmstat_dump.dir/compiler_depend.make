@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vmstat_dump.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_tiering.dir/web_tiering.cpp.o"
+  "CMakeFiles/web_tiering.dir/web_tiering.cpp.o.d"
+  "web_tiering"
+  "web_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

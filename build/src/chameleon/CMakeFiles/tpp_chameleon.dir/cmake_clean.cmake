@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_chameleon.dir/chameleon.cc.o"
+  "CMakeFiles/tpp_chameleon.dir/chameleon.cc.o.d"
+  "libtpp_chameleon.a"
+  "libtpp_chameleon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_chameleon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

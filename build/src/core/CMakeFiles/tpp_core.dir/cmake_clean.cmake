@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_core.dir/tpp_policy.cc.o"
+  "CMakeFiles/tpp_core.dir/tpp_policy.cc.o.d"
+  "libtpp_core.a"
+  "libtpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

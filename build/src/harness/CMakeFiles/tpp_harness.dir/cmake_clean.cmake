@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_harness.dir/experiment.cc.o"
+  "CMakeFiles/tpp_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/tpp_harness.dir/export.cc.o"
+  "CMakeFiles/tpp_harness.dir/export.cc.o.d"
+  "CMakeFiles/tpp_harness.dir/table.cc.o"
+  "CMakeFiles/tpp_harness.dir/table.cc.o.d"
+  "libtpp_harness.a"
+  "libtpp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/latency.cc" "src/mem/CMakeFiles/tpp_mem.dir/latency.cc.o" "gcc" "src/mem/CMakeFiles/tpp_mem.dir/latency.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/mem/CMakeFiles/tpp_mem.dir/memory_system.cc.o" "gcc" "src/mem/CMakeFiles/tpp_mem.dir/memory_system.cc.o.d"
+  "/root/repo/src/mem/node.cc" "src/mem/CMakeFiles/tpp_mem.dir/node.cc.o" "gcc" "src/mem/CMakeFiles/tpp_mem.dir/node.cc.o.d"
+  "/root/repo/src/mem/swap_device.cc" "src/mem/CMakeFiles/tpp_mem.dir/swap_device.cc.o" "gcc" "src/mem/CMakeFiles/tpp_mem.dir/swap_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_mem.dir/latency.cc.o"
+  "CMakeFiles/tpp_mem.dir/latency.cc.o.d"
+  "CMakeFiles/tpp_mem.dir/memory_system.cc.o"
+  "CMakeFiles/tpp_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/tpp_mem.dir/node.cc.o"
+  "CMakeFiles/tpp_mem.dir/node.cc.o.d"
+  "CMakeFiles/tpp_mem.dir/swap_device.cc.o"
+  "CMakeFiles/tpp_mem.dir/swap_device.cc.o.d"
+  "libtpp_mem.a"
+  "libtpp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtpp_mem.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mm/address_space.cc" "src/mm/CMakeFiles/tpp_mm.dir/address_space.cc.o" "gcc" "src/mm/CMakeFiles/tpp_mm.dir/address_space.cc.o.d"
+  "/root/repo/src/mm/damon.cc" "src/mm/CMakeFiles/tpp_mm.dir/damon.cc.o" "gcc" "src/mm/CMakeFiles/tpp_mm.dir/damon.cc.o.d"
+  "/root/repo/src/mm/kernel.cc" "src/mm/CMakeFiles/tpp_mm.dir/kernel.cc.o" "gcc" "src/mm/CMakeFiles/tpp_mm.dir/kernel.cc.o.d"
+  "/root/repo/src/mm/kernel_alloc.cc" "src/mm/CMakeFiles/tpp_mm.dir/kernel_alloc.cc.o" "gcc" "src/mm/CMakeFiles/tpp_mm.dir/kernel_alloc.cc.o.d"
+  "/root/repo/src/mm/kernel_migrate.cc" "src/mm/CMakeFiles/tpp_mm.dir/kernel_migrate.cc.o" "gcc" "src/mm/CMakeFiles/tpp_mm.dir/kernel_migrate.cc.o.d"
+  "/root/repo/src/mm/kernel_reclaim.cc" "src/mm/CMakeFiles/tpp_mm.dir/kernel_reclaim.cc.o" "gcc" "src/mm/CMakeFiles/tpp_mm.dir/kernel_reclaim.cc.o.d"
+  "/root/repo/src/mm/lru.cc" "src/mm/CMakeFiles/tpp_mm.dir/lru.cc.o" "gcc" "src/mm/CMakeFiles/tpp_mm.dir/lru.cc.o.d"
+  "/root/repo/src/mm/meminfo.cc" "src/mm/CMakeFiles/tpp_mm.dir/meminfo.cc.o" "gcc" "src/mm/CMakeFiles/tpp_mm.dir/meminfo.cc.o.d"
+  "/root/repo/src/mm/sysctl.cc" "src/mm/CMakeFiles/tpp_mm.dir/sysctl.cc.o" "gcc" "src/mm/CMakeFiles/tpp_mm.dir/sysctl.cc.o.d"
+  "/root/repo/src/mm/vmstat.cc" "src/mm/CMakeFiles/tpp_mm.dir/vmstat.cc.o" "gcc" "src/mm/CMakeFiles/tpp_mm.dir/vmstat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/tpp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

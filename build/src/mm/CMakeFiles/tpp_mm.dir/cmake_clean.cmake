@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_mm.dir/address_space.cc.o"
+  "CMakeFiles/tpp_mm.dir/address_space.cc.o.d"
+  "CMakeFiles/tpp_mm.dir/damon.cc.o"
+  "CMakeFiles/tpp_mm.dir/damon.cc.o.d"
+  "CMakeFiles/tpp_mm.dir/kernel.cc.o"
+  "CMakeFiles/tpp_mm.dir/kernel.cc.o.d"
+  "CMakeFiles/tpp_mm.dir/kernel_alloc.cc.o"
+  "CMakeFiles/tpp_mm.dir/kernel_alloc.cc.o.d"
+  "CMakeFiles/tpp_mm.dir/kernel_migrate.cc.o"
+  "CMakeFiles/tpp_mm.dir/kernel_migrate.cc.o.d"
+  "CMakeFiles/tpp_mm.dir/kernel_reclaim.cc.o"
+  "CMakeFiles/tpp_mm.dir/kernel_reclaim.cc.o.d"
+  "CMakeFiles/tpp_mm.dir/lru.cc.o"
+  "CMakeFiles/tpp_mm.dir/lru.cc.o.d"
+  "CMakeFiles/tpp_mm.dir/meminfo.cc.o"
+  "CMakeFiles/tpp_mm.dir/meminfo.cc.o.d"
+  "CMakeFiles/tpp_mm.dir/sysctl.cc.o"
+  "CMakeFiles/tpp_mm.dir/sysctl.cc.o.d"
+  "CMakeFiles/tpp_mm.dir/vmstat.cc.o"
+  "CMakeFiles/tpp_mm.dir/vmstat.cc.o.d"
+  "libtpp_mm.a"
+  "libtpp_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/autotiering.cc" "src/policy/CMakeFiles/tpp_policy.dir/autotiering.cc.o" "gcc" "src/policy/CMakeFiles/tpp_policy.dir/autotiering.cc.o.d"
+  "/root/repo/src/policy/damon_reclaim.cc" "src/policy/CMakeFiles/tpp_policy.dir/damon_reclaim.cc.o" "gcc" "src/policy/CMakeFiles/tpp_policy.dir/damon_reclaim.cc.o.d"
+  "/root/repo/src/policy/numa_balancing.cc" "src/policy/CMakeFiles/tpp_policy.dir/numa_balancing.cc.o" "gcc" "src/policy/CMakeFiles/tpp_policy.dir/numa_balancing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mm/CMakeFiles/tpp_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tpp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_policy.dir/autotiering.cc.o"
+  "CMakeFiles/tpp_policy.dir/autotiering.cc.o.d"
+  "CMakeFiles/tpp_policy.dir/damon_reclaim.cc.o"
+  "CMakeFiles/tpp_policy.dir/damon_reclaim.cc.o.d"
+  "CMakeFiles/tpp_policy.dir/numa_balancing.cc.o"
+  "CMakeFiles/tpp_policy.dir/numa_balancing.cc.o.d"
+  "libtpp_policy.a"
+  "libtpp_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_sim.dir/distributions.cc.o"
+  "CMakeFiles/tpp_sim.dir/distributions.cc.o.d"
+  "CMakeFiles/tpp_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tpp_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/tpp_sim.dir/logging.cc.o"
+  "CMakeFiles/tpp_sim.dir/logging.cc.o.d"
+  "CMakeFiles/tpp_sim.dir/rng.cc.o"
+  "CMakeFiles/tpp_sim.dir/rng.cc.o.d"
+  "CMakeFiles/tpp_sim.dir/stats.cc.o"
+  "CMakeFiles/tpp_sim.dir/stats.cc.o.d"
+  "libtpp_sim.a"
+  "libtpp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

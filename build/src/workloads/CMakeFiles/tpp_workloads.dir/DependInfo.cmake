@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/driver.cc" "src/workloads/CMakeFiles/tpp_workloads.dir/driver.cc.o" "gcc" "src/workloads/CMakeFiles/tpp_workloads.dir/driver.cc.o.d"
+  "/root/repo/src/workloads/profiles.cc" "src/workloads/CMakeFiles/tpp_workloads.dir/profiles.cc.o" "gcc" "src/workloads/CMakeFiles/tpp_workloads.dir/profiles.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/workloads/CMakeFiles/tpp_workloads.dir/synthetic.cc.o" "gcc" "src/workloads/CMakeFiles/tpp_workloads.dir/synthetic.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/workloads/CMakeFiles/tpp_workloads.dir/trace.cc.o" "gcc" "src/workloads/CMakeFiles/tpp_workloads.dir/trace.cc.o.d"
+  "/root/repo/src/workloads/trace_io.cc" "src/workloads/CMakeFiles/tpp_workloads.dir/trace_io.cc.o" "gcc" "src/workloads/CMakeFiles/tpp_workloads.dir/trace_io.cc.o.d"
+  "/root/repo/src/workloads/ycsb.cc" "src/workloads/CMakeFiles/tpp_workloads.dir/ycsb.cc.o" "gcc" "src/workloads/CMakeFiles/tpp_workloads.dir/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mm/CMakeFiles/tpp_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tpp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

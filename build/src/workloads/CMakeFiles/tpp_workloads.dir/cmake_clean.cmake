@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_workloads.dir/driver.cc.o"
+  "CMakeFiles/tpp_workloads.dir/driver.cc.o.d"
+  "CMakeFiles/tpp_workloads.dir/profiles.cc.o"
+  "CMakeFiles/tpp_workloads.dir/profiles.cc.o.d"
+  "CMakeFiles/tpp_workloads.dir/synthetic.cc.o"
+  "CMakeFiles/tpp_workloads.dir/synthetic.cc.o.d"
+  "CMakeFiles/tpp_workloads.dir/trace.cc.o"
+  "CMakeFiles/tpp_workloads.dir/trace.cc.o.d"
+  "CMakeFiles/tpp_workloads.dir/trace_io.cc.o"
+  "CMakeFiles/tpp_workloads.dir/trace_io.cc.o.d"
+  "CMakeFiles/tpp_workloads.dir/ycsb.cc.o"
+  "CMakeFiles/tpp_workloads.dir/ycsb.cc.o.d"
+  "libtpp_workloads.a"
+  "libtpp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

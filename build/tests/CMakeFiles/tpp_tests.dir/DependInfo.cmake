@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_space.cc" "tests/CMakeFiles/tpp_tests.dir/test_address_space.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_address_space.cc.o.d"
+  "/root/repo/tests/test_chameleon.cc" "tests/CMakeFiles/tpp_tests.dir/test_chameleon.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_chameleon.cc.o.d"
+  "/root/repo/tests/test_damon.cc" "tests/CMakeFiles/tpp_tests.dir/test_damon.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_damon.cc.o.d"
+  "/root/repo/tests/test_distributions.cc" "tests/CMakeFiles/tpp_tests.dir/test_distributions.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_distributions.cc.o.d"
+  "/root/repo/tests/test_driver_harness.cc" "tests/CMakeFiles/tpp_tests.dir/test_driver_harness.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_driver_harness.cc.o.d"
+  "/root/repo/tests/test_edge_cases.cc" "tests/CMakeFiles/tpp_tests.dir/test_edge_cases.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_edge_cases.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/tpp_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/tpp_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/tpp_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_kernel_alloc.cc" "tests/CMakeFiles/tpp_tests.dir/test_kernel_alloc.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_kernel_alloc.cc.o.d"
+  "/root/repo/tests/test_kernel_fault.cc" "tests/CMakeFiles/tpp_tests.dir/test_kernel_fault.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_kernel_fault.cc.o.d"
+  "/root/repo/tests/test_kernel_migrate.cc" "tests/CMakeFiles/tpp_tests.dir/test_kernel_migrate.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_kernel_migrate.cc.o.d"
+  "/root/repo/tests/test_kernel_reclaim.cc" "tests/CMakeFiles/tpp_tests.dir/test_kernel_reclaim.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_kernel_reclaim.cc.o.d"
+  "/root/repo/tests/test_latency_swap.cc" "tests/CMakeFiles/tpp_tests.dir/test_latency_swap.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_latency_swap.cc.o.d"
+  "/root/repo/tests/test_lru.cc" "tests/CMakeFiles/tpp_tests.dir/test_lru.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_lru.cc.o.d"
+  "/root/repo/tests/test_memory_system.cc" "tests/CMakeFiles/tpp_tests.dir/test_memory_system.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_memory_system.cc.o.d"
+  "/root/repo/tests/test_modes_topologies.cc" "tests/CMakeFiles/tpp_tests.dir/test_modes_topologies.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_modes_topologies.cc.o.d"
+  "/root/repo/tests/test_multiprocess.cc" "tests/CMakeFiles/tpp_tests.dir/test_multiprocess.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_multiprocess.cc.o.d"
+  "/root/repo/tests/test_node.cc" "tests/CMakeFiles/tpp_tests.dir/test_node.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_node.cc.o.d"
+  "/root/repo/tests/test_numa_sampling.cc" "tests/CMakeFiles/tpp_tests.dir/test_numa_sampling.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_numa_sampling.cc.o.d"
+  "/root/repo/tests/test_page.cc" "tests/CMakeFiles/tpp_tests.dir/test_page.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_page.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/tpp_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/tpp_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/tpp_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/tpp_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_sysctl.cc" "tests/CMakeFiles/tpp_tests.dir/test_sysctl.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_sysctl.cc.o.d"
+  "/root/repo/tests/test_tpp_policy.cc" "tests/CMakeFiles/tpp_tests.dir/test_tpp_policy.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_tpp_policy.cc.o.d"
+  "/root/repo/tests/test_vmstat.cc" "tests/CMakeFiles/tpp_tests.dir/test_vmstat.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_vmstat.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/tpp_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_workloads.cc.o.d"
+  "/root/repo/tests/test_ycsb_meminfo.cc" "tests/CMakeFiles/tpp_tests.dir/test_ycsb_meminfo.cc.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_ycsb_meminfo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/tpp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/tpp_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/chameleon/CMakeFiles/tpp_chameleon.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tpp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/tpp_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tpp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
