@@ -10,7 +10,10 @@
  *  3. promotion rate limit sweep — the upstream follow-up knob
  *     (numa_balancing_promote_rate_limit_MBps); 0 = the paper's TPP.
  *
- * All on the stress case (Cache1, 1:4).
+ * All on the stress case (Cache1, 1:4). The three sweeps are submitted
+ * as one batch, so --jobs parallelises across them, and the default
+ * point shared by all three (factor 2.0 / 512 per 20ms / no limit) is
+ * simulated once.
  */
 
 #include "bench_common.hh"
@@ -20,15 +23,20 @@ namespace {
 using namespace tpp;
 
 ExperimentConfig
-baseConfig(std::uint64_t wss)
+baseConfig(const bench::BenchOptions &opt)
 {
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = bench::makeConfig(opt);
     cfg.workload = "cache1";
-    cfg.wssPages = wss;
     cfg.localFraction = parseRatio("1:4");
     cfg.policy = "tpp";
     return cfg;
 }
+
+struct Cadence {
+    std::uint64_t batch;
+    Tick period;
+    const char *label;
+};
 
 } // namespace
 
@@ -36,22 +44,48 @@ int
 main(int argc, char **argv)
 {
     using namespace tpp;
-    const std::uint64_t wss = bench::wssFromArgs(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     bench::banner("Ablation sweeps",
                   "TPP design-choice sensitivity (Cache1, 1:4)");
+
+    const std::vector<double> factors = {0.5, 1.0, 2.0, 4.0, 8.0};
+    const std::vector<Cadence> cadences = {
+        {128, 40 * kMillisecond, "128 / 40ms (slow)"},
+        {512, 20 * kMillisecond, "512 / 20ms (default)"},
+        {2048, 10 * kMillisecond, "2048 / 10ms (aggressive)"},
+    };
+    const std::vector<double> limits = {0.0, 16.0, 64.0, 256.0};
+
+    std::vector<ExperimentConfig> cfgs;
+    for (double factor : factors) {
+        ExperimentConfig cfg = baseConfig(opt);
+        cfg.tpp.demoteScaleFactor = factor;
+        cfgs.push_back(cfg);
+    }
+    for (const Cadence &c : cadences) {
+        ExperimentConfig cfg = baseConfig(opt);
+        cfg.tpp.scanBatch = c.batch;
+        cfg.tpp.scanPeriod = c.period;
+        cfgs.push_back(cfg);
+    }
+    for (double limit : limits) {
+        ExperimentConfig cfg = baseConfig(opt);
+        cfg.tpp.promoteRateLimitMBps = limit;
+        cfgs.push_back(cfg);
+    }
+    const std::vector<ExperimentResult> results =
+        SweepRunner(bench::sweepOptions(opt)).run(cfgs);
 
     std::printf("-- demote_scale_factor --\n");
     {
         TextTable table({"scale factor", "local traffic", "tput (ops/s)",
                          "demotions", "promo success rate"});
-        for (double factor : {0.5, 1.0, 2.0, 4.0, 8.0}) {
-            ExperimentConfig cfg = baseConfig(wss);
-            cfg.tpp.demoteScaleFactor = factor;
-            const ExperimentResult res = runExperiment(cfg);
+        for (std::size_t i = 0; i < factors.size(); ++i) {
+            const ExperimentResult &res = results[i];
             const std::uint64_t tries = res.vmstat.get(Vm::PgPromoteTry);
             table.addRow(
-                {TextTable::num(factor, 1),
+                {TextTable::num(factors[i], 1),
                  TextTable::pct(res.localTrafficShare),
                  TextTable::num(res.throughput, 0),
                  TextTable::count(res.vmstat.get(Vm::PgDemoteAnon) +
@@ -69,23 +103,10 @@ main(int argc, char **argv)
     {
         TextTable table({"batch/period", "hint faults", "promotions",
                          "local traffic", "tput (ops/s)"});
-        struct Cadence {
-            std::uint64_t batch;
-            Tick period;
-            const char *label;
-        };
-        const Cadence cadences[] = {
-            {128, 40 * kMillisecond, "128 / 40ms (slow)"},
-            {512, 20 * kMillisecond, "512 / 20ms (default)"},
-            {2048, 10 * kMillisecond, "2048 / 10ms (aggressive)"},
-        };
-        for (const Cadence &c : cadences) {
-            ExperimentConfig cfg = baseConfig(wss);
-            cfg.tpp.scanBatch = c.batch;
-            cfg.tpp.scanPeriod = c.period;
-            const ExperimentResult res = runExperiment(cfg);
+        for (std::size_t i = 0; i < cadences.size(); ++i) {
+            const ExperimentResult &res = results[factors.size() + i];
             table.addRow(
-                {c.label,
+                {cadences[i].label,
                  TextTable::count(res.vmstat.get(Vm::NumaHintFaults)),
                  TextTable::count(res.vmstat.get(Vm::PgPromoteSuccess)),
                  TextTable::pct(res.localTrafficShare),
@@ -98,12 +119,11 @@ main(int argc, char **argv)
     {
         TextTable table({"limit", "promotions", "rate-limited",
                          "local traffic", "tput (ops/s)"});
-        for (double limit : {0.0, 16.0, 64.0, 256.0}) {
-            ExperimentConfig cfg = baseConfig(wss);
-            cfg.tpp.promoteRateLimitMBps = limit;
-            const ExperimentResult res = runExperiment(cfg);
+        for (std::size_t i = 0; i < limits.size(); ++i) {
+            const ExperimentResult &res =
+                results[factors.size() + cadences.size() + i];
             table.addRow(
-                {limit == 0.0 ? "off" : TextTable::num(limit, 0),
+                {limits[i] == 0.0 ? "off" : TextTable::num(limits[i], 0),
                  TextTable::count(res.vmstat.get(Vm::PgPromoteSuccess)),
                  TextTable::count(
                      res.vmstat.get(Vm::PgPromoteFailRateLimit)),
@@ -112,5 +132,6 @@ main(int argc, char **argv)
         }
         table.print();
     }
+    bench::maybeWriteCsv(opt, results);
     return 0;
 }

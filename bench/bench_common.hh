@@ -1,20 +1,34 @@
 /**
  * @file
- * Shared plumbing for the figure/table reproduction binaries: default
- * scales, argv handling and headline banners.
+ * Shared plumbing for the figure/table reproduction binaries (and the
+ * sweep-shaped examples): a common option parser, sweep wiring, CSV
+ * export and headline banners.
  *
- * Every binary accepts an optional working-set size in pages as its
- * first argument (default 32768 = 128 MiB of 4 KiB pages, enough for
- * the published dynamics to emerge while keeping runs to seconds).
+ * Every binary accepts:
+ *
+ *   --wss PAGES   working-set size in pages (default 32768 = 128 MiB)
+ *   --jobs N      run sweep configs on N worker threads (0 = all
+ *                 hardware threads; results are bit-for-bit identical
+ *                 to --jobs 1)
+ *   --seed S      simulation seed
+ *   --csv PATH    also write the run's ExperimentResults as CSV
+ *   --verbose     enable inform()/warn() logging + sweep progress
+ *   PAGES         bare positional working-set size (backward compat)
  */
 
 #ifndef TPP_BENCH_BENCH_COMMON_HH
 #define TPP_BENCH_BENCH_COMMON_HH
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/export.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 
@@ -23,14 +37,114 @@ namespace bench {
 
 inline constexpr std::uint64_t kDefaultWssPages = 32768;
 
-/** Parse the common argv: [wss_pages]. */
+/** Options shared by every bench binary. */
+struct BenchOptions {
+    std::uint64_t wssPages = kDefaultWssPages;
+    /** Sweep worker threads; 0 = all hardware threads. */
+    unsigned jobs = 1;
+    std::uint64_t seed = 1;
+    /** When non-empty, results are also written here as CSV. */
+    std::string csvPath;
+    bool verbose = false;
+};
+
+/** Strict unsigned parse; fatal() on trailing junk or overflow. */
 inline std::uint64_t
-wssFromArgs(int argc, char **argv)
+parseCount(const char *flag, const std::string &text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 0);
+    if (text.empty() || end != text.c_str() + text.size() ||
+        errno == ERANGE || text[0] == '-') {
+        tpp_fatal("%s expects an unsigned integer, got '%s'", flag,
+                  text.c_str());
+    }
+    return value;
+}
+
+inline void
+printUsage(const char *argv0)
+{
+    std::printf("usage: %s [PAGES] [--wss PAGES] [--jobs N] [--seed S]\n"
+                "       %*s [--csv PATH] [--verbose]\n",
+                argv0, static_cast<int>(std::string(argv0).size()), "");
+}
+
+/**
+ * Parse the shared bench argv. The first bare non-flag argument is the
+ * working-set size in pages, as it always was.
+ */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv)
 {
     setLogVerbose(false);
-    if (argc > 1)
-        return std::strtoull(argv[1], nullptr, 0);
-    return kDefaultWssPages;
+    BenchOptions opt;
+    bool saw_positional = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                tpp_fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--wss") {
+            opt.wssPages = parseCount("--wss", next());
+        } else if (arg == "--jobs") {
+            opt.jobs =
+                static_cast<unsigned>(parseCount("--jobs", next()));
+        } else if (arg == "--seed") {
+            opt.seed = parseCount("--seed", next());
+        } else if (arg == "--csv") {
+            opt.csvPath = next();
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(argv[0]);
+            std::exit(0);
+        } else if (!arg.empty() && arg[0] != '-' && !saw_positional) {
+            opt.wssPages = parseCount("working-set size", arg);
+            saw_positional = true;
+        } else {
+            tpp_fatal("unknown argument '%s' (try --help)", arg.c_str());
+        }
+    }
+    setLogVerbose(opt.verbose);
+    return opt;
+}
+
+/** An ExperimentConfig carrying the shared options (wss, seed). */
+inline ExperimentConfig
+makeConfig(const BenchOptions &opt)
+{
+    ExperimentConfig cfg;
+    cfg.wssPages = opt.wssPages;
+    cfg.seed = opt.seed;
+    return cfg;
+}
+
+/** SweepRunner options derived from the shared flags. */
+inline SweepOptions
+sweepOptions(const BenchOptions &opt)
+{
+    SweepOptions sweep;
+    sweep.jobs = opt.jobs;
+    sweep.progress = opt.verbose;
+    return sweep;
+}
+
+/** Honour --csv: dump every result of the run in submission order. */
+inline void
+maybeWriteCsv(const BenchOptions &opt,
+              const std::vector<ExperimentResult> &results)
+{
+    if (opt.csvPath.empty())
+        return;
+    std::ofstream out(opt.csvPath);
+    if (!out)
+        tpp_fatal("cannot open --csv path '%s'", opt.csvPath.c_str());
+    writeResultsCsv(out, results);
 }
 
 /** Print the figure banner. */

@@ -12,114 +12,67 @@
  * (useless local sampling, gated promotions, displacement paging).
  */
 
-#include <memory>
-
 #include "bench_common.hh"
-#include "mm/kernel.hh"
-#include "policy/damon_reclaim.hh"
-#include "workloads/driver.hh"
-#include "workloads/profiles.hh"
-#include "workloads/ycsb.hh"
-
-namespace {
-
-using namespace tpp;
-
-struct ZooResult {
-    double throughput = 0.0;
-    double localShare = 0.0;
-    std::uint64_t swapOuts = 0;
-    std::uint64_t demotions = 0;
-    std::uint64_t promotions = 0;
-};
-
-std::unique_ptr<PlacementPolicy>
-zooPolicy(const std::string &name)
-{
-    if (name == "damon-reclaim")
-        return std::make_unique<DamonReclaimPolicy>();
-    ExperimentConfig cfg;
-    cfg.policy = name;
-    return makePolicy(cfg);
-}
-
-ZooResult
-runZoo(const std::string &policy, std::uint64_t wss, bool ycsb,
-       bool all_local)
-{
-    const std::uint64_t total = wss * 103 / 100;
-    MemoryConfig mem_cfg;
-    if (all_local) {
-        mem_cfg = TopologyBuilder::allLocal(total);
-    } else {
-        const std::uint64_t local_pages = total / 5; // 1:4
-        mem_cfg =
-            TopologyBuilder::cxlSystem(local_pages, total - local_pages);
-    }
-    EventQueue eq;
-    MemorySystem mem(mem_cfg);
-    Kernel kernel(mem, eq, zooPolicy(policy));
-
-    std::unique_ptr<Workload> workload;
-    if (ycsb) {
-        YcsbConfig cfg = YcsbConfig::workloadB(wss * 9 / 10);
-        workload = std::make_unique<YcsbWorkload>(cfg);
-    } else {
-        workload = std::make_unique<SyntheticWorkload>(
-            profiles::cache1(wss));
-    }
-    workload->setTaskNode(mem.cpuNodes().front());
-
-    DriverConfig driver_cfg;
-    WorkloadDriver driver(kernel, *workload, driver_cfg);
-    kernel.start();
-    driver.runToCompletion();
-
-    ZooResult result;
-    result.throughput = driver.throughput();
-    result.localShare = driver.trafficShare(mem.cpuNodes().front());
-    const VmStat &vs = kernel.vmstat();
-    result.swapOuts = vs.get(Vm::PswpOut);
-    result.demotions =
-        vs.get(Vm::PgDemoteAnon) + vs.get(Vm::PgDemoteFile);
-    result.promotions = vs.get(Vm::PgPromoteSuccess);
-    return result;
-}
-
-void
-zooTable(const char *title, std::uint64_t wss, bool ycsb)
-{
-    std::printf("-- %s --\n", title);
-    const ZooResult baseline = runZoo("linux", wss, ycsb, true);
-    TextTable table({"policy", "tput vs all-local", "local traffic",
-                     "swap-outs", "demotions", "promotions"});
-    for (const char *policy :
-         {"linux", "numa-balancing", "autotiering", "damon-reclaim",
-          "tpp"}) {
-        const ZooResult res = runZoo(policy, wss, ycsb, false);
-        table.addRow({policy,
-                      TextTable::pct(res.throughput /
-                                     baseline.throughput),
-                      TextTable::pct(res.localShare),
-                      TextTable::count(res.swapOuts),
-                      TextTable::count(res.demotions),
-                      TextTable::count(res.promotions)});
-    }
-    table.print();
-    std::printf("\n");
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace tpp;
-    const std::uint64_t wss = bench::wssFromArgs(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     bench::banner("Policy zoo (extension)",
                   "all five policies on the 1:4 stress configuration");
-    zooTable("Cache1 (paper workload)", wss, false);
-    zooTable("YCSB-B (out-of-sample key-value mix)", wss, true);
+
+    const std::vector<const char *> policies = {
+        "linux", "numa-balancing", "autotiering", "damon-reclaim", "tpp"};
+    struct Zoo {
+        const char *title;
+        const char *workload;
+    };
+    const std::vector<Zoo> zoos = {
+        {"Cache1 (paper workload)", "cache1"},
+        {"YCSB-B (out-of-sample key-value mix)", "ycsb-b"},
+    };
+
+    // Per zoo: the all-local baseline followed by each policy run.
+    std::vector<ExperimentConfig> cfgs;
+    for (const Zoo &zoo : zoos) {
+        ExperimentConfig base = bench::makeConfig(opt);
+        base.workload = zoo.workload;
+        base.allLocal = true;
+        base.policy = "linux";
+        cfgs.push_back(base);
+        for (const char *policy : policies) {
+            ExperimentConfig cfg = base;
+            cfg.allLocal = false;
+            cfg.localFraction = parseRatio("1:4");
+            cfg.policy = policy;
+            cfgs.push_back(cfg);
+        }
+    }
+    const std::vector<ExperimentResult> results =
+        SweepRunner(bench::sweepOptions(opt)).run(cfgs);
+
+    const std::size_t stride = 1 + policies.size();
+    for (std::size_t z = 0; z < zoos.size(); ++z) {
+        std::printf("-- %s --\n", zoos[z].title);
+        const ExperimentResult &baseline = results[z * stride];
+        TextTable table({"policy", "tput vs all-local", "local traffic",
+                         "swap-outs", "demotions", "promotions"});
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const ExperimentResult &res = results[z * stride + 1 + p];
+            table.addRow(
+                {policies[p],
+                 TextTable::pct(res.throughput / baseline.throughput),
+                 TextTable::pct(res.localTrafficShare),
+                 TextTable::count(res.vmstat.get(Vm::PswpOut)),
+                 TextTable::count(res.vmstat.get(Vm::PgDemoteAnon) +
+                                  res.vmstat.get(Vm::PgDemoteFile)),
+                 TextTable::count(res.vmstat.get(Vm::PgPromoteSuccess))});
+        }
+        table.print();
+        std::printf("\n");
+    }
+    bench::maybeWriteCsv(opt, results);
     return 0;
 }

@@ -20,7 +20,7 @@ int
 main(int argc, char **argv)
 {
     using namespace tpp;
-    (void)bench::wssFromArgs(argc, argv);
+    (void)bench::parseBenchArgs(argc, argv);
 
     bench::banner("Figure 2", "memory-tier latency ladder (model)");
 

@@ -17,7 +17,7 @@ int
 main(int argc, char **argv)
 {
     using namespace tpp;
-    const std::uint64_t wss = bench::wssFromArgs(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     bench::banner("Figure 7", "page temperature: allocated vs touched per "
                               "interval (all-local, Chameleon)");
@@ -25,10 +25,10 @@ main(int argc, char **argv)
     TextTable table({"workload", "allocated/capacity", "touched/allocated",
                      "touched (mean pages)", "intervals"});
 
+    std::vector<ExperimentConfig> cfgs;
     for (const char *wl : {"web", "cache1", "cache2", "dwh"}) {
-        ExperimentConfig cfg;
+        ExperimentConfig cfg = bench::makeConfig(opt);
         cfg.workload = wl;
-        cfg.wssPages = wss;
         cfg.allLocal = true;
         cfg.policy = "linux";
         cfg.withChameleon = true;
@@ -38,10 +38,15 @@ main(int argc, char **argv)
         // 1-in-200 so per-interval sample counts stay comparable.
         cfg.chameleon.samplePeriod = 10;
         cfg.chameleon.dutyCycle = false;
-        const ExperimentResult res = runExperiment(cfg);
+        cfgs.push_back(cfg);
+    }
+    const std::vector<ExperimentResult> results =
+        SweepRunner(bench::sweepOptions(opt)).run(cfgs);
 
+    for (std::size_t w = 0; w < cfgs.size(); ++w) {
+        const ExperimentResult &res = results[w];
         const std::uint64_t capacity = static_cast<std::uint64_t>(
-            static_cast<double>(wss) * cfg.capacityHeadroom);
+            static_cast<double>(opt.wssPages) * cfgs[w].capacityHeadroom);
 
         // Average over the post-warm-up intervals (skip the first few
         // while the workload populates).
@@ -59,7 +64,7 @@ main(int argc, char **argv)
             resident /= static_cast<double>(n);
             hot /= static_cast<double>(n);
         }
-        table.addRow({wl,
+        table.addRow({cfgs[w].workload,
                       TextTable::pct(resident /
                                      static_cast<double>(capacity)),
                       TextTable::pct(resident > 0 ? hot / resident : 0.0),
@@ -69,5 +74,6 @@ main(int argc, char **argv)
     table.print();
     std::printf("\npaper: Web 97%%/22%%, Cache1 95%%/30%%, Cache2 98%%/40%%, "
                 "DWH ~100%%/20-30%%\n");
+    bench::maybeWriteCsv(opt, results);
     return 0;
 }

@@ -16,7 +16,7 @@ int
 main(int argc, char **argv)
 {
     using namespace tpp;
-    const std::uint64_t wss = bench::wssFromArgs(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     bench::banner("Figure 8",
                   "hot fraction by page type (all-local, Chameleon)");
@@ -24,10 +24,10 @@ main(int argc, char **argv)
     TextTable table({"workload", "anon hot/resident", "file hot/resident",
                      "anon share of hot"});
 
+    std::vector<ExperimentConfig> cfgs;
     for (const char *wl : {"web", "cache1", "cache2", "dwh"}) {
-        ExperimentConfig cfg;
+        ExperimentConfig cfg = bench::makeConfig(opt);
         cfg.workload = wl;
-        cfg.wssPages = wss;
         cfg.allLocal = true;
         cfg.policy = "linux";
         cfg.withChameleon = true;
@@ -37,11 +37,16 @@ main(int argc, char **argv)
         // 1-in-200 so per-interval sample counts stay comparable.
         cfg.chameleon.samplePeriod = 10;
         cfg.chameleon.dutyCycle = false;
-        const ExperimentResult res = runExperiment(cfg);
+        cfgs.push_back(cfg);
+    }
+    const std::vector<ExperimentResult> results =
+        SweepRunner(bench::sweepOptions(opt)).run(cfgs);
+
+    for (std::size_t w = 0; w < cfgs.size(); ++w) {
+        const ExperimentResult &res = results[w];
 
         double anon_hot = 0.0, anon_res = 0.0;
         double file_hot = 0.0, file_res = 0.0;
-        std::size_t n = 0;
         for (std::size_t i = res.chameleonIntervals.size() / 2;
              i < res.chameleonIntervals.size(); ++i) {
             const auto &iv = res.chameleonIntervals[i];
@@ -49,11 +54,10 @@ main(int argc, char **argv)
             file_hot += static_cast<double>(iv.touchedByType[1]);
             anon_res += static_cast<double>(iv.residentByType[0]);
             file_res += static_cast<double>(iv.residentByType[1]);
-            n++;
         }
         const double hot_total = anon_hot + file_hot;
         table.addRow(
-            {wl,
+            {cfgs[w].workload,
              TextTable::pct(anon_res > 0 ? anon_hot / anon_res : 0.0),
              TextTable::pct(file_res > 0 ? file_hot / file_res : 0.0),
              TextTable::pct(hot_total > 0 ? anon_hot / hot_total : 0.0)});
@@ -61,5 +65,6 @@ main(int argc, char **argv)
     table.print();
     std::printf("\npaper: Web 35%%/14%%, Cache1 40%%/25%%, Cache2 43%%/45%%, "
                 "DWH anon-dominated\n");
+    bench::maybeWriteCsv(opt, results);
     return 0;
 }

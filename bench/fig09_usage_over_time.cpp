@@ -16,20 +16,26 @@ int
 main(int argc, char **argv)
 {
     using namespace tpp;
-    const std::uint64_t wss = bench::wssFromArgs(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     bench::banner("Figure 9",
                   "anon/file resident shares over time (all-local)");
 
+    std::vector<ExperimentConfig> cfgs;
     for (const char *wl : {"web", "cache1", "cache2", "dwh"}) {
-        ExperimentConfig cfg;
+        ExperimentConfig cfg = bench::makeConfig(opt);
         cfg.workload = wl;
-        cfg.wssPages = wss;
         cfg.allLocal = true;
         cfg.policy = "linux";
-        const ExperimentResult res = runExperiment(cfg);
+        cfgs.push_back(cfg);
+    }
+    const std::vector<ExperimentResult> results =
+        SweepRunner(bench::sweepOptions(opt)).run(cfgs);
 
-        std::printf("-- %s --\n", wl);
+    for (std::size_t w = 0; w < cfgs.size(); ++w) {
+        const ExperimentResult &res = results[w];
+
+        std::printf("-- %s --\n", cfgs[w].workload.c_str());
         TextTable table({"t(s)", "anon share", "file share",
                          "resident pages"});
         for (std::size_t i = 0; i < res.samples.size(); i += 10) {
@@ -47,5 +53,6 @@ main(int argc, char **argv)
     }
     std::printf("paper: Web file-heavy then anon grows; Cache ~75-80%% file "
                 "steady; DWH ~85%% anon steady\n");
+    bench::maybeWriteCsv(opt, results);
     return 0;
 }

@@ -48,7 +48,7 @@ int
 main(int argc, char **argv)
 {
     using namespace tpp;
-    const std::uint64_t wss = bench::wssFromArgs(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     bench::banner("Figure 10",
                   "throughput sensitivity to anon/file utilisation "
@@ -57,13 +57,19 @@ main(int argc, char **argv)
     TextTable table({"workload", "corr(anon, tput)", "corr(file, tput)",
                      "tput swing", "peak tput at anon util"});
 
+    std::vector<ExperimentConfig> cfgs;
     for (const char *wl : {"web", "cache1", "cache2", "dwh"}) {
-        ExperimentConfig cfg;
+        ExperimentConfig cfg = bench::makeConfig(opt);
         cfg.workload = wl;
-        cfg.wssPages = wss;
         cfg.allLocal = true;
         cfg.policy = "linux";
-        const ExperimentResult res = runExperiment(cfg);
+        cfgs.push_back(cfg);
+    }
+    const std::vector<ExperimentResult> results =
+        SweepRunner(bench::sweepOptions(opt)).run(cfgs);
+
+    for (std::size_t w = 0; w < cfgs.size(); ++w) {
+        const ExperimentResult &res = results[w];
 
         std::vector<double> anon, file, tput;
         double best_tput = 0.0, best_anon = 0.0;
@@ -77,7 +83,7 @@ main(int argc, char **argv)
             if (s.throughput > best_tput) {
                 best_tput = s.throughput;
                 best_anon = static_cast<double>(s.anonResident) /
-                            static_cast<double>(wss);
+                            static_cast<double>(opt.wssPages);
             }
             if (min_tput == 0.0 || s.throughput < min_tput)
                 min_tput = s.throughput;
@@ -87,12 +93,14 @@ main(int argc, char **argv)
         // incidental.
         const double swing =
             best_tput > 0.0 ? (best_tput - min_tput) / best_tput : 0.0;
-        table.addRow({wl, TextTable::num(correlation(anon, tput), 2),
+        table.addRow({cfgs[w].workload,
+                      TextTable::num(correlation(anon, tput), 2),
                       TextTable::num(correlation(file, tput), 2),
                       TextTable::pct(swing), TextTable::pct(best_anon)});
     }
     table.print();
     std::printf("\npaper: Web/Cache2/DWH throughput rises with anon "
                 "utilisation; Cache1 shows no clear relation\n");
+    bench::maybeWriteCsv(opt, results);
     return 0;
 }

@@ -11,27 +11,35 @@
  * newly allocated, so its re-access fraction stays low.
  */
 
+#include <array>
+
 #include "bench_common.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace tpp;
-    const std::uint64_t wss = bench::wssFromArgs(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     bench::banner("Figure 11", "re-access gap CDF (all-local, Chameleon)");
 
     TextTable table({"workload", "<=1 iv", "<=2 iv", "<=5 iv", "<=10 iv",
                      "re-accesses/interval"});
 
+    std::vector<ExperimentConfig> cfgs;
     for (const char *wl : {"web", "cache1", "cache2", "dwh"}) {
-        ExperimentConfig cfg;
+        ExperimentConfig cfg = bench::makeConfig(opt);
         cfg.workload = wl;
-        cfg.wssPages = wss;
         cfg.allLocal = true;
         cfg.policy = "linux";
         cfg.withChameleon = true;
-        const ExperimentResult res = runExperiment(cfg);
+        cfgs.push_back(cfg);
+    }
+    const std::vector<ExperimentResult> results =
+        SweepRunner(bench::sweepOptions(opt)).run(cfgs);
+
+    for (std::size_t w = 0; w < cfgs.size(); ++w) {
+        const ExperimentResult &res = results[w];
 
         std::uint64_t total = 0;
         std::array<std::uint64_t, 64> gaps{};
@@ -55,12 +63,14 @@ main(int argc, char **argv)
                 ? 0.0
                 : static_cast<double>(total) /
                       static_cast<double>(res.chameleonIntervals.size());
-        table.addRow({wl, TextTable::pct(cdf(1)), TextTable::pct(cdf(2)),
-                      TextTable::pct(cdf(5)), TextTable::pct(cdf(10)),
+        table.addRow({cfgs[w].workload, TextTable::pct(cdf(1)),
+                      TextTable::pct(cdf(2)), TextTable::pct(cdf(5)),
+                      TextTable::pct(cdf(10)),
                       TextTable::num(per_interval, 0)});
     }
     table.print();
     std::printf("\npaper: Web/Cache ~80%% re-accessed within 10 min "
                 "(5 intervals); DWH mostly new allocations\n");
+    bench::maybeWriteCsv(opt, results);
     return 0;
 }

@@ -18,7 +18,7 @@ int
 main(int argc, char **argv)
 {
     using namespace tpp;
-    const std::uint64_t wss = bench::wssFromArgs(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     bench::banner("Figure 15",
                   "default production environment (local:CXL = 2:1)");
@@ -26,21 +26,35 @@ main(int argc, char **argv)
     TextTable table({"workload", "policy", "local traffic", "cxl traffic",
                      "tput vs all-local", "anon on local", "file on local"});
 
-    for (const char *wl : {"web", "cache1", "cache2", "dwh"}) {
-        ExperimentConfig base;
+    const std::vector<const char *> workloads = {"web", "cache1", "cache2",
+                                                 "dwh"};
+    const std::vector<const char *> policies = {"linux", "tpp"};
+
+    // Per workload: the all-local baseline followed by each policy run.
+    std::vector<ExperimentConfig> cfgs;
+    for (const char *wl : workloads) {
+        ExperimentConfig base = bench::makeConfig(opt);
         base.workload = wl;
-        base.wssPages = wss;
         base.allLocal = true;
         base.policy = "linux";
-        const ExperimentResult baseline = runExperiment(base);
-
-        for (const char *policy : {"linux", "tpp"}) {
+        cfgs.push_back(base);
+        for (const char *policy : policies) {
             ExperimentConfig cfg = base;
             cfg.allLocal = false;
             cfg.localFraction = parseRatio("2:1");
             cfg.policy = policy;
-            const ExperimentResult res = runExperiment(cfg);
-            table.addRow({wl, policy,
+            cfgs.push_back(cfg);
+        }
+    }
+    const std::vector<ExperimentResult> results =
+        SweepRunner(bench::sweepOptions(opt)).run(cfgs);
+
+    const std::size_t stride = 1 + policies.size();
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const ExperimentResult &baseline = results[w * stride];
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const ExperimentResult &res = results[w * stride + 1 + p];
+            table.addRow({workloads[w], policies[p],
                           TextTable::pct(res.localTrafficShare),
                           TextTable::pct(res.cxlTrafficShare),
                           TextTable::pct(res.throughput /
@@ -53,5 +67,6 @@ main(int argc, char **argv)
     std::printf("\npaper: Web linux 22%%/78%% @83.5%%, tpp 90%%/10%% @99.5%%;"
                 " Cache1 linux ~97%%, tpp 99.9%%; Cache2 linux 78%% local"
                 " @98%%, tpp 91%% @99.6%%; DWH both ~99%%+\n");
+    bench::maybeWriteCsv(opt, results);
     return 0;
 }

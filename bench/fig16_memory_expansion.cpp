@@ -18,7 +18,7 @@ int
 main(int argc, char **argv)
 {
     using namespace tpp;
-    const std::uint64_t wss = bench::wssFromArgs(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     bench::banner("Figure 16",
                   "memory expansion configuration (local:CXL = 1:4)");
@@ -26,21 +26,33 @@ main(int argc, char **argv)
     TextTable table({"workload", "policy", "local traffic", "cxl traffic",
                      "tput vs all-local", "anon on local", "file on local"});
 
-    for (const char *wl : {"cache1", "cache2"}) {
-        ExperimentConfig base;
+    const std::vector<const char *> workloads = {"cache1", "cache2"};
+    const std::vector<const char *> policies = {"linux", "tpp"};
+
+    std::vector<ExperimentConfig> cfgs;
+    for (const char *wl : workloads) {
+        ExperimentConfig base = bench::makeConfig(opt);
         base.workload = wl;
-        base.wssPages = wss;
         base.allLocal = true;
         base.policy = "linux";
-        const ExperimentResult baseline = runExperiment(base);
-
-        for (const char *policy : {"linux", "tpp"}) {
+        cfgs.push_back(base);
+        for (const char *policy : policies) {
             ExperimentConfig cfg = base;
             cfg.allLocal = false;
             cfg.localFraction = parseRatio("1:4");
             cfg.policy = policy;
-            const ExperimentResult res = runExperiment(cfg);
-            table.addRow({wl, policy,
+            cfgs.push_back(cfg);
+        }
+    }
+    const std::vector<ExperimentResult> results =
+        SweepRunner(bench::sweepOptions(opt)).run(cfgs);
+
+    const std::size_t stride = 1 + policies.size();
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const ExperimentResult &baseline = results[w * stride];
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const ExperimentResult &res = results[w * stride + 1 + p];
+            table.addRow({workloads[w], policies[p],
                           TextTable::pct(res.localTrafficShare),
                           TextTable::pct(res.cxlTrafficShare),
                           TextTable::pct(res.throughput /
@@ -53,5 +65,6 @@ main(int argc, char **argv)
     std::printf("\npaper: Cache1 linux 25%%/75%% @86%%, tpp 85%%/15%% "
                 "@99.5%%; Cache2 linux 20%%/80%% @82%%, tpp 59%%/41%% "
                 "@95%%\n");
+    bench::maybeWriteCsv(opt, results);
     return 0;
 }

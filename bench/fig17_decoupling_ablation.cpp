@@ -20,17 +20,11 @@ namespace {
 
 using namespace tpp;
 
-struct Row {
-    double allocMean, allocP95, promoMean, promoP99;
-    ExperimentResult res;
-};
-
-Row
-runCase(std::uint64_t wss, bool decouple)
+ExperimentConfig
+caseConfig(const bench::BenchOptions &opt, bool decouple)
 {
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = bench::makeConfig(opt);
     cfg.workload = "cache1";
-    cfg.wssPages = wss;
     cfg.localFraction = parseRatio("1:4");
     cfg.policy = "tpp";
     // The paper's decoupling feature is a unit: the separate demotion
@@ -38,9 +32,19 @@ runCase(std::uint64_t wss, bool decouple)
     // promotions (5.3). The coupled variant disables both.
     cfg.tpp.decoupleWatermarks = decouple;
     cfg.tpp.promotionIgnoresWatermark = decouple;
-    Row row;
-    row.res = runExperiment(cfg);
+    return cfg;
+}
 
+struct Row {
+    double allocMean, allocP95, promoMean, promoP99;
+    ExperimentResult res;
+};
+
+Row
+makeRow(const ExperimentResult &res)
+{
+    Row row;
+    row.res = res;
     TimeSeries alloc, promo;
     for (const IntervalSample &s : row.res.samples) {
         alloc.record(s.tick, s.localAllocRate);
@@ -59,14 +63,19 @@ int
 main(int argc, char **argv)
 {
     using namespace tpp;
-    const std::uint64_t wss = bench::wssFromArgs(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     bench::banner("Figure 17",
                   "allocation/reclamation decoupling ablation "
                   "(Cache1, 1:4)");
 
-    const Row coupled = runCase(wss, false);
-    const Row decoupled = runCase(wss, true);
+    const std::vector<ExperimentConfig> cfgs = {caseConfig(opt, false),
+                                                caseConfig(opt, true)};
+    const std::vector<ExperimentResult> results =
+        SweepRunner(bench::sweepOptions(opt)).run(cfgs);
+
+    const Row coupled = makeRow(results[0]);
+    const Row decoupled = makeRow(results[1]);
 
     TextTable table({"variant", "alloc->local mean (pg/s)",
                      "alloc->local p95", "promo mean (pg/s)", "promo p99",
@@ -94,5 +103,6 @@ main(int argc, char **argv)
     }
     std::printf("paper: without decoupling promotion almost halts, CXL "
                 "traffic ~55%%, throughput -12%%\n");
+    bench::maybeWriteCsv(opt, results);
     return 0;
 }

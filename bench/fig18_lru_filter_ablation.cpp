@@ -19,16 +19,15 @@ namespace {
 
 using namespace tpp;
 
-ExperimentResult
-runCase(std::uint64_t wss, bool filter)
+ExperimentConfig
+caseConfig(const bench::BenchOptions &opt, bool filter)
 {
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = bench::makeConfig(opt);
     cfg.workload = "cache1";
-    cfg.wssPages = wss;
     cfg.localFraction = parseRatio("1:4");
     cfg.policy = "tpp";
     cfg.tpp.activeLruFilter = filter;
-    return runExperiment(cfg);
+    return cfg;
 }
 
 double
@@ -60,13 +59,18 @@ int
 main(int argc, char **argv)
 {
     using namespace tpp;
-    const std::uint64_t wss = bench::wssFromArgs(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     bench::banner("Figure 18",
                   "active-LRU promotion filter ablation (Cache1, 1:4)");
 
-    const ExperimentResult instant = runCase(wss, false);
-    const ExperimentResult filtered = runCase(wss, true);
+    const std::vector<ExperimentConfig> cfgs = {caseConfig(opt, false),
+                                                caseConfig(opt, true)};
+    const std::vector<ExperimentResult> results =
+        SweepRunner(bench::sweepOptions(opt)).run(cfgs);
+
+    const ExperimentResult &instant = results[0];
+    const ExperimentResult &filtered = results[1];
 
     auto successRate = [](const ExperimentResult &r) {
         const std::uint64_t tries = r.vmstat.get(Vm::PgPromoteTry);
@@ -111,5 +115,6 @@ main(int argc, char **argv)
                     100.0 * (1.0 - static_cast<double>(d_f) /
                                        static_cast<double>(d_i)));
     }
+    bench::maybeWriteCsv(opt, results);
     return 0;
 }

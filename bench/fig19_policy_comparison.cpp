@@ -19,7 +19,7 @@ int
 main(int argc, char **argv)
 {
     using namespace tpp;
-    const std::uint64_t wss = bench::wssFromArgs(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     bench::banner("Figure 19",
                   "TPP vs NUMA Balancing vs AutoTiering");
@@ -28,28 +28,39 @@ main(int argc, char **argv)
         const char *workload;
         const char *ratio;
     };
-    const Case cases[] = {{"web", "2:1"}, {"cache1", "1:4"}};
+    const std::vector<Case> cases = {{"web", "2:1"}, {"cache1", "1:4"}};
+    const std::vector<const char *> policies = {
+        "linux", "numa-balancing", "autotiering", "tpp"};
 
     TextTable table({"workload", "config", "policy", "local traffic",
                      "tput vs all-local", "promotions", "hint faults"});
 
+    // Per case: the all-local baseline followed by each policy run.
+    std::vector<ExperimentConfig> cfgs;
     for (const Case &c : cases) {
-        ExperimentConfig base;
+        ExperimentConfig base = bench::makeConfig(opt);
         base.workload = c.workload;
-        base.wssPages = wss;
         base.allLocal = true;
         base.policy = "linux";
-        const ExperimentResult baseline = runExperiment(base);
-
-        for (const char *policy :
-             {"linux", "numa-balancing", "autotiering", "tpp"}) {
+        cfgs.push_back(base);
+        for (const char *policy : policies) {
             ExperimentConfig cfg = base;
             cfg.allLocal = false;
             cfg.localFraction = parseRatio(c.ratio);
             cfg.policy = policy;
-            const ExperimentResult res = runExperiment(cfg);
+            cfgs.push_back(cfg);
+        }
+    }
+    const std::vector<ExperimentResult> results =
+        SweepRunner(bench::sweepOptions(opt)).run(cfgs);
+
+    const std::size_t stride = 1 + policies.size();
+    for (std::size_t k = 0; k < cases.size(); ++k) {
+        const ExperimentResult &baseline = results[k * stride];
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const ExperimentResult &res = results[k * stride + 1 + p];
             table.addRow(
-                {c.workload, c.ratio, policy,
+                {cases[k].workload, cases[k].ratio, policies[p],
                  TextTable::pct(res.localTrafficShare),
                  TextTable::pct(res.throughput / baseline.throughput),
                  TextTable::count(res.vmstat.get(Vm::PgPromoteSuccess)),
@@ -60,5 +71,6 @@ main(int argc, char **argv)
     std::printf("\npaper: Web 2:1 — NB 20%% local @82.8%%, AT 30%% local "
                 "@87%%, TPP @99.5%%; Cache1 1:4 — NB 46%% local @90%%, "
                 "AT n/a (crashes), TPP 85%% local @99.5%%\n");
+    bench::maybeWriteCsv(opt, results);
     return 0;
 }

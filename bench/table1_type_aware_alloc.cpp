@@ -16,7 +16,7 @@ int
 main(int argc, char **argv)
 {
     using namespace tpp;
-    const std::uint64_t wss = bench::wssFromArgs(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     bench::banner("Table 1", "page-type-aware allocation (TPP + "
                              "cache-to-CXL preference)");
@@ -25,28 +25,35 @@ main(int argc, char **argv)
         const char *workload;
         const char *ratio;
     };
-    const Case cases[] = {{"web", "2:1"}, {"cache1", "1:4"},
-                          {"cache2", "1:4"}};
+    const std::vector<Case> cases = {{"web", "2:1"}, {"cache1", "1:4"},
+                                     {"cache2", "1:4"}};
 
     TextTable table({"application", "config", "local traffic",
                      "cxl traffic", "perf w.r.t. all-local"});
 
+    // Per case: the all-local baseline then the type-aware TPP run.
+    std::vector<ExperimentConfig> cfgs;
     for (const Case &c : cases) {
-        ExperimentConfig base;
+        ExperimentConfig base = bench::makeConfig(opt);
         base.workload = c.workload;
-        base.wssPages = wss;
         base.allLocal = true;
         base.policy = "linux";
-        const ExperimentResult baseline = runExperiment(base);
+        cfgs.push_back(base);
 
         ExperimentConfig cfg = base;
         cfg.allLocal = false;
         cfg.localFraction = parseRatio(c.ratio);
         cfg.policy = "tpp";
         cfg.tpp.typeAwareAllocation = true;
-        const ExperimentResult res = runExperiment(cfg);
+        cfgs.push_back(cfg);
+    }
+    const std::vector<ExperimentResult> results =
+        SweepRunner(bench::sweepOptions(opt)).run(cfgs);
 
-        table.addRow({c.workload, c.ratio,
+    for (std::size_t k = 0; k < cases.size(); ++k) {
+        const ExperimentResult &baseline = results[k * 2];
+        const ExperimentResult &res = results[k * 2 + 1];
+        table.addRow({cases[k].workload, cases[k].ratio,
                       TextTable::pct(res.localTrafficShare),
                       TextTable::pct(res.cxlTrafficShare),
                       TextTable::pct(res.throughput /
@@ -55,5 +62,6 @@ main(int argc, char **argv)
     table.print();
     std::printf("\npaper: Web 2:1 97%%/3%% @99.5%%; Cache1 1:4 85%%/15%% "
                 "@99.8%%; Cache2 1:4 72%%/28%% @98.5%%\n");
+    bench::maybeWriteCsv(opt, results);
     return 0;
 }

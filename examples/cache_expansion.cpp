@@ -8,31 +8,42 @@
  * both default Linux and TPP, printing the throughput and traffic at
  * each point — the crossover chart a capacity planner would want.
  *
- * Usage: cache_expansion [wss_pages]
+ * Usage: cache_expansion [wss_pages] [--jobs N] [--seed S] [--csv PATH]
  */
 
 #include <cstdio>
-#include <cstdlib>
 
-#include "harness/experiment.hh"
-#include "harness/table.hh"
-#include "sim/logging.hh"
+#include "bench_common.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace tpp;
-    setLogVerbose(false);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = bench::makeConfig(opt);
     cfg.workload = "cache1";
-    if (argc > 1)
-        cfg.wssPages = std::strtoull(argv[1], nullptr, 0);
 
+    const std::vector<const char *> ratios = {"2:1", "1:1", "1:4", "1:8"};
+    const std::vector<const char *> policies = {"linux", "tpp"};
+
+    // The all-local baseline first, then every ratio x policy point.
+    std::vector<ExperimentConfig> cfgs;
     ExperimentConfig base = cfg;
     base.allLocal = true;
     base.policy = "linux";
-    const ExperimentResult baseline = runExperiment(base);
+    cfgs.push_back(base);
+    for (const char *ratio : ratios) {
+        for (const char *policy : policies) {
+            ExperimentConfig run = cfg;
+            run.localFraction = parseRatio(ratio);
+            run.policy = policy;
+            cfgs.push_back(run);
+        }
+    }
+    const std::vector<ExperimentResult> results =
+        SweepRunner(bench::sweepOptions(opt)).run(cfgs);
+    const ExperimentResult &baseline = results[0];
 
     std::printf("Cache1 memory-expansion sweep (%llu-page working "
                 "set)\n\n",
@@ -40,14 +51,13 @@ main(int argc, char **argv)
     TextTable table({"local:cxl", "local share of capacity", "policy",
                      "tput vs all-local", "local traffic", "swap-outs"});
 
-    for (const char *ratio : {"2:1", "1:1", "1:4", "1:8"}) {
-        for (const char *policy : {"linux", "tpp"}) {
-            ExperimentConfig run = cfg;
-            run.localFraction = parseRatio(ratio);
-            run.policy = policy;
-            const ExperimentResult res = runExperiment(run);
+    for (std::size_t r = 0; r < ratios.size(); ++r) {
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const std::size_t i = 1 + r * policies.size() + p;
+            const ExperimentResult &res = results[i];
             table.addRow(
-                {ratio, TextTable::pct(run.localFraction, 0), policy,
+                {ratios[r], TextTable::pct(cfgs[i].localFraction, 0),
+                 policies[p],
                  TextTable::pct(res.throughput / baseline.throughput),
                  TextTable::pct(res.localTrafficShare),
                  TextTable::count(res.vmstat.get(Vm::PswpOut))});
@@ -56,5 +66,6 @@ main(int argc, char **argv)
     table.print();
     std::printf("\nTPP holds near-all-local performance far deeper into "
                 "the expansion régime than default Linux (§6.2.2).\n");
+    bench::maybeWriteCsv(opt, results);
     return 0;
 }

@@ -3,47 +3,67 @@
  * The full-surface lab CLI: run any (workload, policy, topology)
  * combination, poke sysctl knobs before the run, and export results as
  * CSV/JSON — the one binary that exercises the whole public API
- * (topologies incl. dual-socket, all five policies, all workloads incl.
- * YCSB, sysctl, meminfo, export).
+ * (topologies, every registered policy and workload, sysctl, meminfo,
+ * export, and the parallel sweep engine).
+ *
+ * --workload and --policy accept comma-separated lists; the lab runs
+ * the full cross product through SweepRunner, so `--jobs N` fans the
+ * grid out across N threads with bit-identical results.
  *
  * Usage:
- *   tiering_lab [--workload web|cache1|cache2|dwh|ycsb-a|ycsb-b|ycsb-c|ycsb-d]
- *               [--policy linux|numa-balancing|autotiering|damon-reclaim|tpp]
- *               [--ratio L:C | --all-local] [--wss pages]
- *               [--sysctl name=value]... [--csv] [--json] [--meminfo]
+ *   tiering_lab [--workload NAME[,NAME...]] [--policy NAME[,NAME...]]
+ *               [--ratio L:C | --all-local] [--wss pages] [--seed S]
+ *               [--jobs N] [--sysctl name=value]...
+ *               [--csv] [--json] [--meminfo] [--verbose]
+ *
+ * Unknown workload or policy names fatal() with the registered list.
  */
 
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hh"
-#include "harness/export.hh"
-#include "mm/kernel.hh"
+#include "bench_common.hh"
 #include "mm/meminfo.hh"
-#include "policy/damon_reclaim.hh"
-#include "sim/logging.hh"
-#include "workloads/driver.hh"
-#include "workloads/profiles.hh"
-#include "workloads/ycsb.hh"
 
 namespace {
 
 using namespace tpp;
 
 struct Options {
-    std::string workload = "cache1";
-    std::string policy = "tpp";
+    std::vector<std::string> workloads = {"cache1"};
+    std::vector<std::string> policies = {"tpp"};
     std::string ratio = "2:1";
     bool allLocal = false;
     std::uint64_t wss = 32768;
+    std::uint64_t seed = 1;
+    unsigned jobs = 1;
     std::vector<std::pair<std::string, std::string>> sysctls;
     bool csv = false;
     bool json = false;
     bool meminfo = false;
+    bool verbose = false;
 };
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string::size_type start = 0;
+    while (start <= text.size()) {
+        const auto comma = text.find(',', start);
+        const auto end = comma == std::string::npos ? text.size() : comma;
+        if (end > start)
+            out.push_back(text.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (out.empty())
+        tpp_fatal("empty name list '%s'", text.c_str());
+    return out;
+}
 
 Options
 parseArgs(int argc, char **argv)
@@ -57,15 +77,20 @@ parseArgs(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--workload") {
-            opt.workload = next();
+            opt.workloads = splitList(next());
         } else if (arg == "--policy") {
-            opt.policy = next();
+            opt.policies = splitList(next());
         } else if (arg == "--ratio") {
             opt.ratio = next();
         } else if (arg == "--all-local") {
             opt.allLocal = true;
         } else if (arg == "--wss") {
-            opt.wss = std::strtoull(next().c_str(), nullptr, 0);
+            opt.wss = bench::parseCount("--wss", next());
+        } else if (arg == "--seed") {
+            opt.seed = bench::parseCount("--seed", next());
+        } else if (arg == "--jobs") {
+            opt.jobs = static_cast<unsigned>(
+                bench::parseCount("--jobs", next()));
         } else if (arg == "--sysctl") {
             const std::string kv = next();
             const auto eq = kv.find('=');
@@ -79,6 +104,8 @@ parseArgs(int argc, char **argv)
             opt.json = true;
         } else if (arg == "--meminfo") {
             opt.meminfo = true;
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
         } else {
             tpp_fatal("unknown argument '%s'", arg.c_str());
         }
@@ -86,103 +113,60 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
-std::unique_ptr<PlacementPolicy>
-buildPolicy(const Options &opt)
-{
-    if (opt.policy == "damon-reclaim")
-        return std::make_unique<DamonReclaimPolicy>();
-    ExperimentConfig cfg;
-    cfg.policy = opt.policy;
-    return makePolicy(cfg);
-}
-
-std::unique_ptr<Workload>
-buildWorkload(const Options &opt)
-{
-    if (opt.workload.rfind("ycsb-", 0) == 0) {
-        const char letter = opt.workload.back();
-        const std::uint64_t records = opt.wss * 9 / 10;
-        YcsbConfig cfg;
-        switch (letter) {
-          case 'a': cfg = YcsbConfig::workloadA(records); break;
-          case 'b': cfg = YcsbConfig::workloadB(records); break;
-          case 'c': cfg = YcsbConfig::workloadC(records); break;
-          case 'd': cfg = YcsbConfig::workloadD(records); break;
-          default: tpp_fatal("unknown ycsb mix '%c'", letter);
-        }
-        return std::make_unique<YcsbWorkload>(cfg);
-    }
-    return std::make_unique<SyntheticWorkload>(
-        profiles::byName(opt.workload, opt.wss));
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    setLogVerbose(false);
     const Options opt = parseArgs(argc, argv);
+    setLogVerbose(opt.verbose);
 
-    // Machine.
-    const std::uint64_t total = opt.wss * 103 / 100;
-    MemoryConfig mem_cfg;
-    if (opt.allLocal) {
-        mem_cfg = TopologyBuilder::allLocal(total);
-    } else {
-        const double frac = parseRatio(opt.ratio);
-        const auto local_pages = static_cast<std::uint64_t>(
-            static_cast<double>(total) * frac);
-        mem_cfg =
-            TopologyBuilder::cxlSystem(local_pages, total - local_pages);
-    }
-    EventQueue eq;
-    MemorySystem mem(mem_cfg);
-    Kernel kernel(mem, eq, buildPolicy(opt));
-
-    // Admin surface.
-    for (const auto &[name, value] : opt.sysctls) {
-        if (!kernel.sysctl().set(name, value))
-            tpp_fatal("sysctl %s=%s rejected", name.c_str(),
-                      value.c_str());
+    std::vector<ExperimentConfig> cfgs;
+    for (const std::string &workload : opt.workloads) {
+        for (const std::string &policy : opt.policies) {
+            ExperimentConfig cfg;
+            cfg.workload = workload;
+            cfg.policy = policy;
+            cfg.wssPages = opt.wss;
+            cfg.seed = opt.seed;
+            cfg.sysctls = opt.sysctls;
+            if (opt.allLocal)
+                cfg.allLocal = true;
+            else
+                cfg.localFraction = parseRatio(opt.ratio);
+            cfgs.push_back(cfg);
+        }
     }
 
-    // Workload + driver.
-    auto workload = buildWorkload(opt);
-    workload->setTaskNode(mem.cpuNodes().front());
-    DriverConfig driver_cfg;
-    WorkloadDriver driver(kernel, *workload, driver_cfg);
-    kernel.start();
-    driver.runToCompletion();
+    SweepOptions sweep;
+    sweep.jobs = opt.jobs;
+    sweep.progress = opt.verbose;
+    const std::vector<ExperimentResult> results =
+        SweepRunner(sweep).run(cfgs);
 
-    // Results.
-    ExperimentResult result;
-    result.workload = opt.workload;
-    result.policy = opt.policy;
-    result.throughput = driver.throughput();
-    result.meanAccessLatencyNs = driver.meanAccessLatencyNs();
-    const NodeId local = mem.cpuNodes().front();
-    result.localTrafficShare = driver.trafficShare(local);
-    result.cxlTrafficShare = 1.0 - result.localTrafficShare;
-    result.samples = driver.samples();
-    result.vmstat = kernel.vmstat();
-
-    if (opt.json) {
-        writeResultJson(std::cout, result);
-    } else if (opt.csv) {
-        writeResultsCsv(std::cout, {result});
-    } else {
-        std::printf("%s / %s: %.0f ops/s, %.1f%% local traffic, "
-                    "%.1f ns mean access\n",
-                    result.workload.c_str(), result.policy.c_str(),
-                    result.throughput,
-                    100.0 * result.localTrafficShare,
-                    result.meanAccessLatencyNs);
-        std::printf("\n-- vmstat --\n%s", result.vmstat.report().c_str());
-    }
-    if (opt.meminfo) {
-        std::printf("\n-- meminfo --\n%s",
-                    renderMemInfo(collectMemInfo(kernel)).c_str());
+    if (opt.csv)
+        writeResultsCsv(std::cout, results);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ExperimentResult &result = results[i];
+        if (opt.json) {
+            writeResultJson(std::cout, result);
+        } else if (!opt.csv) {
+            std::printf("%s / %s: %.0f ops/s, %.1f%% local traffic, "
+                        "%.1f ns mean access\n",
+                        result.workload.c_str(), result.policy.c_str(),
+                        result.throughput,
+                        100.0 * result.localTrafficShare,
+                        result.meanAccessLatencyNs);
+            if (results.size() == 1) {
+                std::printf("\n-- vmstat --\n%s",
+                            result.vmstat.report().c_str());
+            }
+        }
+        if (opt.meminfo) {
+            std::printf("\n-- meminfo (%s / %s) --\n%s",
+                        result.workload.c_str(), result.policy.c_str(),
+                        renderMemInfo(result.meminfo).c_str());
+        }
     }
     return 0;
 }

@@ -1,6 +1,9 @@
 #include "core/tpp_policy.hh"
 
+#include <memory>
+
 #include "mm/kernel.hh"
+#include "mm/policy_registry.hh"
 #include "sim/logging.hh"
 
 namespace tpp {
@@ -216,5 +219,9 @@ TppPolicy::onHintFault(Pfn pfn, NodeId task_nid)
     (void)ok;
     return cost;
 }
+
+TPP_REGISTER_POLICY(tpp, [](const PolicyParams &p) {
+    return std::make_unique<TppPolicy>(p.tpp);
+});
 
 } // namespace tpp

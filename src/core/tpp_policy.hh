@@ -33,50 +33,14 @@
 #define TPP_CORE_TPP_POLICY_HH
 
 #include "mm/placement_policy.hh"
+#include "mm/policy_params.hh"
 #include "sim/types.hh"
 
 namespace tpp {
 
-/**
- * NUMA-balancing operating mode (§5.3). Classic is the pre-TPP
- * behaviour (sample everything, promote towards the faulting CPU);
- * Tiered is NUMA_BALANCING_TIERED. A system started in Classic mode
- * with only a single local node online is automatically downgraded to
- * Tiered, exactly as the paper describes.
- */
-enum class NumaMode : std::uint8_t {
-    AutoDetect, //!< Tiered whenever a CPU-less node exists
-    Tiered,
-    Classic,
-};
-
-/**
- * TPP tunables. Defaults correspond to the full mechanism as evaluated;
- * the boolean switches exist for the component ablations of §6.3.
- */
-struct TppConfig {
-    NumaMode mode = NumaMode::AutoDetect;
-    /** /proc/sys/vm/demote_scale_factor, percent of node capacity. */
-    double demoteScaleFactor = 2.0;
-    /** §5.2 decoupled watermarks; off = classic coupled reclaim. */
-    bool decoupleWatermarks = true;
-    /** §5.3 active-LRU promotion filter; off = instant promotion. */
-    bool activeLruFilter = true;
-    /** §5.3 promotion ignores the allocation watermark. */
-    bool promotionIgnoresWatermark = true;
-    /** §5.4 allocate file/tmpfs pages on the CXL node preferably. */
-    bool typeAwareAllocation = false;
-    /** CXL-node hint-fault sampling cadence. */
-    Tick scanPeriod = 20 * kMillisecond;
-    std::uint64_t scanBatch = 512;
-    /**
-     * Extension (upstream follow-up to TPP, Linux 6.1's
-     * numa_balancing_promote_rate_limit_MBps): cap promotion traffic at
-     * this many MB/s with a small token bucket. 0 disables the limit,
-     * matching the paper's TPP.
-     */
-    double promoteRateLimitMBps = 0.0;
-};
+// NumaMode and TppConfig live in mm/policy_params.hh with the other
+// policy parameter blocks, so the harness can configure a run without
+// including this header.
 
 /**
  * The TPP placement policy.

@@ -1,13 +1,38 @@
 #include "harness/experiment.hh"
 
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 
+#include "harness/sweep.hh"
 #include "mm/kernel.hh"
-#include "policy/default_linux.hh"
+#include "mm/policy_registry.hh"
 #include "sim/logging.hh"
-#include "workloads/profiles.hh"
+#include "workloads/workload_registry.hh"
 
 namespace tpp {
+
+namespace {
+
+/** Parse one side of a "L:C" ratio; fatal() on anything malformed. */
+double
+ratioField(const std::string &ratio, const std::string &field)
+{
+    if (field.empty() || std::isspace(static_cast<unsigned char>(field[0])))
+        tpp_fatal("capacity ratio must look like '2:1', got '%s'",
+                  ratio.c_str());
+    char *end = nullptr;
+    const double value = std::strtod(field.c_str(), &end);
+    if (end != field.c_str() + field.size())
+        tpp_fatal("capacity ratio must look like '2:1', got '%s'",
+                  ratio.c_str());
+    if (!std::isfinite(value))
+        tpp_fatal("bad capacity ratio '%s': values must be finite",
+                  ratio.c_str());
+    return value;
+}
+
+} // namespace
 
 double
 parseRatio(const std::string &ratio)
@@ -16,25 +41,19 @@ parseRatio(const std::string &ratio)
     if (colon == std::string::npos)
         tpp_fatal("capacity ratio must look like '2:1', got '%s'",
                   ratio.c_str());
-    const double local = std::stod(ratio.substr(0, colon));
-    const double cxl = std::stod(ratio.substr(colon + 1));
+    const double local = ratioField(ratio, ratio.substr(0, colon));
+    const double cxl = ratioField(ratio, ratio.substr(colon + 1));
     if (local <= 0.0 || cxl < 0.0)
-        tpp_fatal("bad capacity ratio '%s'", ratio.c_str());
+        tpp_fatal("bad capacity ratio '%s': local share must be > 0 and "
+                  "CXL share >= 0",
+                  ratio.c_str());
     return local / (local + cxl);
 }
 
 std::unique_ptr<PlacementPolicy>
 makePolicy(const ExperimentConfig &cfg)
 {
-    if (cfg.policy == "linux")
-        return std::make_unique<DefaultLinuxPolicy>();
-    if (cfg.policy == "numa-balancing" || cfg.policy == "numa")
-        return std::make_unique<NumaBalancingPolicy>(cfg.numaBalancing);
-    if (cfg.policy == "autotiering")
-        return std::make_unique<AutoTieringPolicy>(cfg.autoTiering);
-    if (cfg.policy == "tpp")
-        return std::make_unique<TppPolicy>(cfg.tpp);
-    tpp_fatal("unknown policy '%s'", cfg.policy.c_str());
+    return PolicyRegistry::instance().make(cfg.policy, cfg);
 }
 
 ExperimentResult
@@ -57,23 +76,30 @@ runExperiment(const ExperimentConfig &cfg)
     MemorySystem mem(mem_cfg);
     Kernel kernel(mem, eq, makePolicy(cfg));
 
-    // Build the workload.
-    SyntheticWorkload workload(
-        profiles::byName(cfg.workload, cfg.wssPages, cfg.seed));
-    workload.setTaskNode(mem.cpuNodes().front());
+    // Admin surface: apply requested sysctls before anything runs.
+    for (const auto &[name, value] : cfg.sysctls) {
+        if (!kernel.sysctl().set(name, value))
+            tpp_fatal("sysctl %s=%s rejected", name.c_str(),
+                      value.c_str());
+    }
+
+    // Build the workload by registered name.
+    std::unique_ptr<Workload> workload = WorkloadRegistry::instance().make(
+        WorkloadSpec{cfg.workload, cfg.wssPages, cfg.seed});
+    workload->setTaskNode(mem.cpuNodes().front());
 
     // Optional profiler.
     std::unique_ptr<Chameleon> chameleon;
     if (cfg.withChameleon) {
         chameleon = std::make_unique<Chameleon>(kernel, cfg.chameleon);
-        workload.setObserver(chameleon->observer());
+        workload->setObserver(chameleon->observer());
     }
 
     DriverConfig driver_cfg;
     driver_cfg.runUntil = cfg.runUntil;
     driver_cfg.measureFrom = cfg.measureFrom;
     driver_cfg.sampleEvery = cfg.sampleEvery;
-    WorkloadDriver driver(kernel, workload, driver_cfg);
+    WorkloadDriver driver(kernel, *workload, driver_cfg);
 
     kernel.start();
     if (chameleon)
@@ -91,6 +117,7 @@ runExperiment(const ExperimentConfig &cfg)
     result.cxlTrafficShare = 1.0 - result.localTrafficShare;
     result.samples = driver.samples();
     result.vmstat = kernel.vmstat();
+    result.meminfo = collectMemInfo(kernel);
 
     // Residency split at end of run.
     for (PageType type : {PageType::Anon, PageType::File}) {
@@ -123,11 +150,8 @@ double
 relativeToAllLocal(const ExperimentConfig &cfg, ExperimentResult *out,
                    ExperimentResult *baseline_out)
 {
-    ExperimentConfig base_cfg = cfg;
-    base_cfg.allLocal = true;
-    base_cfg.policy = "linux";
-    base_cfg.withChameleon = false;
-    const ExperimentResult baseline = runExperiment(base_cfg);
+    const ExperimentResult baseline =
+        BaselineCache::instance().getOrRun(allLocalTwin(cfg));
     const ExperimentResult result = runExperiment(cfg);
     if (out)
         *out = result;

@@ -6,7 +6,14 @@
  * splits, vmstat counters and per-interval time series.
  *
  * Every bench binary (one per paper figure/table) is a thin loop over
- * runExperiment() calls.
+ * runExperiment() calls — or, since the sweep engine landed, a single
+ * SweepRunner::run() over a vector of configs (harness/sweep.hh).
+ *
+ * Policies and workloads are resolved by *name* through PolicyRegistry
+ * (mm/policy_registry.hh) and WorkloadRegistry
+ * (workloads/workload_registry.hh): this header deliberately includes
+ * no policy headers, and adding a new policy or workload requires no
+ * change to the harness.
  */
 
 #ifndef TPP_HARNESS_EXPERIMENT_HH
@@ -15,24 +22,31 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chameleon/chameleon.hh"
-#include "core/tpp_policy.hh"
+#include "mm/meminfo.hh"
+#include "mm/policy_params.hh"
 #include "mm/vmstat.hh"
-#include "policy/autotiering.hh"
-#include "policy/numa_balancing.hh"
 #include "sim/types.hh"
 #include "workloads/driver.hh"
-#include "workloads/synthetic.hh"
 
 namespace tpp {
 
 class PlacementPolicy;
 
-/** Declarative description of one experiment run. */
-struct ExperimentConfig {
-    /** "web", "cache1", "cache2", "dwh". */
+/**
+ * Declarative description of one experiment run.
+ *
+ * Derives from PolicyParams so per-policy parameter blocks read as
+ * direct members (`cfg.tpp.scanBatch`, `cfg.autoTiering.hotWindow`);
+ * the registry hands the PolicyParams slice to the selected policy's
+ * factory.
+ */
+struct ExperimentConfig : PolicyParams {
+    /** Registered workload name: "web", "cache1", "cache2", "dwh",
+     *  "ycsb-a" … "ycsb-d". */
     std::string workload = "web";
     /** Working-set reservation in pages. */
     std::uint64_t wssPages = 1ULL << 17; // 512 MiB
@@ -45,11 +59,11 @@ struct ExperimentConfig {
     double localFraction = 2.0 / 3.0;
     /** Total capacity relative to the working-set reservation. */
     double capacityHeadroom = 1.03;
-    /** "linux", "numa-balancing", "autotiering", "tpp". */
+    /** Registered policy name: "linux", "numa-balancing",
+     *  "autotiering", "damon-reclaim", "tpp". */
     std::string policy = "tpp";
-    TppConfig tpp;
-    NumaBalancingConfig numaBalancing;
-    AutoTieringConfig autoTiering;
+    /** sysctl name=value pairs applied before the run starts. */
+    std::vector<std::pair<std::string, std::string>> sysctls;
     /** Simulated run length and measurement window. */
     Tick runUntil = 20 * kSecond;
     Tick measureFrom = 12 * kSecond;
@@ -72,6 +86,8 @@ struct ExperimentResult {
     double anonLocalResidency = 0.0;
     double fileLocalResidency = 0.0;
     VmStat vmstat;
+    /** End-of-run /proc/meminfo-style snapshot. */
+    MemInfo meminfo;
     std::vector<IntervalSample> samples;
     std::vector<ChameleonIntervalStats> chameleonIntervals;
     double chameleonHotFraction = 0.0;
@@ -79,7 +95,10 @@ struct ExperimentResult {
     double chameleonHotFractionFile = 0.0;
 };
 
-/** Instantiate a policy by name using the config's parameter blocks. */
+/**
+ * Instantiate the config's policy via PolicyRegistry. Unknown names
+ * fatal() with the list of registered policies.
+ */
 std::unique_ptr<PlacementPolicy> makePolicy(const ExperimentConfig &cfg);
 
 /** Run one experiment to completion. */
@@ -88,6 +107,10 @@ ExperimentResult runExperiment(const ExperimentConfig &cfg);
 /**
  * Run `cfg` against its all-local twin and report throughput relative
  * to it (the paper's "performance w.r.t. all-from-local" metric).
+ *
+ * The twin runs through the process-wide BaselineCache
+ * (harness/sweep.hh): comparing N policies against the same baseline
+ * simulates the baseline once, not N times.
  */
 double relativeToAllLocal(const ExperimentConfig &cfg,
                           ExperimentResult *out = nullptr,

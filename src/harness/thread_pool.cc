@@ -1,0 +1,84 @@
+#include "harness/thread_pool.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace tpp {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = std::max(1u, threads);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allIdle_.wait(lock,
+                  [this] { return queue_.empty() && running_ == 0; });
+    if (firstError_) {
+        std::exception_ptr err = std::exchange(firstError_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+unsigned
+ThreadPool::hardwareConcurrency()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workReady_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) // stopping_ and drained
+            return;
+        std::function<void()> job = std::move(queue_.front());
+        queue_.pop_front();
+        running_++;
+        lock.unlock();
+        try {
+            job();
+        } catch (...) {
+            lock.lock();
+            if (!firstError_)
+                firstError_ = std::current_exception();
+            lock.unlock();
+        }
+        lock.lock();
+        running_--;
+        if (queue_.empty() && running_ == 0)
+            allIdle_.notify_all();
+    }
+}
+
+} // namespace tpp

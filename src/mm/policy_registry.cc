@@ -1,0 +1,68 @@
+#include "mm/policy_registry.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tpp {
+
+PolicyRegistry &
+PolicyRegistry::instance()
+{
+    static PolicyRegistry registry;
+    return registry;
+}
+
+void
+PolicyRegistry::add(const std::string &name, Factory factory)
+{
+    if (!factory)
+        tpp_fatal("null factory registered for policy '%s'", name.c_str());
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] =
+        factories_.emplace(name, std::move(factory));
+    (void)it;
+    if (!inserted)
+        tpp_fatal("policy '%s' registered twice", name.c_str());
+}
+
+bool
+PolicyRegistry::contains(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return factories_.count(name) != 0;
+}
+
+std::unique_ptr<PlacementPolicy>
+PolicyRegistry::make(const std::string &name,
+                     const PolicyParams &params) const
+{
+    Factory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = factories_.find(name);
+        if (it != factories_.end())
+            factory = it->second;
+    }
+    if (!factory) {
+        std::ostringstream known;
+        for (const std::string &n : names())
+            known << (known.tellp() > 0 ? ", " : "") << n;
+        tpp_fatal("unknown policy '%s' (registered: %s)", name.c_str(),
+                  known.str().c_str());
+    }
+    return factory(params);
+}
+
+std::vector<std::string>
+PolicyRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &[name, factory] : factories_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace tpp

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Name → factory registry for placement policies.
+ *
+ * Policies register themselves from their own translation units with
+ * TPP_REGISTER_POLICY, so the experiment harness can instantiate any of
+ * them by name without including a single policy header: adding a new
+ * policy to the zoo means adding one source file, not editing
+ * `harness/experiment.cc`.
+ *
+ * Registration normally happens during static initialisation (the
+ * macro expands to a namespace-scope registrar object), but add() is
+ * mutex-guarded so tests and extensions can also register policies at
+ * run time.
+ */
+
+#ifndef TPP_MM_POLICY_REGISTRY_HH
+#define TPP_MM_POLICY_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mm/placement_policy.hh"
+#include "mm/policy_params.hh"
+
+namespace tpp {
+
+/**
+ * Process-wide registry of placement-policy factories.
+ */
+class PolicyRegistry
+{
+  public:
+    /** Builds a policy from the run's parameter blocks. */
+    using Factory =
+        std::function<std::unique_ptr<PlacementPolicy>(const PolicyParams &)>;
+
+    /** The singleton (constructed on first use, so registrars in other
+     *  translation units can run during static initialisation). */
+    static PolicyRegistry &instance();
+
+    /** Register a factory; duplicate names are a fatal error. */
+    void add(const std::string &name, Factory factory);
+
+    /** @return true when `name` has a registered factory. */
+    bool contains(const std::string &name) const;
+
+    /**
+     * Instantiate `name`. Unknown names fatal() with the list of
+     * registered policies.
+     */
+    std::unique_ptr<PlacementPolicy> make(const std::string &name,
+                                          const PolicyParams &params) const;
+
+    /** Registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    PolicyRegistry() = default;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Factory> factories_;
+};
+
+/** Registrar helper for namespace-scope self-registration. */
+struct PolicyRegistrar {
+    PolicyRegistrar(const char *name, PolicyRegistry::Factory factory)
+    {
+        PolicyRegistry::instance().add(name, std::move(factory));
+    }
+};
+
+/**
+ * Self-register a policy from its translation unit:
+ *
+ *   TPP_REGISTER_POLICY(tpp, [](const PolicyParams &p) {
+ *       return std::make_unique<TppPolicy>(p.tpp);
+ *   });
+ *
+ * `ident` doubles as the registered name and the registrar identifier,
+ * so it must be a valid identifier; use TPP_REGISTER_POLICY_AS when the
+ * public name contains dashes ("numa-balancing").
+ */
+#define TPP_REGISTER_POLICY_AS(ident, name, ...)                             \
+    namespace {                                                              \
+    const ::tpp::PolicyRegistrar tppPolicyRegistrar_##ident{name,            \
+                                                            __VA_ARGS__};    \
+    }
+#define TPP_REGISTER_POLICY(ident, ...)                                      \
+    TPP_REGISTER_POLICY_AS(ident, #ident, __VA_ARGS__)
+
+} // namespace tpp
+
+#endif // TPP_MM_POLICY_REGISTRY_HH

@@ -1,6 +1,9 @@
 #include "policy/autotiering.hh"
 
+#include <memory>
+
 #include "mm/kernel.hh"
+#include "mm/policy_registry.hh"
 
 namespace tpp {
 
@@ -98,5 +101,9 @@ AutoTieringPolicy::onHintFault(Pfn pfn, NodeId task_nid)
     (void)ok;
     return cost;
 }
+
+TPP_REGISTER_POLICY(autotiering, [](const PolicyParams &p) {
+    return std::make_unique<AutoTieringPolicy>(p.autoTiering);
+});
 
 } // namespace tpp

@@ -21,21 +21,13 @@
 #define TPP_POLICY_AUTOTIERING_HH
 
 #include "mm/placement_policy.hh"
+#include "mm/policy_params.hh"
 #include "sim/types.hh"
 
 namespace tpp {
 
-/** AutoTiering tunables. */
-struct AutoTieringConfig {
-    Tick scanPeriod = 20 * kMillisecond;
-    std::uint64_t scanBatch = 512;
-    /** Hint faults within this window needed before promotion. */
-    Tick hotWindow = 3 * kSecond;
-    std::uint8_t hotThreshold = 2;
-    /** Fixed-size promotion reserve, in pages; 0 = 5 % of the local
-     *  node's capacity. */
-    std::uint64_t promotionReserve = 0;
-};
+// AutoTieringConfig lives in mm/policy_params.hh with the other policy
+// parameter blocks.
 
 /**
  * AutoTiering page placement.

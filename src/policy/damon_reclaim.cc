@@ -1,6 +1,9 @@
 #include "policy/damon_reclaim.hh"
 
+#include <memory>
+
 #include "mm/kernel.hh"
+#include "mm/policy_registry.hh"
 
 namespace tpp {
 
@@ -48,5 +51,10 @@ DamonReclaimPolicy::opTick()
     kernel_->eventQueue().scheduleAfter(cfg_.opInterval,
                                        [this] { opTick(); });
 }
+
+TPP_REGISTER_POLICY_AS(damonReclaim, "damon-reclaim",
+                       [](const PolicyParams &) {
+                           return std::make_unique<DamonReclaimPolicy>();
+                       });
 
 } // namespace tpp

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * PolicyRegistry entry for the default Linux baseline. The policy
+ * itself is header-only (it is the PlacementPolicy base behaviour);
+ * this translation unit exists so "linux" resolves by name like every
+ * other policy.
+ */
+
+#include "policy/default_linux.hh"
+
+#include <memory>
+
+#include "mm/policy_registry.hh"
+
+namespace tpp {
+
+// Named registration: `linux` is a predefined macro under GNU dialects,
+// so it cannot be used as the registrar identifier.
+TPP_REGISTER_POLICY_AS(defaultLinux, "linux", [](const PolicyParams &) {
+    return std::make_unique<DefaultLinuxPolicy>();
+});
+
+} // namespace tpp

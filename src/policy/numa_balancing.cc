@@ -1,6 +1,9 @@
 #include "policy/numa_balancing.hh"
 
+#include <memory>
+
 #include "mm/kernel.hh"
+#include "mm/policy_registry.hh"
 
 namespace tpp {
 
@@ -55,5 +58,15 @@ NumaBalancingPolicy::onHintFault(Pfn pfn, NodeId task_nid)
     (void)ok;
     return cost;
 }
+
+TPP_REGISTER_POLICY_AS(numaBalancing, "numa-balancing",
+                       [](const PolicyParams &p) {
+                           return std::make_unique<NumaBalancingPolicy>(
+                               p.numaBalancing);
+                       });
+// Short alias accepted since the first harness version.
+TPP_REGISTER_POLICY_AS(numa, "numa", [](const PolicyParams &p) {
+    return std::make_unique<NumaBalancingPolicy>(p.numaBalancing);
+});
 
 } // namespace tpp

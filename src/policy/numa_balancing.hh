@@ -15,17 +15,13 @@
 #define TPP_POLICY_NUMA_BALANCING_HH
 
 #include "mm/placement_policy.hh"
+#include "mm/policy_params.hh"
 #include "sim/types.hh"
 
 namespace tpp {
 
-/** Tunables mirroring the numa_balancing sysctls. */
-struct NumaBalancingConfig {
-    /** Scanner period (sysctl numa_balancing_scan_period). */
-    Tick scanPeriod = 20 * kMillisecond;
-    /** Pages sampled per node per period (scan_size equivalent). */
-    std::uint64_t scanBatch = 512;
-};
+// NumaBalancingConfig lives in mm/policy_params.hh with the other
+// policy parameter blocks.
 
 /**
  * Linux NUMA Balancing on a tiered memory system.

@@ -1,6 +1,10 @@
 #include "workloads/profiles.hh"
 
+#include <memory>
+
 #include "sim/logging.hh"
+#include "workloads/synthetic.hh"
+#include "workloads/workload_registry.hh"
 
 namespace tpp {
 namespace profiles {
@@ -332,4 +336,26 @@ byName(const std::string &name, std::uint64_t wss_pages, std::uint64_t seed)
 }
 
 } // namespace profiles
+
+namespace {
+
+/** WorkloadRegistry factory for one of the synthetic paper profiles. */
+WorkloadRegistry::Factory
+syntheticFactory(const char *profile)
+{
+    return [profile](const WorkloadSpec &spec) {
+        return std::make_unique<SyntheticWorkload>(
+            profiles::byName(profile, spec.wssPages, spec.seed));
+    };
+}
+
+} // namespace
+
+TPP_REGISTER_WORKLOAD(web, syntheticFactory("web"));
+TPP_REGISTER_WORKLOAD(cache1, syntheticFactory("cache1"));
+TPP_REGISTER_WORKLOAD(cache2, syntheticFactory("cache2"));
+TPP_REGISTER_WORKLOAD(dwh, syntheticFactory("dwh"));
+TPP_REGISTER_WORKLOAD_AS(dataWarehouse, "data-warehouse",
+                         syntheticFactory("dwh"));
+
 } // namespace tpp

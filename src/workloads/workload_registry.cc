@@ -1,0 +1,68 @@
+#include "workloads/workload_registry.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tpp {
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry;
+    return registry;
+}
+
+void
+WorkloadRegistry::add(const std::string &name, Factory factory)
+{
+    if (!factory)
+        tpp_fatal("null factory registered for workload '%s'",
+                  name.c_str());
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] =
+        factories_.emplace(name, std::move(factory));
+    (void)it;
+    if (!inserted)
+        tpp_fatal("workload '%s' registered twice", name.c_str());
+}
+
+bool
+WorkloadRegistry::contains(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return factories_.count(name) != 0;
+}
+
+std::unique_ptr<Workload>
+WorkloadRegistry::make(const WorkloadSpec &spec) const
+{
+    Factory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = factories_.find(spec.name);
+        if (it != factories_.end())
+            factory = it->second;
+    }
+    if (!factory) {
+        std::ostringstream known;
+        for (const std::string &n : names())
+            known << (known.tellp() > 0 ? ", " : "") << n;
+        tpp_fatal("unknown workload '%s' (registered: %s)",
+                  spec.name.c_str(), known.str().c_str());
+    }
+    return factory(spec);
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &[name, factory] : factories_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace tpp

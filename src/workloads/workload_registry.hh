@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Name → factory registry for workloads, the twin of PolicyRegistry.
+ *
+ * The synthetic paper profiles (profiles.cc) and the YCSB mixes
+ * (ycsb.cc) register themselves from their own translation units, so
+ * `runExperiment()` can build any workload — "web", "ycsb-b", ... —
+ * from the config string without hard-coding workload types, and the
+ * lab/zoo binaries no longer need bespoke construction glue.
+ */
+
+#ifndef TPP_WORKLOADS_WORKLOAD_REGISTRY_HH
+#define TPP_WORKLOADS_WORKLOAD_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace tpp {
+
+/** What a workload factory gets to size and seed its instance. */
+struct WorkloadSpec {
+    std::string name;
+    /** Working-set reservation in pages. */
+    std::uint64_t wssPages = 0;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Process-wide registry of workload factories.
+ */
+class WorkloadRegistry
+{
+  public:
+    using Factory =
+        std::function<std::unique_ptr<Workload>(const WorkloadSpec &)>;
+
+    static WorkloadRegistry &instance();
+
+    /** Register a factory; duplicate names are a fatal error. */
+    void add(const std::string &name, Factory factory);
+
+    /** @return true when `name` has a registered factory. */
+    bool contains(const std::string &name) const;
+
+    /**
+     * Instantiate `spec.name`. Unknown names fatal() with the list of
+     * registered workloads.
+     */
+    std::unique_ptr<Workload> make(const WorkloadSpec &spec) const;
+
+    /** Registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    WorkloadRegistry() = default;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Factory> factories_;
+};
+
+/** Registrar helper for namespace-scope self-registration. */
+struct WorkloadRegistrar {
+    WorkloadRegistrar(const char *name, WorkloadRegistry::Factory factory)
+    {
+        WorkloadRegistry::instance().add(name, std::move(factory));
+    }
+};
+
+/** Self-register a workload; see TPP_REGISTER_POLICY for the shape. */
+#define TPP_REGISTER_WORKLOAD_AS(ident, name, ...)                           \
+    namespace {                                                              \
+    const ::tpp::WorkloadRegistrar tppWorkloadRegistrar_##ident{             \
+        name, __VA_ARGS__};                                                  \
+    }
+#define TPP_REGISTER_WORKLOAD(ident, ...)                                    \
+    TPP_REGISTER_WORKLOAD_AS(ident, #ident, __VA_ARGS__)
+
+} // namespace tpp
+
+#endif // TPP_WORKLOADS_WORKLOAD_REGISTRY_HH

@@ -1,9 +1,11 @@
 #include "workloads/ycsb.hh"
 
 #include <algorithm>
+#include <memory>
 
 #include "mm/kernel.hh"
 #include "sim/logging.hh"
+#include "workloads/workload_registry.hh"
 
 namespace tpp {
 
@@ -133,5 +135,29 @@ YcsbWorkload::runBatch(Kernel &kernel)
     result.durationNs = std::max(duration, 1.0);
     return result;
 }
+
+namespace {
+
+/**
+ * WorkloadRegistry factory for one canned YCSB mix. The keyspace takes
+ * 90 % of the working-set reservation (the sizing the lab and zoo
+ * binaries always used), and the run's seed feeds the key-pick RNG.
+ */
+WorkloadRegistry::Factory
+ycsbFactory(YcsbConfig (*mix)(std::uint64_t))
+{
+    return [mix](const WorkloadSpec &spec) {
+        YcsbConfig cfg = mix(spec.wssPages * 9 / 10);
+        cfg.seed = spec.seed;
+        return std::make_unique<YcsbWorkload>(cfg);
+    };
+}
+
+} // namespace
+
+TPP_REGISTER_WORKLOAD_AS(ycsbA, "ycsb-a", ycsbFactory(&YcsbConfig::workloadA));
+TPP_REGISTER_WORKLOAD_AS(ycsbB, "ycsb-b", ycsbFactory(&YcsbConfig::workloadB));
+TPP_REGISTER_WORKLOAD_AS(ycsbC, "ycsb-c", ycsbFactory(&YcsbConfig::workloadC));
+TPP_REGISTER_WORKLOAD_AS(ycsbD, "ycsb-d", ycsbFactory(&YcsbConfig::workloadD));
 
 } // namespace tpp

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine (ThreadPool, SweepRunner,
+ * BaselineCache), the policy/workload registries, and the hardened
+ * parseRatio().
+ */
+
+#include <atomic>
+#include <sstream>
+
+#include "harness/export.hh"
+#include "harness/sweep.hh"
+#include "harness/thread_pool.hh"
+#include "mm/policy_registry.hh"
+#include "test_common.hh"
+#include "workloads/workload_registry.hh"
+
+namespace tpp {
+namespace {
+
+// A policy registered from this TU: proves registration needs no edits
+// to the harness or the registry itself.
+TPP_REGISTER_POLICY_AS(testEcho, "test-echo", [](const PolicyParams &) {
+    return std::make_unique<DefaultLinuxPolicy>();
+});
+
+/** A short run so sweep tests stay fast. */
+ExperimentConfig
+smallConfig(const std::string &workload, const std::string &policy,
+            const char *ratio)
+{
+    ExperimentConfig cfg;
+    cfg.workload = workload;
+    cfg.policy = policy;
+    cfg.wssPages = 4096;
+    cfg.localFraction = parseRatio(ratio);
+    cfg.runUntil = 3 * kSecond;
+    cfg.measureFrom = 2 * kSecond;
+    return cfg;
+}
+
+/** Full serialisation — bitwise-equal doubles produce equal strings. */
+std::string
+fingerprint(const ExperimentResult &res)
+{
+    std::ostringstream out;
+    writeResultJson(out, res);
+    out << res.vmstat.report();
+    writeSamplesCsv(out, res);
+    return out.str();
+}
+
+TEST(ThreadPool, RunsAllJobsAndWaits)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { done++; });
+    pool.wait();
+    EXPECT_EQ(done.load(), 100);
+
+    // The pool is reusable after a wait().
+    pool.submit([&] { done++; });
+    pool.wait();
+    EXPECT_EQ(done.load(), 101);
+}
+
+TEST(ThreadPool, WaitRethrowsJobException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, HardwareConcurrencyIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+TEST(Sweep, ParallelMatchesSerialBitForBit)
+{
+    // A mixed policy x ratio grid, plus the all-local baseline.
+    std::vector<ExperimentConfig> cfgs;
+    ExperimentConfig base = smallConfig("cache1", "linux", "2:1");
+    base.allLocal = true;
+    cfgs.push_back(base);
+    for (const char *policy : {"linux", "tpp", "numa-balancing"})
+        for (const char *ratio : {"2:1", "1:4"})
+            cfgs.push_back(smallConfig("cache1", policy, ratio));
+
+    BaselineCache::instance().clear();
+    SweepOptions serial;
+    serial.jobs = 1;
+    const auto serial_results = SweepRunner(serial).run(cfgs);
+
+    BaselineCache::instance().clear();
+    SweepOptions parallel;
+    parallel.jobs = 4;
+    const auto parallel_results = SweepRunner(parallel).run(cfgs);
+
+    ASSERT_EQ(serial_results.size(), cfgs.size());
+    ASSERT_EQ(parallel_results.size(), cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        EXPECT_EQ(fingerprint(serial_results[i]),
+                  fingerprint(parallel_results[i]))
+            << "config " << i << " diverged under --jobs 4";
+    }
+}
+
+TEST(Sweep, MemoizationSimulatesDuplicatesOnce)
+{
+    // Three identical all-local configs: with memoization only the
+    // leader reaches the BaselineCache, so exactly one miss.
+    BaselineCache::instance().clear();
+    ExperimentConfig cfg = smallConfig("web", "linux", "2:1");
+    cfg.allLocal = true;
+    const std::vector<ExperimentConfig> cfgs = {cfg, cfg, cfg};
+
+    SweepOptions opts;
+    opts.jobs = 2;
+    const auto results = SweepRunner(opts).run(cfgs);
+    EXPECT_EQ(BaselineCache::instance().misses(), 1u);
+    EXPECT_EQ(BaselineCache::instance().hits(), 0u);
+    EXPECT_EQ(fingerprint(results[0]), fingerprint(results[1]));
+    EXPECT_EQ(fingerprint(results[0]), fingerprint(results[2]));
+
+    // Without memoization every copy consults the cache instead.
+    BaselineCache::instance().clear();
+    opts.memoize = false;
+    const auto raw = SweepRunner(opts).run(cfgs);
+    EXPECT_EQ(BaselineCache::instance().misses(), 1u);
+    EXPECT_EQ(BaselineCache::instance().hits(), 2u);
+    EXPECT_EQ(fingerprint(raw[0]), fingerprint(results[0]));
+}
+
+TEST(Sweep, BaselineCacheServesRelativeRuns)
+{
+    BaselineCache::instance().clear();
+    ExperimentConfig cfg = smallConfig("cache1", "tpp", "1:4");
+
+    ExperimentResult run1, baseline1;
+    const double rel1 = relativeToAllLocal(cfg, &run1, &baseline1);
+    EXPECT_EQ(BaselineCache::instance().misses(), 1u);
+    EXPECT_EQ(BaselineCache::instance().hits(), 0u);
+
+    // A second policy against the same machine reuses the baseline.
+    cfg.policy = "linux";
+    ExperimentResult run2, baseline2;
+    const double rel2 = relativeToAllLocal(cfg, &run2, &baseline2);
+    EXPECT_EQ(BaselineCache::instance().misses(), 1u);
+    EXPECT_EQ(BaselineCache::instance().hits(), 1u);
+
+    EXPECT_EQ(fingerprint(baseline1), fingerprint(baseline2));
+    EXPECT_GT(rel1, 0.0);
+    EXPECT_GT(rel2, 0.0);
+}
+
+TEST(Sweep, CanonicalKeySeparatesConfigs)
+{
+    const ExperimentConfig cfg = smallConfig("cache1", "tpp", "1:4");
+    ExperimentConfig copy = cfg;
+    EXPECT_EQ(canonicalKey(cfg), canonicalKey(copy));
+
+    copy.seed = 2;
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    copy = cfg;
+    copy.tpp.scanBatch += 1;
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    copy = cfg;
+    copy.sysctls.emplace_back("vm.demote_scale_factor", "40");
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    // The twin differs from its source and strips policy state.
+    const ExperimentConfig twin = allLocalTwin(cfg);
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(twin));
+    EXPECT_TRUE(twin.allLocal);
+    EXPECT_EQ(twin.policy, "linux");
+    EXPECT_TRUE(twin.sysctls.empty());
+}
+
+TEST(Registry, PoliciesSelfRegister)
+{
+    auto &reg = PolicyRegistry::instance();
+    for (const char *name : {"linux", "numa-balancing", "numa",
+                             "autotiering", "damon-reclaim", "tpp"}) {
+        EXPECT_TRUE(reg.contains(name)) << name;
+    }
+    const auto names = reg.names();
+    EXPECT_GE(names.size(), 6u);
+
+    // A policy registered by this test TU resolves through makePolicy.
+    ExperimentConfig cfg;
+    cfg.policy = "test-echo";
+    auto policy = makePolicy(cfg);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), "linux");
+}
+
+TEST(Registry, WorkloadsSelfRegister)
+{
+    auto &reg = WorkloadRegistry::instance();
+    for (const char *name : {"web", "cache1", "cache2", "dwh",
+                             "data-warehouse", "ycsb-a", "ycsb-b",
+                             "ycsb-c", "ycsb-d"}) {
+        EXPECT_TRUE(reg.contains(name)) << name;
+    }
+    WorkloadSpec spec;
+    spec.name = "web";
+    spec.wssPages = 1024;
+    auto workload = reg.make(spec);
+    ASSERT_NE(workload, nullptr);
+}
+
+TEST(RegistryDeathTest, UnknownNamesListTheRegistered)
+{
+    setLogVerbose(false);
+    ExperimentConfig cfg;
+    cfg.policy = "no-such-policy";
+    EXPECT_DEATH(makePolicy(cfg), "unknown policy.*registered.*tpp");
+
+    WorkloadSpec spec;
+    spec.name = "no-such-workload";
+    spec.wssPages = 1024;
+    EXPECT_DEATH(WorkloadRegistry::instance().make(spec),
+                 "unknown workload.*registered.*web");
+}
+
+TEST(ParseRatio, AcceptsWellFormedRatios)
+{
+    EXPECT_NEAR(parseRatio("2:1"), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(parseRatio("1:4"), 0.2, 1e-12);
+    EXPECT_NEAR(parseRatio("1:0"), 1.0, 1e-12); // all-local as a ratio
+    EXPECT_NEAR(parseRatio("1.5:0.5"), 0.75, 1e-12);
+}
+
+TEST(ParseRatioDeathTest, RejectsMalformedRatios)
+{
+    setLogVerbose(false);
+    EXPECT_DEATH(parseRatio(""), "capacity ratio");
+    EXPECT_DEATH(parseRatio("21"), "capacity ratio");
+    EXPECT_DEATH(parseRatio("2:"), "capacity ratio");
+    EXPECT_DEATH(parseRatio(":1"), "capacity ratio");
+    EXPECT_DEATH(parseRatio("2:1:3"), "capacity ratio");
+    EXPECT_DEATH(parseRatio("a:b"), "capacity ratio");
+    EXPECT_DEATH(parseRatio("2x:1"), "capacity ratio");
+    EXPECT_DEATH(parseRatio("nan:1"), "capacity ratio");
+    EXPECT_DEATH(parseRatio("inf:1"), "capacity ratio");
+}
+
+TEST(ParseRatioDeathTest, RejectsNonPositiveShares)
+{
+    setLogVerbose(false);
+    EXPECT_DEATH(parseRatio("0:1"), "capacity ratio");
+    EXPECT_DEATH(parseRatio("-1:4"), "capacity ratio");
+    EXPECT_DEATH(parseRatio("1:-4"), "capacity ratio");
+}
+
+} // namespace
+} // namespace tpp
