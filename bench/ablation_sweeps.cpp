@@ -133,5 +133,6 @@ main(int argc, char **argv)
         table.print();
     }
     bench::maybeWriteCsv(opt, results);
+    bench::maybeWriteTrace(opt, results);
     return 0;
 }

@@ -12,8 +12,16 @@
  *                 to --jobs 1)
  *   --seed S      simulation seed
  *   --csv PATH    also write the run's ExperimentResults as CSV
+ *   --trace       enable kernel tracepoints (src/trace) for every run
+ *   --trace-out PATH  write tracepoint events + sampler series as
+ *                 JSONL (implies --trace; tools/trace_summary reads it)
+ *   --sample-ms N attach the TimeSeriesSampler at an N ms period
  *   --verbose     enable inform()/warn() logging + sweep progress
  *   PAGES         bare positional working-set size (backward compat)
+ *
+ * Tracing and sampling are observational: enabling them changes what a
+ * run *records*, never what it computes — the printed tables are
+ * byte-identical with or without these flags (tests/test_trace.cc).
  */
 
 #ifndef TPP_BENCH_BENCH_COMMON_HH
@@ -45,6 +53,13 @@ struct BenchOptions {
     std::uint64_t seed = 1;
     /** When non-empty, results are also written here as CSV. */
     std::string csvPath;
+    /** Enable kernel tracepoints for every run of the binary. */
+    bool trace = false;
+    /** When non-empty, write trace events + samples here as JSONL
+     *  (implies trace). */
+    std::string traceOutPath;
+    /** Sampler period in milliseconds; 0 = sampler off. */
+    std::uint64_t sampleMs = 0;
     bool verbose = false;
 };
 
@@ -68,8 +83,10 @@ inline void
 printUsage(const char *argv0)
 {
     std::printf("usage: %s [PAGES] [--wss PAGES] [--jobs N] [--seed S]\n"
-                "       %*s [--csv PATH] [--verbose]\n",
-                argv0, static_cast<int>(std::string(argv0).size()), "");
+                "       %*s [--csv PATH] [--trace] [--trace-out PATH]\n"
+                "       %*s [--sample-ms N] [--verbose]\n",
+                argv0, static_cast<int>(std::string(argv0).size()), "",
+                static_cast<int>(std::string(argv0).size()), "");
 }
 
 /**
@@ -98,6 +115,15 @@ parseBenchArgs(int argc, char **argv)
             opt.seed = parseCount("--seed", next());
         } else if (arg == "--csv") {
             opt.csvPath = next();
+        } else if (arg == "--trace") {
+            opt.trace = true;
+        } else if (arg == "--trace-out") {
+            opt.traceOutPath = next();
+            opt.trace = true;
+        } else if (arg == "--sample-ms") {
+            opt.sampleMs = parseCount("--sample-ms", next());
+            if (opt.sampleMs == 0)
+                tpp_fatal("--sample-ms expects a period > 0");
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -121,6 +147,11 @@ makeConfig(const BenchOptions &opt)
     ExperimentConfig cfg;
     cfg.wssPages = opt.wssPages;
     cfg.seed = opt.seed;
+    cfg.traceEnabled = opt.trace;
+    if (opt.sampleMs) {
+        cfg.sampleSeries = true;
+        cfg.samplePeriod = opt.sampleMs * kMillisecond;
+    }
     return cfg;
 }
 
@@ -145,6 +176,25 @@ maybeWriteCsv(const BenchOptions &opt,
     if (!out)
         tpp_fatal("cannot open --csv path '%s'", opt.csvPath.c_str());
     writeResultsCsv(out, results);
+}
+
+/**
+ * Honour --trace-out: append every result's tracepoint events and
+ * sampler series to one JSONL file, tagged by workload/policy so a
+ * whole sweep shares the file.
+ */
+inline void
+maybeWriteTrace(const BenchOptions &opt,
+                const std::vector<ExperimentResult> &results)
+{
+    if (opt.traceOutPath.empty())
+        return;
+    std::ofstream out(opt.traceOutPath);
+    if (!out)
+        tpp_fatal("cannot open --trace-out path '%s'",
+                  opt.traceOutPath.c_str());
+    for (const ExperimentResult &r : results)
+        writeTraceJsonl(out, r);
 }
 
 /** Print the figure banner. */

@@ -74,5 +74,6 @@ main(int argc, char **argv)
         std::printf("\n");
     }
     bench::maybeWriteCsv(opt, results);
+    bench::maybeWriteTrace(opt, results);
     return 0;
 }

@@ -75,5 +75,6 @@ main(int argc, char **argv)
     std::printf("\npaper: Web 97%%/22%%, Cache1 95%%/30%%, Cache2 98%%/40%%, "
                 "DWH ~100%%/20-30%%\n");
     bench::maybeWriteCsv(opt, results);
+    bench::maybeWriteTrace(opt, results);
     return 0;
 }

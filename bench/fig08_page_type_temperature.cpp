@@ -66,5 +66,6 @@ main(int argc, char **argv)
     std::printf("\npaper: Web 35%%/14%%, Cache1 40%%/25%%, Cache2 43%%/45%%, "
                 "DWH anon-dominated\n");
     bench::maybeWriteCsv(opt, results);
+    bench::maybeWriteTrace(opt, results);
     return 0;
 }

@@ -27,6 +27,10 @@ main(int argc, char **argv)
         cfg.workload = wl;
         cfg.allLocal = true;
         cfg.policy = "linux";
+        // This figure is built on the TimeSeriesSampler: the curves
+        // below come from its per-node LRU snapshots, at the driver's
+        // sample cadence unless --sample-ms overrides it.
+        cfg.sampleSeries = true;
         cfgs.push_back(cfg);
     }
     const std::vector<ExperimentResult> results =
@@ -38,15 +42,16 @@ main(int argc, char **argv)
         std::printf("-- %s --\n", cfgs[w].workload.c_str());
         TextTable table({"t(s)", "anon share", "file share",
                          "resident pages"});
-        for (std::size_t i = 0; i < res.samples.size(); i += 10) {
-            const IntervalSample &s = res.samples[i];
-            const double total =
-                static_cast<double>(s.anonResident + s.fileResident);
+        for (std::size_t i = 0; i < res.series.size(); i += 10) {
+            const TimeSeriesPoint &s = res.series[i];
+            const std::uint64_t anon = s.anonResident();
+            const std::uint64_t file = s.fileResident();
+            const double total = static_cast<double>(anon + file);
             table.addRow(
                 {TextTable::num(static_cast<double>(s.tick) / 1e9, 1),
-                 TextTable::pct(total > 0 ? s.anonResident / total : 0.0),
-                 TextTable::pct(total > 0 ? s.fileResident / total : 0.0),
-                 TextTable::count(s.anonResident + s.fileResident)});
+                 TextTable::pct(total > 0 ? anon / total : 0.0),
+                 TextTable::pct(total > 0 ? file / total : 0.0),
+                 TextTable::count(anon + file)});
         }
         table.print();
         std::printf("\n");
@@ -54,5 +59,6 @@ main(int argc, char **argv)
     std::printf("paper: Web file-heavy then anon grows; Cache ~75-80%% file "
                 "steady; DWH ~85%% anon steady\n");
     bench::maybeWriteCsv(opt, results);
+    bench::maybeWriteTrace(opt, results);
     return 0;
 }

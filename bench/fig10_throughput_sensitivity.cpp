@@ -102,5 +102,6 @@ main(int argc, char **argv)
     std::printf("\npaper: Web/Cache2/DWH throughput rises with anon "
                 "utilisation; Cache1 shows no clear relation\n");
     bench::maybeWriteCsv(opt, results);
+    bench::maybeWriteTrace(opt, results);
     return 0;
 }

@@ -72,5 +72,6 @@ main(int argc, char **argv)
     std::printf("\npaper: Web/Cache ~80%% re-accessed within 10 min "
                 "(5 intervals); DWH mostly new allocations\n");
     bench::maybeWriteCsv(opt, results);
+    bench::maybeWriteTrace(opt, results);
     return 0;
 }

@@ -68,5 +68,6 @@ main(int argc, char **argv)
                 " Cache1 linux ~97%%, tpp 99.9%%; Cache2 linux 78%% local"
                 " @98%%, tpp 91%% @99.6%%; DWH both ~99%%+\n");
     bench::maybeWriteCsv(opt, results);
+    bench::maybeWriteTrace(opt, results);
     return 0;
 }

@@ -66,5 +66,6 @@ main(int argc, char **argv)
                 "@99.5%%; Cache2 linux 20%%/80%% @82%%, tpp 59%%/41%% "
                 "@95%%\n");
     bench::maybeWriteCsv(opt, results);
+    bench::maybeWriteTrace(opt, results);
     return 0;
 }

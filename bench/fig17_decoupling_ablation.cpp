@@ -104,5 +104,6 @@ main(int argc, char **argv)
     std::printf("paper: without decoupling promotion almost halts, CXL "
                 "traffic ~55%%, throughput -12%%\n");
     bench::maybeWriteCsv(opt, results);
+    bench::maybeWriteTrace(opt, results);
     return 0;
 }

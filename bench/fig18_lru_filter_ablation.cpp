@@ -116,5 +116,6 @@ main(int argc, char **argv)
                                        static_cast<double>(d_i)));
     }
     bench::maybeWriteCsv(opt, results);
+    bench::maybeWriteTrace(opt, results);
     return 0;
 }

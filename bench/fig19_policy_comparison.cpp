@@ -72,5 +72,6 @@ main(int argc, char **argv)
                 "@87%%, TPP @99.5%%; Cache1 1:4 — NB 46%% local @90%%, "
                 "AT n/a (crashes), TPP 85%% local @99.5%%\n");
     bench::maybeWriteCsv(opt, results);
+    bench::maybeWriteTrace(opt, results);
     return 0;
 }

@@ -63,5 +63,6 @@ main(int argc, char **argv)
     std::printf("\npaper: Web 2:1 97%%/3%% @99.5%%; Cache1 1:4 85%%/15%% "
                 "@99.8%%; Cache2 1:4 72%%/28%% @98.5%%\n");
     bench::maybeWriteCsv(opt, results);
+    bench::maybeWriteTrace(opt, results);
     return 0;
 }

@@ -204,16 +204,14 @@ TppPolicy::onHintFault(Pfn pfn, NodeId task_nid)
     }
 
     // Candidate accepted (Fig 14 (1)/(3)).
-    VmStat &vs = k.vmstat();
     if (!promotionWithinRateLimit()) {
-        vs.inc(Vm::PgPromoteFailRateLimit);
+        k.vmstat().inc(Vm::PgPromoteFailRateLimit);
+        k.trace().emitPage(TraceEvent::PromoteFailRateLimit,
+                           k.eventQueue().now(), frame.nid, frame.type,
+                           pfn, frame.ownerAsid, frame.ownerVpn);
         return 0.0;
     }
-    vs.inc(Vm::PgPromoteCandidate);
-    vs.inc(frame.type == PageType::Anon ? Vm::PgPromoteCandidateAnon
-                                        : Vm::PgPromoteCandidateFile);
-    if (frame.demoted())
-        vs.inc(Vm::PgPromoteCandidateDemoted);
+    k.notePromoteCandidate(frame);
 
     auto [ok, cost] = k.promotePage(pfn, promotionTarget(task_nid));
     (void)ok;

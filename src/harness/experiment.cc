@@ -76,6 +76,24 @@ runExperiment(const ExperimentConfig &cfg)
     MemorySystem mem(mem_cfg);
     Kernel kernel(mem, eq, makePolicy(cfg));
 
+    // Telemetry attaches before anything is scheduled so the sampler's
+    // events always precede same-tick simulation events; both layers
+    // only observe, so results are bit-identical with them on or off
+    // (tests/test_trace.cc asserts this).
+    if (cfg.traceEnabled) {
+        kernel.trace().setCapacity(
+            static_cast<std::size_t>(cfg.traceCapacity));
+        kernel.trace().enable();
+    }
+    std::unique_ptr<TimeSeriesSampler> sampler;
+    if (cfg.sampleSeries) {
+        const Tick period =
+            cfg.samplePeriod ? cfg.samplePeriod : cfg.sampleEvery;
+        sampler = std::make_unique<TimeSeriesSampler>(kernel, period,
+                                                      cfg.runUntil);
+        sampler->start();
+    }
+
     // Admin surface: apply requested sysctls before anything runs.
     for (const auto &[name, value] : cfg.sysctls) {
         if (!kernel.sysctl().set(name, value))
@@ -118,6 +136,13 @@ runExperiment(const ExperimentConfig &cfg)
     result.samples = driver.samples();
     result.vmstat = kernel.vmstat();
     result.meminfo = collectMemInfo(kernel);
+    if (cfg.traceEnabled) {
+        result.trace = kernel.trace().snapshot();
+        result.traceEmitted = kernel.trace().emitted();
+        result.traceDropped = kernel.trace().dropped();
+    }
+    if (sampler)
+        result.series = sampler->takeSeries();
 
     // Residency split at end of run.
     for (PageType type : {PageType::Anon, PageType::File}) {

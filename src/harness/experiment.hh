@@ -30,6 +30,8 @@
 #include "mm/policy_params.hh"
 #include "mm/vmstat.hh"
 #include "sim/types.hh"
+#include "trace/sampler.hh"
+#include "trace/trace.hh"
 #include "workloads/driver.hh"
 
 namespace tpp {
@@ -72,6 +74,17 @@ struct ExperimentConfig : PolicyParams {
     /** Attach a Chameleon profiler to the workload. */
     bool withChameleon = false;
     ChameleonConfig chameleon;
+    /**
+     * Kernel tracepoints (src/trace): record mm events into the ring.
+     * Purely observational — results are bit-identical on or off.
+     */
+    bool traceEnabled = false;
+    /** Ring capacity in records when tracing is enabled. */
+    std::uint64_t traceCapacity = TraceBuffer::kDefaultCapacity;
+    /** Attach a TimeSeriesSampler (vmstat deltas + per-node usage). */
+    bool sampleSeries = false;
+    /** Sampler period; 0 means "use sampleEvery". */
+    Tick samplePeriod = 0;
 };
 
 /** Everything a figure/table needs from one run. */
@@ -89,6 +102,13 @@ struct ExperimentResult {
     /** End-of-run /proc/meminfo-style snapshot. */
     MemInfo meminfo;
     std::vector<IntervalSample> samples;
+    /** Tracepoint records, oldest first (cfg.traceEnabled). */
+    std::vector<TraceRecord> trace;
+    /** Ring accounting for the run: total fired / overwritten. */
+    std::uint64_t traceEmitted = 0;
+    std::uint64_t traceDropped = 0;
+    /** TimeSeriesSampler observations (cfg.sampleSeries). */
+    std::vector<TimeSeriesPoint> series;
     std::vector<ChameleonIntervalStats> chameleonIntervals;
     double chameleonHotFraction = 0.0;
     double chameleonHotFractionAnon = 0.0;

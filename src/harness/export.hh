@@ -26,6 +26,17 @@ void writeSamplesCsv(std::ostream &out, const ExperimentResult &result);
 /** Write a full result — metrics, counters, series — as JSON. */
 void writeResultJson(std::ostream &out, const ExperimentResult &result);
 
+/**
+ * Write a result's tracepoint records and sampler series as JSONL, one
+ * object per line tagged with the run's workload/policy. Event lines
+ * carry "kind":"event", sampler lines "kind":"sample"; tools/
+ * trace_summary consumes this format (trace/trace_io.hh).
+ */
+void writeTraceJsonl(std::ostream &out, const ExperimentResult &result);
+
+/** Write a result's TimeSeriesSampler series as CSV (fig. 9 curves). */
+void writeSeriesCsv(std::ostream &out, const ExperimentResult &result);
+
 } // namespace tpp
 
 #endif // TPP_HARNESS_EXPORT_HH

@@ -52,6 +52,13 @@ canonicalKey(const ExperimentConfig &cfg)
     field(out, "measureFrom", cfg.measureFrom);
     field(out, "sampleEvery", cfg.sampleEvery);
     field(out, "seed", cfg.seed);
+    // Tracing never changes simulation results, but it does change what
+    // a result *carries* (trace records, series) — two configs that
+    // differ only in telemetry must not share a memo slot.
+    field(out, "traceEnabled", cfg.traceEnabled);
+    field(out, "traceCapacity", cfg.traceCapacity);
+    field(out, "sampleSeries", cfg.sampleSeries);
+    field(out, "samplePeriod", cfg.samplePeriod);
     field(out, "withChameleon", cfg.withChameleon);
     field(out, "cham.samplePeriod", cfg.chameleon.samplePeriod);
     field(out, "cham.numCoreGroups", cfg.chameleon.numCoreGroups);
@@ -90,6 +97,12 @@ allLocalTwin(const ExperimentConfig &cfg)
     twin.policy = "linux";
     twin.withChameleon = false;
     twin.sysctls.clear();
+    // The baseline is a reference machine — never carries telemetry, so
+    // all figures comparing against it share one cached run.
+    twin.traceEnabled = false;
+    twin.traceCapacity = TraceBuffer::kDefaultCapacity;
+    twin.sampleSeries = false;
+    twin.samplePeriod = 0;
     return twin;
 }
 

@@ -151,6 +151,9 @@ Kernel::faultIn(AddressSpace &as, Vpn vpn, NodeId task_nid,
         refault = true;
         vmstat_.inc(Vm::PgMajFault);
         vmstat_.inc(Vm::PswpIn);
+        trace_.emitPage(TraceEvent::SwapIn, eq_.now(),
+                        mem_.frame(pfn).nid, pte.type, pfn, as.asid(),
+                        vpn);
         mem_.swapDevice().pageIn(pte.swapSlot);
         pte.clear(Pte::BitSwapped);
         pte.swapSlot = 0;
@@ -229,8 +232,11 @@ Kernel::access(Asid asid, Vpn vpn, AccessKind kind, NodeId task_nid)
         pte.clear(Pte::BitProtNone);
         res.hintFault = true;
         vmstat_.inc(Vm::NumaHintFaults);
-        if (mem_.frame(pte.pfn).nid == task_nid)
+        const PageFrame &hinted = mem_.frame(pte.pfn);
+        if (hinted.nid == task_nid)
             vmstat_.inc(Vm::NumaHintFaultsLocal);
+        trace_.emitPage(TraceEvent::HintFault, eq_.now(), hinted.nid,
+                        hinted.type, pte.pfn, asid, vpn, task_nid);
         latency += costs_.hintFaultFixed;
         latency += policy_->onHintFault(pte.pfn, task_nid);
     }

@@ -28,6 +28,7 @@
 #include "mm/vmstat.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
+#include "trace/trace.hh"
 
 namespace tpp {
 
@@ -101,6 +102,10 @@ class Kernel
     EventQueue &eventQueue() { return eq_; }
     VmStat &vmstat() { return vmstat_; }
     const VmStat &vmstat() const { return vmstat_; }
+
+    /** Tracepoint ring; disabled (and free) unless a client enables it. */
+    TraceBuffer &trace() { return trace_; }
+    const TraceBuffer &trace() const { return trace_; }
     PlacementPolicy &policy() { return *policy_; }
     const MmCosts &costs() const { return costs_; }
 
@@ -206,6 +211,14 @@ class Kernel
      */
     Pfn migratePage(Pfn pfn, NodeId dst, AllocReason reason);
 
+    /**
+     * Account a hint-faulted page accepted as a promotion candidate:
+     * bumps the pgpromote_candidate counter family (split by type and
+     * PG_demoted) and fires the PromoteCandidate tracepoint. Policies
+     * call this instead of duplicating the counter choreography.
+     */
+    void notePromoteCandidate(const PageFrame &frame);
+
     // ---- NUMA-hint sampling --------------------------------------------
 
     /**
@@ -269,6 +282,7 @@ class Kernel
     MmCosts costs_;
     VmStat vmstat_;
     SysctlRegistry sysctl_;
+    TraceBuffer trace_;
 
     std::vector<LruSet> lrus_;
     std::vector<std::unique_ptr<AddressSpace>> spaces_;

@@ -91,8 +91,11 @@ Kernel::allocPage(NodeId preferred, PageType type, AllocReason reason,
         if (nodePassesGate(nid, gate)) {
             const Pfn pfn = takeFrameFrom(nid, reason);
             if (pfn != kInvalidPfn) {
-                if (nid != preferred)
+                if (nid != preferred) {
                     vmstat_.inc(Vm::PgAllocFallback);
+                    trace_.emitTyped(TraceEvent::AllocFallback,
+                                     eq_.now(), nid, type, preferred);
+                }
                 maybeWakeKswapd(preferred);
                 maybeWakeKswapd(nid);
                 return pfn;
@@ -107,8 +110,11 @@ Kernel::allocPage(NodeId preferred, PageType type, AllocReason reason,
         if (nodePassesGate(nid, WatermarkGate::Min)) {
             const Pfn pfn = takeFrameFrom(nid, reason);
             if (pfn != kInvalidPfn) {
-                if (nid != preferred)
+                if (nid != preferred) {
                     vmstat_.inc(Vm::PgAllocFallback);
+                    trace_.emitTyped(TraceEvent::AllocFallback,
+                                     eq_.now(), nid, type, preferred);
+                }
                 return pfn;
             }
         }
@@ -119,6 +125,8 @@ Kernel::allocPage(NodeId preferred, PageType type, AllocReason reason,
     constexpr std::uint64_t kReclaimBatch = 32;
     for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
         vmstat_.inc(Vm::AllocStall);
+        trace_.emitTyped(TraceEvent::AllocStall, eq_.now(), preferred,
+                         type);
         std::uint64_t progress = 0;
         for (NodeId nid : order) {
             auto [reclaimed, cost] = directReclaim(nid, kReclaimBatch);
@@ -128,8 +136,12 @@ Kernel::allocPage(NodeId preferred, PageType type, AllocReason reason,
             if (nodePassesGate(nid, WatermarkGate::Min)) {
                 const Pfn pfn = takeFrameFrom(nid, reason);
                 if (pfn != kInvalidPfn) {
-                    if (nid != preferred)
+                    if (nid != preferred) {
                         vmstat_.inc(Vm::PgAllocFallback);
+                        trace_.emitTyped(TraceEvent::AllocFallback,
+                                         eq_.now(), nid, type,
+                                         preferred);
+                    }
                     return pfn;
                 }
             }

@@ -63,12 +63,27 @@ Kernel::migratePage(Pfn pfn, NodeId dst, AllocReason reason)
     return new_pfn;
 }
 
+void
+Kernel::notePromoteCandidate(const PageFrame &frame)
+{
+    vmstat_.inc(Vm::PgPromoteCandidate);
+    vmstat_.inc(frame.type == PageType::Anon ? Vm::PgPromoteCandidateAnon
+                                             : Vm::PgPromoteCandidateFile);
+    if (frame.demoted())
+        vmstat_.inc(Vm::PgPromoteCandidateDemoted);
+    trace_.emitPage(TraceEvent::PromoteCandidate, eq_.now(), frame.nid,
+                    frame.type, frame.pfn, frame.ownerAsid,
+                    frame.ownerVpn, frame.demoted() ? 1 : 0);
+}
+
 std::pair<bool, double>
 Kernel::demotePage(Pfn pfn)
 {
     PageFrame &frame = mem_.frame(pfn);
     const NodeId src = frame.nid;
     const PageType type = frame.type;
+    const Asid owner_asid = frame.ownerAsid;
+    const Vpn owner_vpn = frame.ownerVpn;
 
     // Distance-ordered static target selection (§5.1).
     for (NodeId dst : mem_.demotionOrder(src)) {
@@ -77,6 +92,8 @@ Kernel::demotePage(Pfn pfn)
             mem_.frame(new_pfn).setFlag(PageFrame::FlagDemoted);
             vmstat_.inc(type == PageType::Anon ? Vm::PgDemoteAnon
                                                : Vm::PgDemoteFile);
+            trace_.emitPage(TraceEvent::Demote, eq_.now(), src, type,
+                            new_pfn, owner_asid, owner_vpn, dst);
             return {true, costs_.migratePage};
         }
     }
@@ -84,6 +101,8 @@ Kernel::demotePage(Pfn pfn)
     // Migration failed (no CXL node, or all of them full): fall back to
     // the default reclamation mechanism for this page.
     vmstat_.inc(Vm::PgDemoteFail);
+    trace_.emitPage(TraceEvent::DemoteFail, eq_.now(), src, type, pfn,
+                    owner_asid, owner_vpn);
     return reclaimOnePage(pfn, false);
 }
 
@@ -94,13 +113,26 @@ Kernel::promotePage(Pfn pfn, NodeId dst)
 
     PageFrame &frame = mem_.frame(pfn);
     if (frame.isFree() || frame.lru == LruListId::None) {
+        // The frame's owner fields are gone; trace node-scoped only.
+        trace_.emit(TraceEvent::PromoteTry, eq_.now(), frame.nid, dst);
         vmstat_.inc(Vm::PgPromoteFailIsolate);
+        trace_.emit(TraceEvent::PromoteFailIsolate, eq_.now(), frame.nid,
+                    dst);
         return {false, 0.0};
     }
+
+    const NodeId src = frame.nid;
+    const PageType type = frame.type;
+    const Asid owner_asid = frame.ownerAsid;
+    const Vpn owner_vpn = frame.ownerVpn;
+    trace_.emitPage(TraceEvent::PromoteTry, eq_.now(), src, type, pfn,
+                    owner_asid, owner_vpn, dst);
 
     const Pfn new_pfn = migratePage(pfn, dst, AllocReason::Promotion);
     if (new_pfn == kInvalidPfn) {
         vmstat_.inc(Vm::PgPromoteFailLowMem);
+        trace_.emitPage(TraceEvent::PromoteFailLowMem, eq_.now(), src,
+                        type, pfn, owner_asid, owner_vpn, dst);
         return {false, 0.0};
     }
 
@@ -108,6 +140,8 @@ Kernel::promotePage(Pfn pfn, NodeId dst)
     // only counts pages that get demoted *again* afterwards.
     mem_.frame(new_pfn).clearFlag(PageFrame::FlagDemoted);
     vmstat_.inc(Vm::PgPromoteSuccess);
+    trace_.emitPage(TraceEvent::PromoteSuccess, eq_.now(), src, type,
+                    new_pfn, owner_asid, owner_vpn, dst);
     return {true, costs_.migratePage};
 }
 

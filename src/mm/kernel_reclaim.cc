@@ -43,6 +43,8 @@ Kernel::wakeKswapd(NodeId nid)
     if (state.running)
         return;
     state.running = true;
+    trace_.emit(TraceEvent::KswapdWake, eq_.now(), nid,
+                static_cast<std::uint32_t>(mem_.node(nid).freePages()));
     state.event = eq_.scheduleAfter(
         static_cast<Tick>(costs_.kswapdWakeup),
         [this, nid] { kswapdChunk(nid); });
@@ -61,6 +63,9 @@ Kernel::kswapdChunk(NodeId nid)
     const ReclaimMarks marks = policy_->kswapdMarks(nid);
     if (mem_.node(nid).freePages() >= marks.target) {
         state.running = false;
+        trace_.emit(TraceEvent::KswapdSleep, eq_.now(), nid,
+                    static_cast<std::uint32_t>(
+                        mem_.node(nid).freePages()));
         return;
     }
     auto [reclaimed, cost] = shrinkNode(nid, kKswapdBatch, true);
@@ -68,6 +73,9 @@ Kernel::kswapdChunk(NodeId nid)
         // Nothing reclaimable right now; sleep and let allocations wake
         // us again rather than spinning.
         state.running = false;
+        trace_.emit(TraceEvent::KswapdSleep, eq_.now(), nid,
+                    static_cast<std::uint32_t>(
+                        mem_.node(nid).freePages()));
         return;
     }
     const Tick delay =
@@ -79,7 +87,10 @@ Kernel::kswapdChunk(NodeId nid)
 std::pair<std::uint64_t, double>
 Kernel::directReclaim(NodeId nid, std::uint64_t nr_pages)
 {
-    return shrinkNode(nid, nr_pages, false);
+    const auto result = shrinkNode(nid, nr_pages, false);
+    trace_.emit(TraceEvent::DirectReclaim, eq_.now(), nid,
+                static_cast<std::uint32_t>(result.first));
+    return result;
 }
 
 bool
@@ -207,6 +218,8 @@ Kernel::reclaimOnePage(Pfn pfn, bool demote_mode)
         mem_.swapDevice().pageOut(frame.ownerAsid, frame.ownerVpn);
     if (slot == kInvalidSwapSlot)
         return {false, 0.0};
+    trace_.emitPage(TraceEvent::SwapOut, eq_.now(), frame.nid,
+                    frame.type, pfn, frame.ownerAsid, frame.ownerVpn);
     freeFrame(pfn);
     pte.swapSlot = slot;
     pte.set(Pte::BitSwapped);

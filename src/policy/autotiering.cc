@@ -76,12 +76,7 @@ AutoTieringPolicy::onHintFault(Pfn pfn, NodeId task_nid)
     if (frame.hintRefCount < cfg_.hotThreshold)
         return 0.0;
 
-    VmStat &vs = kernel_->vmstat();
-    vs.inc(Vm::PgPromoteCandidate);
-    vs.inc(frame.type == PageType::Anon ? Vm::PgPromoteCandidateAnon
-                                        : Vm::PgPromoteCandidateFile);
-    if (frame.demoted())
-        vs.inc(Vm::PgPromoteCandidateDemoted);
+    kernel_->notePromoteCandidate(frame);
 
     // Promotions come out of the fixed reserve when the target node is
     // under pressure; an exhausted reserve stalls promotion entirely.
@@ -90,6 +85,7 @@ AutoTieringPolicy::onHintFault(Pfn pfn, NodeId task_nid)
         local.aboveWatermark(local.watermarks().high);
     if (!plenty_free) {
         if (budget_ == 0) {
+            VmStat &vs = kernel_->vmstat();
             vs.inc(Vm::PgPromoteTry);
             vs.inc(Vm::PgPromoteFailLowMem);
             return 0.0;

@@ -48,12 +48,7 @@ NumaBalancingPolicy::onHintFault(Pfn pfn, NodeId task_nid)
     // gate is the high watermark because the kernel never lets NUMA
     // balancing migrate into a node under pressure (§4.2); Kernel's
     // promotionIgnoresWatermark flag stays false for this policy.
-    VmStat &vs = kernel_->vmstat();
-    vs.inc(Vm::PgPromoteCandidate);
-    vs.inc(frame.type == PageType::Anon ? Vm::PgPromoteCandidateAnon
-                                        : Vm::PgPromoteCandidateFile);
-    if (frame.demoted())
-        vs.inc(Vm::PgPromoteCandidateDemoted);
+    kernel_->notePromoteCandidate(frame);
     auto [ok, cost] = kernel_->promotePage(pfn, task_nid);
     (void)ok;
     return cost;

@@ -1,0 +1,89 @@
+#include "trace/sampler.hh"
+
+#include "mm/kernel.hh"
+#include "sim/logging.hh"
+
+namespace tpp {
+
+std::uint64_t
+TimeSeriesPoint::anonResident() const
+{
+    std::uint64_t total = 0;
+    for (const NodeUsagePoint &n : nodes)
+        total += n.anonResident();
+    return total;
+}
+
+std::uint64_t
+TimeSeriesPoint::fileResident() const
+{
+    std::uint64_t total = 0;
+    for (const NodeUsagePoint &n : nodes)
+        total += n.fileResident();
+    return total;
+}
+
+TimeSeriesSampler::TimeSeriesSampler(Kernel &kernel, Tick period,
+                                     Tick stopAt)
+    : kernel_(kernel), period_(period), stopAt_(stopAt)
+{
+    if (period_ == 0)
+        tpp_fatal("TimeSeriesSampler period must be > 0");
+}
+
+void
+TimeSeriesSampler::start()
+{
+    if (started_)
+        tpp_panic("TimeSeriesSampler::start called twice");
+    started_ = true;
+    EventQueue &eq = kernel_.eventQueue();
+    lastTick_ = eq.now();
+    const VmStat &vs = kernel_.vmstat();
+    for (std::size_t i = 0; i < kNumVmCounters; ++i)
+        lastVm_[i] = vs.get(static_cast<Vm>(i));
+    if (eq.now() + period_ <= stopAt_)
+        eq.scheduleAfter(period_, [this] { sampleTick(); });
+}
+
+void
+TimeSeriesSampler::sampleTick()
+{
+    EventQueue &eq = kernel_.eventQueue();
+    const Tick now = eq.now();
+
+    TimeSeriesPoint point;
+    point.tick = now;
+    point.windowNs = now - lastTick_;
+    lastTick_ = now;
+
+    const VmStat &vs = kernel_.vmstat();
+    for (std::size_t i = 0; i < kNumVmCounters; ++i) {
+        const std::uint64_t value = vs.get(static_cast<Vm>(i));
+        point.vmDelta[i] = value - lastVm_[i];
+        lastVm_[i] = value;
+    }
+
+    const MemorySystem &mem = kernel_.mem();
+    point.nodes.reserve(mem.numNodes());
+    for (std::size_t i = 0; i < mem.numNodes(); ++i) {
+        const NodeId nid = static_cast<NodeId>(i);
+        const MemoryNode &node = mem.node(nid);
+        const LruSet &lru = kernel_.lru(nid);
+        NodeUsagePoint usage;
+        usage.nid = nid;
+        usage.cpuLess = node.cpuLess();
+        usage.freePages = node.freePages();
+        usage.activeAnon = lru.count(LruListId::ActiveAnon);
+        usage.inactiveAnon = lru.count(LruListId::InactiveAnon);
+        usage.activeFile = lru.count(LruListId::ActiveFile);
+        usage.inactiveFile = lru.count(LruListId::InactiveFile);
+        point.nodes.push_back(usage);
+    }
+    series_.push_back(std::move(point));
+
+    if (now + period_ <= stopAt_)
+        eq.scheduleAfter(period_, [this] { sampleTick(); });
+}
+
+} // namespace tpp

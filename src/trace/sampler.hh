@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Time-series telemetry: an event-queue-driven sampler that snapshots
+ * vmstat counter deltas and per-node memory usage at a fixed period,
+ * giving every experiment the time-resolved view the paper's §5.5
+ * evaluation is built on (Fig. 9 usage-over-time curves, Figs. 15-18
+ * promotion/demotion-rate plots).
+ *
+ * The sampler is an observer: it reads kernel state and schedules only
+ * its own next tick, so attaching it never changes simulation results
+ * (asserted by tests/test_trace.cc).
+ */
+
+#ifndef TPP_TRACE_SAMPLER_HH
+#define TPP_TRACE_SAMPLER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mm/vmstat.hh"
+#include "sim/types.hh"
+
+namespace tpp {
+
+class Kernel;
+
+/** One node's memory usage at a sample tick (meminfo-lite). */
+struct NodeUsagePoint {
+    NodeId nid = 0;
+    bool cpuLess = false;
+    std::uint64_t freePages = 0;
+    std::uint64_t activeAnon = 0;
+    std::uint64_t inactiveAnon = 0;
+    std::uint64_t activeFile = 0;
+    std::uint64_t inactiveFile = 0;
+
+    std::uint64_t anonResident() const { return activeAnon + inactiveAnon; }
+    std::uint64_t fileResident() const { return activeFile + inactiveFile; }
+    std::uint64_t
+    resident() const
+    {
+        return anonResident() + fileResident();
+    }
+};
+
+/** One sampler observation: a window of vmstat activity + usage. */
+struct TimeSeriesPoint {
+    Tick tick = 0;      //!< simulated time of the snapshot
+    Tick windowNs = 0;  //!< length of the delta window ending here
+    /** Per-counter increments inside the window. */
+    std::array<std::uint64_t, kNumVmCounters> vmDelta{};
+    /** Usage of every node at the snapshot instant. */
+    std::vector<NodeUsagePoint> nodes;
+
+    std::uint64_t
+    delta(Vm counter) const
+    {
+        return vmDelta[static_cast<std::size_t>(counter)];
+    }
+
+    /** Window increment of `counter` as an events-per-second rate. */
+    double
+    ratePerSec(Vm counter) const
+    {
+        if (windowNs == 0)
+            return 0.0;
+        return static_cast<double>(delta(counter)) * 1e9 /
+               static_cast<double>(windowNs);
+    }
+
+    /** Promotion migrations per second inside the window. */
+    double promotionRate() const { return ratePerSec(Vm::PgPromoteSuccess); }
+
+    /** Demotion migrations (both types) per second inside the window. */
+    double
+    demotionRate() const
+    {
+        if (windowNs == 0)
+            return 0.0;
+        return static_cast<double>(delta(Vm::PgDemoteAnon) +
+                                   delta(Vm::PgDemoteFile)) *
+               1e9 / static_cast<double>(windowNs);
+    }
+
+    /** Resident pages by type summed over all nodes. */
+    std::uint64_t anonResident() const;
+    std::uint64_t fileResident() const;
+};
+
+/**
+ * Samples one kernel at a fixed period until `stopAt`.
+ *
+ * Each tick records the vmstat deltas since the previous tick and the
+ * instantaneous per-node usage (free pages + the four LRU list sizes).
+ * Samples land at exact multiples of the period relative to start().
+ */
+class TimeSeriesSampler
+{
+  public:
+    /**
+     * @param kernel the kernel to observe
+     * @param period sampling period in ticks; must be > 0
+     * @param stopAt no samples are scheduled past this tick
+     */
+    TimeSeriesSampler(Kernel &kernel, Tick period, Tick stopAt);
+
+    TimeSeriesSampler(const TimeSeriesSampler &) = delete;
+    TimeSeriesSampler &operator=(const TimeSeriesSampler &) = delete;
+
+    /** Schedule the first sample one period from now. Call once. */
+    void start();
+
+    Tick period() const { return period_; }
+
+    const std::vector<TimeSeriesPoint> &series() const { return series_; }
+
+    /** Move the recorded series out (harvesting at end of run). */
+    std::vector<TimeSeriesPoint> takeSeries() { return std::move(series_); }
+
+  private:
+    void sampleTick();
+
+    Kernel &kernel_;
+    Tick period_;
+    Tick stopAt_;
+    Tick lastTick_ = 0;
+    bool started_ = false;
+    std::array<std::uint64_t, kNumVmCounters> lastVm_{};
+    std::vector<TimeSeriesPoint> series_;
+};
+
+} // namespace tpp
+
+#endif // TPP_TRACE_SAMPLER_HH

@@ -1,0 +1,95 @@
+#include "trace/summary.hh"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace tpp {
+
+std::size_t
+TraceSummary::activeWindows(TraceEvent event) const
+{
+    std::size_t active = 0;
+    for (const TraceWindow &w : windows)
+        if (w.count(event) > 0)
+            active++;
+    return active;
+}
+
+TraceSummary
+summarizeTrace(const std::vector<TraceRecord> &events, Tick window_ns,
+               std::size_t top_n)
+{
+    if (window_ns == 0)
+        tpp_fatal("summarizeTrace: window must be > 0");
+
+    TraceSummary summary;
+    summary.windowNs = window_ns;
+    if (events.empty())
+        return summary;
+
+    std::vector<TraceRecord> sorted = events;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         return a.tick < b.tick;
+                     });
+
+    // Windows are aligned to t=0 so rates line up with the sampler and
+    // across runs; leading empty windows are materialised for the same
+    // reason (a silent first second is signal, not noise).
+    const std::size_t num_windows =
+        static_cast<std::size_t>(sorted.back().tick / window_ns) + 1;
+    summary.windows.resize(num_windows);
+    for (std::size_t i = 0; i < num_windows; ++i)
+        summary.windows[i].start = static_cast<Tick>(i) * window_ns;
+
+    struct PageState {
+        std::uint64_t demotions = 0;
+        std::uint64_t promotions = 0;
+        std::uint64_t flips = 0;
+        TraceEvent last = TraceEvent::NumEvents;
+    };
+    std::map<std::pair<std::uint32_t, Vpn>, PageState> pages;
+
+    for (const TraceRecord &r : sorted) {
+        const std::size_t e = static_cast<std::size_t>(r.event);
+        summary.totals[e]++;
+        summary.windows[static_cast<std::size_t>(r.tick / window_ns)]
+            .counts[e]++;
+
+        if (!r.hasPage || (r.event != TraceEvent::Demote &&
+                           r.event != TraceEvent::PromoteSuccess))
+            continue;
+        PageState &state = pages[{r.asid, r.vpn}];
+        if (r.event == TraceEvent::Demote)
+            state.demotions++;
+        else
+            state.promotions++;
+        if (state.last != TraceEvent::NumEvents && state.last != r.event)
+            state.flips++;
+        state.last = r.event;
+    }
+
+    for (const auto &[key, state] : pages) {
+        if (state.flips == 0)
+            continue;
+        PingPongPage page;
+        page.asid = key.first;
+        page.vpn = key.second;
+        page.demotions = state.demotions;
+        page.promotions = state.promotions;
+        page.flips = state.flips;
+        summary.pingPong.push_back(page);
+    }
+    std::stable_sort(summary.pingPong.begin(), summary.pingPong.end(),
+                     [](const PingPongPage &a, const PingPongPage &b) {
+                         return a.flips > b.flips;
+                     });
+    if (summary.pingPong.size() > top_n)
+        summary.pingPong.resize(top_n);
+    return summary;
+}
+
+} // namespace tpp

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Trace aggregation: fold a stream of tracepoint records into
+ * fixed-width time windows of per-event counts, and rank the pages
+ * that ping-pong between tiers (demoted, promoted back, demoted
+ * again — the pathology TPP's pgpromote_candidate_demoted counter and
+ * Fig. 18's active-LRU filter exist to suppress).
+ *
+ * Used by the trace_summary tool and unit-tested directly.
+ */
+
+#ifndef TPP_TRACE_SUMMARY_HH
+#define TPP_TRACE_SUMMARY_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace tpp {
+
+/** Per-event counts inside one [start, start + windowNs) window. */
+struct TraceWindow {
+    Tick start = 0;
+    std::array<std::uint64_t, kNumTraceEvents> counts{};
+
+    std::uint64_t
+    count(TraceEvent event) const
+    {
+        return counts[static_cast<std::size_t>(event)];
+    }
+};
+
+/** One page's tier-migration history, ranked by direction flips. */
+struct PingPongPage {
+    std::uint32_t asid = 0;
+    Vpn vpn = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t promotions = 0;
+    /** Promote→demote / demote→promote direction changes. */
+    std::uint64_t flips = 0;
+};
+
+/** Everything trace_summary reports about one run's events. */
+struct TraceSummary {
+    Tick windowNs = 0;
+    std::vector<TraceWindow> windows;
+    std::array<std::uint64_t, kNumTraceEvents> totals{};
+    /** Pages with ≥ 1 direction flip, most flips first. */
+    std::vector<PingPongPage> pingPong;
+
+    std::uint64_t
+    total(TraceEvent event) const
+    {
+        return totals[static_cast<std::size_t>(event)];
+    }
+
+    /** Windows in which at least one of `event` fired. */
+    std::size_t activeWindows(TraceEvent event) const;
+};
+
+/**
+ * Aggregate `events` (any order; sorted internally by tick) into
+ * windows of `window_ns`, keeping the `top_n` worst ping-pong pages.
+ * `window_ns` must be > 0.
+ */
+TraceSummary summarizeTrace(const std::vector<TraceRecord> &events,
+                            Tick window_ns, std::size_t top_n = 10);
+
+} // namespace tpp
+
+#endif // TPP_TRACE_SUMMARY_HH

@@ -47,8 +47,9 @@ TEST(Damon, RegionsStaySortedAndDisjoint)
     monitor.rebuildRegions();
     const auto &regions = monitor.regions();
     for (std::size_t i = 1; i < regions.size(); ++i) {
-        if (regions[i].asid == regions[i - 1].asid)
+        if (regions[i].asid == regions[i - 1].asid) {
             EXPECT_GE(regions[i].start, regions[i - 1].end);
+        }
     }
 }
 

@@ -47,8 +47,9 @@ TEST(KernelReclaim, RetouchedPageOutlivesColdNeighbours)
     EXPECT_EQ(reclaimed, 7u);
     EXPECT_TRUE(m.pte(base + 3).present());
     for (int i = 0; i < 8; ++i) {
-        if (i != 3)
+        if (i != 3) {
             EXPECT_FALSE(m.pte(base + i).present());
+        }
     }
     (void)cost;
 }

@@ -173,12 +173,39 @@ TEST(Sweep, CanonicalKeySeparatesConfigs)
     copy.sysctls.emplace_back("vm.demote_scale_factor", "40");
     EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
 
-    // The twin differs from its source and strips policy state.
-    const ExperimentConfig twin = allLocalTwin(cfg);
+    // Telemetry fields separate configs too: a traced result carries
+    // different payload than an untraced one and must not share a memo
+    // slot.
+    copy = cfg;
+    copy.traceEnabled = true;
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    copy = cfg;
+    copy.traceCapacity = 1024;
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    copy = cfg;
+    copy.sampleSeries = true;
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    copy = cfg;
+    copy.samplePeriod = 42;
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    // The twin differs from its source and strips policy state — and
+    // telemetry, so every figure shares one cached baseline run.
+    ExperimentConfig source = cfg;
+    source.traceEnabled = true;
+    source.sampleSeries = true;
+    source.samplePeriod = 42;
+    const ExperimentConfig twin = allLocalTwin(source);
     EXPECT_NE(canonicalKey(cfg), canonicalKey(twin));
     EXPECT_TRUE(twin.allLocal);
     EXPECT_EQ(twin.policy, "linux");
     EXPECT_TRUE(twin.sysctls.empty());
+    EXPECT_FALSE(twin.traceEnabled);
+    EXPECT_FALSE(twin.sampleSeries);
+    EXPECT_EQ(twin.samplePeriod, 0u);
 }
 
 TEST(Registry, PoliciesSelfRegister)

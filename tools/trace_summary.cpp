@@ -1,0 +1,176 @@
+/**
+ * @file
+ * trace_summary: digest a JSONL trace written by the bench binaries'
+ * --trace-out flag (or harness writeTraceJsonl) into the tables a
+ * human wants first: per-event totals, per-window migration rates and
+ * the worst tier ping-pong pages.
+ *
+ * usage: trace_summary [FILE ...] [--window-ms N] [--top N]
+ *
+ * With no FILE (or "-") the trace is read from stdin. Events from all
+ * files are pooled, then grouped by their workload/policy tag; each
+ * group gets its own summary, so one file holding a whole sweep prints
+ * one section per run.
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/table.hh"
+#include "sim/logging.hh"
+#include "trace/summary.hh"
+#include "trace/trace_io.hh"
+
+namespace {
+
+using namespace tpp;
+
+std::uint64_t
+parseCount(const char *flag, const std::string &text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 0);
+    if (text.empty() || end != text.c_str() + text.size() ||
+        errno == ERANGE || text[0] == '-')
+        tpp_fatal("%s expects an unsigned integer, got '%s'", flag,
+                  text.c_str());
+    return value;
+}
+
+/** Events that read as per-second rates in the window table. */
+constexpr TraceEvent kRateColumns[] = {
+    TraceEvent::PromoteSuccess, TraceEvent::Demote, TraceEvent::HintFault,
+    TraceEvent::AllocFallback,  TraceEvent::SwapOut,
+};
+
+void
+printSummary(const std::string &tag, const std::vector<TraceRecord> &events,
+             Tick window_ns, std::size_t top_n)
+{
+    const TraceSummary summary =
+        summarizeTrace(events, window_ns, top_n);
+
+    std::printf("== %s — %zu events, %zu windows of %.0f ms ==\n\n",
+                tag.c_str(), events.size(), summary.windows.size(),
+                static_cast<double>(window_ns) / 1e6);
+
+    TextTable totals({"event", "total", "active windows"});
+    for (std::size_t i = 0; i < kNumTraceEvents; ++i) {
+        const TraceEvent event = static_cast<TraceEvent>(i);
+        if (summary.total(event) == 0)
+            continue;
+        totals.addRow({traceEventName(event),
+                       TextTable::count(summary.total(event)),
+                       TextTable::count(summary.activeWindows(event))});
+    }
+    totals.print();
+    std::printf("\n");
+
+    const double window_sec = static_cast<double>(window_ns) / 1e9;
+    TextTable rates({"t(s)", "promote/s", "demote/s", "hint faults/s",
+                     "alloc fallback/s", "swap out/s"});
+    for (const TraceWindow &w : summary.windows) {
+        std::vector<std::string> row;
+        row.push_back(
+            TextTable::num(static_cast<double>(w.start) / 1e9, 1));
+        for (TraceEvent event : kRateColumns)
+            row.push_back(TextTable::num(
+                static_cast<double>(w.count(event)) / window_sec, 1));
+        rates.addRow(std::move(row));
+    }
+    rates.print();
+    std::printf("\n");
+
+    if (summary.pingPong.empty()) {
+        std::printf("no ping-pong pages (no page changed tier direction "
+                    "twice)\n\n");
+        return;
+    }
+    std::printf("top ping-pong pages (tier direction flips):\n");
+    TextTable pages({"asid", "vpn", "demotions", "promotions", "flips"});
+    for (const PingPongPage &p : summary.pingPong)
+        pages.addRow({TextTable::count(p.asid), TextTable::count(p.vpn),
+                      TextTable::count(p.demotions),
+                      TextTable::count(p.promotions),
+                      TextTable::count(p.flips)});
+    pages.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    Tick window_ns = 1000 * kMillisecond;
+    std::size_t top_n = 10;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                tpp_fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--window-ms") {
+            const std::uint64_t ms = parseCount("--window-ms", next());
+            if (ms == 0)
+                tpp_fatal("--window-ms expects a window > 0");
+            window_ns = ms * kMillisecond;
+        } else if (arg == "--top") {
+            top_n = parseCount("--top", next());
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [FILE ...] [--window-ms N] [--top N]\n",
+                        argv[0]);
+            return 0;
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    std::vector<TaggedTraceRecord> tagged;
+    if (files.empty()) {
+        tagged = readTraceEventsJsonl(std::cin);
+    } else {
+        for (const std::string &path : files) {
+            if (path == "-") {
+                auto part = readTraceEventsJsonl(std::cin);
+                tagged.insert(tagged.end(), part.begin(), part.end());
+                continue;
+            }
+            std::ifstream in(path);
+            if (!in)
+                tpp_fatal("cannot open trace file '%s'", path.c_str());
+            auto part = readTraceEventsJsonl(in);
+            tagged.insert(tagged.end(), part.begin(), part.end());
+        }
+    }
+
+    if (tagged.empty()) {
+        std::printf("no trace events found\n");
+        return 0;
+    }
+
+    // Group by run tag, preserving first-appearance order.
+    std::vector<std::string> order;
+    std::map<std::string, std::vector<TraceRecord>> groups;
+    for (const TaggedTraceRecord &t : tagged) {
+        const std::string tag = t.workload + "/" + t.policy;
+        auto [it, inserted] = groups.emplace(tag, std::vector<TraceRecord>{});
+        if (inserted)
+            order.push_back(tag);
+        it->second.push_back(t.record);
+    }
+
+    for (const std::string &tag : order)
+        printSummary(tag, groups[tag], window_ns, top_n);
+    return 0;
+}
