@@ -181,7 +181,7 @@ TppPolicy::onHintFault(Pfn pfn, NodeId task_nid)
         // faulting CPU's node instantly, no tiered filtering.
         if (frame.nid == task_nid)
             return 0.0;
-        auto [ok, cost] = k.promotePage(pfn, task_nid);
+        auto [ok, cost] = k.promotePage(pfn, frame.nid, task_nid);
         (void)ok;
         return cost;
     }
@@ -213,7 +213,8 @@ TppPolicy::onHintFault(Pfn pfn, NodeId task_nid)
     }
     k.notePromoteCandidate(frame);
 
-    auto [ok, cost] = k.promotePage(pfn, promotionTarget(task_nid));
+    auto [ok, cost] =
+        k.promotePage(pfn, frame.nid, promotionTarget(task_nid));
     (void)ok;
     return cost;
 }

@@ -74,7 +74,7 @@ runExperiment(const ExperimentConfig &cfg)
 
     EventQueue eq;
     MemorySystem mem(mem_cfg);
-    Kernel kernel(mem, eq, makePolicy(cfg));
+    Kernel kernel(mem, eq, makePolicy(cfg), MmCosts{}, cfg.migration);
 
     // Telemetry attaches before anything is scheduled so the sampler's
     // events always precede same-tick simulation events; both layers

@@ -27,6 +27,7 @@
 
 #include "chameleon/chameleon.hh"
 #include "mm/meminfo.hh"
+#include "mm/migration/migration_config.hh"
 #include "mm/policy_params.hh"
 #include "mm/vmstat.hh"
 #include "sim/types.hh"
@@ -66,6 +67,13 @@ struct ExperimentConfig : PolicyParams {
     std::string policy = "tpp";
     /** sysctl name=value pairs applied before the run starts. */
     std::vector<std::pair<std::string, std::string>> sysctls;
+    /**
+     * MigrationEngine mode (mm/migration). The default is the
+     * synchronous compat mode — bit-identical to the pre-engine
+     * kernel; MigrationConfig::asyncEngine() turns on queueing,
+     * transactions and bandwidth-coupled copy cost.
+     */
+    MigrationConfig migration;
     /** Simulated run length and measurement window. */
     Tick runUntil = 20 * kSecond;
     Tick measureFrom = 12 * kSecond;

@@ -67,6 +67,13 @@ canonicalKey(const ExperimentConfig &cfg)
     field(out, "cham.dutyCycle", cfg.chameleon.dutyCycle);
     field(out, "cham.bitsPerInterval", cfg.chameleon.bitsPerInterval);
     field(out, "cham.frequentThreshold", cfg.chameleon.frequentThreshold);
+    field(out, "mig.async", cfg.migration.async);
+    field(out, "mig.transactional", cfg.migration.transactional);
+    field(out, "mig.bandwidthCost", cfg.migration.bandwidthCost);
+    field(out, "mig.queueDepth", cfg.migration.queueDepth);
+    field(out, "mig.drainBatch", cfg.migration.drainBatch);
+    field(out, "mig.drainPeriod", cfg.migration.drainPeriod);
+    fieldDouble(out, "mig.rateLimitMBps", cfg.migration.rateLimitMBps);
     field(out, "tpp.mode", static_cast<int>(cfg.tpp.mode));
     fieldDouble(out, "tpp.demoteScaleFactor", cfg.tpp.demoteScaleFactor);
     field(out, "tpp.decoupleWatermarks", cfg.tpp.decoupleWatermarks);

@@ -18,4 +18,22 @@ LatencyModel::accessLatencyNs(const MemoryNode &node, Tick now) const
     return inflate(node.profile().idleLatencyNs, node.utilization(now));
 }
 
+double
+LatencyModel::transferLatencyNs(const MemoryNode &node, Tick now,
+                                std::uint64_t bytes) const
+{
+    // bandwidthGBps is in GB/s == bytes/ns, so idle time is bytes / bw.
+    const double idle_ns =
+        static_cast<double>(bytes) / node.profile().bandwidthGBps;
+    return inflate(idle_ns, node.utilization(now));
+}
+
+double
+LatencyModel::pageCopyLatencyNs(const MemoryNode &src,
+                                const MemoryNode &dst, Tick now) const
+{
+    return transferLatencyNs(src, now, kPageSize) +
+           transferLatencyNs(dst, now, kPageSize);
+}
+
 } // namespace tpp

@@ -46,6 +46,23 @@ class LatencyModel
     /** Pure function used by tests: inflate `idle_ns` at utilisation u. */
     double inflate(double idle_ns, double utilization) const;
 
+    /**
+     * @return time in nanoseconds to move `bytes` through `node` at
+     *         time `now`: the idle transfer time (bytes / peak
+     *         bandwidth) inflated by the node's current utilisation.
+     */
+    double transferLatencyNs(const MemoryNode &node, Tick now,
+                             std::uint64_t bytes) const;
+
+    /**
+     * Cost of copying one page from `src` to `dst` at time `now`: the
+     * read leg plus the write leg, each inflated by its node's
+     * bandwidth utilisation. This is the MigrationEngine's
+     * bandwidth-contention copy cost (vs the flat MmCosts constant).
+     */
+    double pageCopyLatencyNs(const MemoryNode &src, const MemoryNode &dst,
+                             Tick now) const;
+
   private:
     LatencyConfig cfg_;
 };

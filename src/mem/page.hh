@@ -67,6 +67,9 @@ struct PageFrame {
         FlagDemoted = 1 << 3,     //!< PG_demoted: TPP ping-pong tracking
         FlagIsolated = 1 << 4,    //!< detached from LRU for migration
         FlagUnevictable = 1 << 5, //!< pinned (not modelled heavily)
+        /** Transactional copy in flight (Nomad-style two-phase
+         *  migration): an access while set aborts the migration. */
+        FlagUnderMigration = 1 << 6,
     };
 
     Pfn pfn = kInvalidPfn;
@@ -97,6 +100,7 @@ struct PageFrame {
     bool dirty() const { return flags & FlagDirty; }
     bool demoted() const { return flags & FlagDemoted; }
     bool isolated() const { return flags & FlagIsolated; }
+    bool underMigration() const { return flags & FlagUnderMigration; }
 
     void setFlag(Flag f) { flags |= f; }
     void clearFlag(Flag f) { flags &= static_cast<std::uint8_t>(~f); }

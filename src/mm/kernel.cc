@@ -9,12 +9,14 @@
 
 #include <utility>
 
+#include "mm/migration/migration_engine.hh"
 #include "sim/logging.hh"
 
 namespace tpp {
 
 Kernel::Kernel(MemorySystem &mem, EventQueue &eq,
-               std::unique_ptr<PlacementPolicy> policy, MmCosts costs)
+               std::unique_ptr<PlacementPolicy> policy, MmCosts costs,
+               MigrationConfig migration)
     : mem_(mem), eq_(eq), policy_(std::move(policy)), costs_(costs)
 {
     if (!policy_)
@@ -28,8 +30,13 @@ Kernel::Kernel(MemorySystem &mem, EventQueue &eq,
     scanCursor_.resize(n);
     for (std::size_t i = 0; i < n; ++i)
         scanCursor_[i] = mem_.node(static_cast<NodeId>(i)).firstPfn();
+    // The engine registers its sysctls before the policy attaches, so a
+    // policy can already tune migration knobs at attach time.
+    migration_ = std::make_unique<MigrationEngine>(*this, migration);
     policy_->attach(*this);
 }
+
+Kernel::~Kernel() = default;
 
 void
 Kernel::start()
@@ -118,6 +125,8 @@ Kernel::freeFrame(Pfn pfn)
     PageFrame &frame = mem_.frame(pfn);
     if (frame.isFree())
         tpp_panic("freeFrame: pfn %u already free", pfn);
+    if (frame.underMigration())
+        migration_->abortOnFree(pfn);
     if (frame.lru != LruListId::None)
         lrus_[frame.nid].remove(pfn);
     unmapFrame(frame);
@@ -225,6 +234,11 @@ Kernel::access(Asid asid, Vpn vpn, AccessKind kind, NodeId task_nid)
             return res;
         }
     }
+
+    // A transactional copy in flight loses the race with this access:
+    // abort it (pgmigrate_fail_busy) so the page stays where it is.
+    if (mem_.frame(pte.pfn).underMigration())
+        migration_->abortOnAccess(pte.pfn);
 
     if (pte.protNone()) {
         // NUMA hint fault (§4.2): record and let the policy react. The

@@ -23,6 +23,7 @@
 #include "mem/memory_system.hh"
 #include "mm/address_space.hh"
 #include "mm/lru.hh"
+#include "mm/migration/migration_config.hh"
 #include "mm/placement_policy.hh"
 #include "mm/sysctl.hh"
 #include "mm/vmstat.hh"
@@ -31,6 +32,8 @@
 #include "trace/trace.hh"
 
 namespace tpp {
+
+class MigrationEngine;
 
 /** Latency constants of the mm code paths, in nanoseconds. */
 struct MmCosts {
@@ -85,12 +88,18 @@ class Kernel
 {
   public:
     /**
-     * @param mem     physical memory (nodes, frames, swap)
-     * @param eq      simulation event queue for daemons
-     * @param policy  placement policy; Kernel takes ownership
+     * @param mem        physical memory (nodes, frames, swap)
+     * @param eq         simulation event queue for daemons
+     * @param policy     placement policy; Kernel takes ownership
+     * @param costs      mm code-path latency constants
+     * @param migration  MigrationEngine mode; the default is the
+     *                   synchronous compat mode (bit-identical to the
+     *                   pre-engine kernel)
      */
     Kernel(MemorySystem &mem, EventQueue &eq,
-           std::unique_ptr<PlacementPolicy> policy, MmCosts costs = {});
+           std::unique_ptr<PlacementPolicy> policy, MmCosts costs = {},
+           MigrationConfig migration = {});
+    ~Kernel();
 
     Kernel(const Kernel &) = delete;
     Kernel &operator=(const Kernel &) = delete;
@@ -189,11 +198,16 @@ class Kernel
     std::pair<std::uint64_t, double> directReclaim(NodeId nid,
                                                    std::uint64_t nr_pages);
 
-    // ---- migration (kernel_migrate.cc) ---------------------------------
+    // ---- migration (mm/migration/, kernel_migrate.cc) ------------------
+
+    /** The migration subsystem (queues, admission, transactions). */
+    MigrationEngine &migration() { return *migration_; }
+    const MigrationEngine &migration() const { return *migration_; }
 
     /**
      * Demote one page to the first CXL node (by distance) with room.
-     * On failure falls back to classic reclaim of that page.
+     * Routed through the MigrationEngine: may queue in async mode; on
+     * sync failure falls back to classic reclaim of that page.
      * @return {freed-on-src, latency ns}.
      */
     std::pair<bool, double> demotePage(Pfn pfn);
@@ -205,11 +219,21 @@ class Kernel
     std::pair<bool, double> promotePage(Pfn pfn, NodeId dst);
 
     /**
-     * Raw migration mechanism used by demote/promote and by policies
-     * that move pages directly (AutoTiering).
+     * Promote with the source node the caller examined: failure
+     * accounting stays correctly node-scoped even when the frame is
+     * freed or isolated between the caller's check and the attempt.
+     */
+    std::pair<bool, double> promotePage(Pfn pfn, NodeId src, NodeId dst);
+
+    /**
+     * Raw migration mechanism used by the engine's synchronous paths
+     * and by policies that move pages directly (AutoTiering).
+     * `stall_ns` accumulates any direct-reclaim latency paid while
+     * allocating the migration target.
      * @return destination pfn or kInvalidPfn.
      */
-    Pfn migratePage(Pfn pfn, NodeId dst, AllocReason reason);
+    Pfn migratePage(Pfn pfn, NodeId dst, AllocReason reason,
+                    double *stall_ns = nullptr);
 
     /**
      * Account a hint-faulted page accepted as a promotion candidate:
@@ -241,6 +265,9 @@ class Kernel
 
   private:
     friend class KernelTestPeer;
+    /** The engine is the extracted half of this class: it drives the
+     *  same LRU / allocator / counter internals kernel_migrate.cc did. */
+    friend class MigrationEngine;
 
     // kernel.cc
     double faultIn(AddressSpace &as, Vpn vpn, NodeId task_nid,
@@ -279,6 +306,7 @@ class Kernel
     MemorySystem &mem_;
     EventQueue &eq_;
     std::unique_ptr<PlacementPolicy> policy_;
+    std::unique_ptr<MigrationEngine> migration_;
     MmCosts costs_;
     VmStat vmstat_;
     SysctlRegistry sysctl_;

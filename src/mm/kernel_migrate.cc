@@ -1,17 +1,24 @@
 /**
  * @file
- * Page migration between memory nodes: the raw move, TPP-style demotion
- * with distance-ordered targets and classic-reclaim fallback (§5.1),
- * and promotion with gate checking and failure accounting (§5.3, §5.5).
+ * The raw page-move mechanism and the Kernel's migration entry points.
+ *
+ * Demotion/promotion policy choreography (target selection, gate
+ * checking, failure accounting, queueing, transactions) lives in the
+ * MigrationEngine (mm/migration/); the Kernel keeps the raw frame move
+ * used by the engine's synchronous paths and by policies that migrate
+ * directly (AutoTiering), plus thin delegating wrappers so existing
+ * callers keep their API.
  */
 
 #include "mm/kernel.hh"
+#include "mm/migration/migration_engine.hh"
 #include "sim/logging.hh"
 
 namespace tpp {
 
 Pfn
-Kernel::migratePage(Pfn pfn, NodeId dst, AllocReason reason)
+Kernel::migratePage(Pfn pfn, NodeId dst, AllocReason reason,
+                    double *stall_ns)
 {
     PageFrame &frame = mem_.frame(pfn);
     if (frame.isFree() || frame.lru == LruListId::None) {
@@ -21,7 +28,7 @@ Kernel::migratePage(Pfn pfn, NodeId dst, AllocReason reason)
     if (frame.nid == dst)
         tpp_panic("migratePage: pfn %u already on node %u", pfn, dst);
 
-    const Pfn new_pfn = allocPage(dst, frame.type, reason);
+    const Pfn new_pfn = allocPage(dst, frame.type, reason, stall_ns);
     if (new_pfn == kInvalidPfn) {
         vmstat_.inc(Vm::PgMigrateFail);
         return kInvalidPfn;
@@ -53,12 +60,16 @@ Kernel::migratePage(Pfn pfn, NodeId dst, AllocReason reason)
     mem_.node(src).putFree(pfn);
     frame.resetForFree();
 
-    lrus_[dst].addHead(lruListFor(new_frame.type, was_active), new_pfn);
+    // App/SwapIn-reason allocations may fall back off the requested
+    // node; file the page where its frame actually landed.
+    const NodeId landed = new_frame.nid;
+    lrus_[landed].addHead(lruListFor(new_frame.type, was_active),
+                          new_pfn);
 
     // The copy moves one page of data off the source and onto the
     // destination node.
     mem_.node(src).recordTraffic(eq_.now(), kPageSize);
-    mem_.node(dst).recordTraffic(eq_.now(), kPageSize);
+    mem_.node(landed).recordTraffic(eq_.now(), kPageSize);
     vmstat_.inc(Vm::PgMigrateSuccess);
     return new_pfn;
 }
@@ -79,70 +90,21 @@ Kernel::notePromoteCandidate(const PageFrame &frame)
 std::pair<bool, double>
 Kernel::demotePage(Pfn pfn)
 {
-    PageFrame &frame = mem_.frame(pfn);
-    const NodeId src = frame.nid;
-    const PageType type = frame.type;
-    const Asid owner_asid = frame.ownerAsid;
-    const Vpn owner_vpn = frame.ownerVpn;
-
-    // Distance-ordered static target selection (§5.1).
-    for (NodeId dst : mem_.demotionOrder(src)) {
-        const Pfn new_pfn = migratePage(pfn, dst, AllocReason::Demotion);
-        if (new_pfn != kInvalidPfn) {
-            mem_.frame(new_pfn).setFlag(PageFrame::FlagDemoted);
-            vmstat_.inc(type == PageType::Anon ? Vm::PgDemoteAnon
-                                               : Vm::PgDemoteFile);
-            trace_.emitPage(TraceEvent::Demote, eq_.now(), src, type,
-                            new_pfn, owner_asid, owner_vpn, dst);
-            return {true, costs_.migratePage};
-        }
-    }
-
-    // Migration failed (no CXL node, or all of them full): fall back to
-    // the default reclamation mechanism for this page.
-    vmstat_.inc(Vm::PgDemoteFail);
-    trace_.emitPage(TraceEvent::DemoteFail, eq_.now(), src, type, pfn,
-                    owner_asid, owner_vpn);
-    return reclaimOnePage(pfn, false);
+    const MigrateResult res = migration_->demote(pfn);
+    return {res.freed, res.latencyNs};
 }
 
 std::pair<bool, double>
 Kernel::promotePage(Pfn pfn, NodeId dst)
 {
-    vmstat_.inc(Vm::PgPromoteTry);
+    return promotePage(pfn, mem_.frame(pfn).nid, dst);
+}
 
-    PageFrame &frame = mem_.frame(pfn);
-    if (frame.isFree() || frame.lru == LruListId::None) {
-        // The frame's owner fields are gone; trace node-scoped only.
-        trace_.emit(TraceEvent::PromoteTry, eq_.now(), frame.nid, dst);
-        vmstat_.inc(Vm::PgPromoteFailIsolate);
-        trace_.emit(TraceEvent::PromoteFailIsolate, eq_.now(), frame.nid,
-                    dst);
-        return {false, 0.0};
-    }
-
-    const NodeId src = frame.nid;
-    const PageType type = frame.type;
-    const Asid owner_asid = frame.ownerAsid;
-    const Vpn owner_vpn = frame.ownerVpn;
-    trace_.emitPage(TraceEvent::PromoteTry, eq_.now(), src, type, pfn,
-                    owner_asid, owner_vpn, dst);
-
-    const Pfn new_pfn = migratePage(pfn, dst, AllocReason::Promotion);
-    if (new_pfn == kInvalidPfn) {
-        vmstat_.inc(Vm::PgPromoteFailLowMem);
-        trace_.emitPage(TraceEvent::PromoteFailLowMem, eq_.now(), src,
-                        type, pfn, owner_asid, owner_vpn, dst);
-        return {false, 0.0};
-    }
-
-    // A successful promotion clears PG_demoted: the ping-pong detector
-    // only counts pages that get demoted *again* afterwards.
-    mem_.frame(new_pfn).clearFlag(PageFrame::FlagDemoted);
-    vmstat_.inc(Vm::PgPromoteSuccess);
-    trace_.emitPage(TraceEvent::PromoteSuccess, eq_.now(), src, type,
-                    new_pfn, owner_asid, owner_vpn, dst);
-    return {true, costs_.migratePage};
+std::pair<bool, double>
+Kernel::promotePage(Pfn pfn, NodeId src, NodeId dst)
+{
+    const MigrateResult res = migration_->promote(pfn, src, dst);
+    return {res.outcome == MigrateOutcome::Completed, res.latencyNs};
 }
 
 } // namespace tpp

@@ -13,6 +13,7 @@
 #include <algorithm>
 
 #include "mm/kernel.hh"
+#include "mm/migration/migration_engine.hh"
 #include "sim/logging.hh"
 
 namespace tpp {
@@ -172,7 +173,27 @@ Kernel::shrinkNode(NodeId nid, std::uint64_t nr_to_reclaim, bool background)
             continue;
         }
 
-        auto [freed, page_cost] = reclaimOnePage(pfn, demote_mode);
+        if (demote_mode) {
+            // Background reclaim may queue the demotion on the engine;
+            // direct reclaim always demotes synchronously (the
+            // allocating task needs the page freed now).
+            const MigrateResult res = migration_->demote(
+                pfn, background ? MigrateUrgency::Background
+                                : MigrateUrgency::Direct);
+            cost += res.latencyNs;
+            if (res.freed) {
+                reclaimed++;
+                vmstat_.inc(steal_counter);
+            } else if (res.outcome != MigrateOutcome::Queued) {
+                // Deferred or failed: the page is still on the LRU;
+                // rotate away so the scan makes progress. A queued page
+                // already left the LRU for the migration queue.
+                lru.rotate(pfn);
+            }
+            continue;
+        }
+
+        auto [freed, page_cost] = reclaimOnePage(pfn, false);
         cost += page_cost;
         if (freed) {
             reclaimed++;

@@ -46,6 +46,9 @@ vmName(Vm counter)
       case Vm::WorkingsetActivate: return "workingset_activate";
       case Vm::PgMigrateSuccess: return "pgmigrate_success";
       case Vm::PgMigrateFail: return "pgmigrate_fail";
+      case Vm::PgMigrateQueued: return "pgmigrate_queued";
+      case Vm::PgMigrateDeferred: return "pgmigrate_deferred";
+      case Vm::PgMigrateFailBusy: return "pgmigrate_fail_busy";
       case Vm::NumCounters: break;
     }
     tpp_panic("vmName: bad counter %zu", static_cast<std::size_t>(counter));

@@ -67,6 +67,13 @@ enum class Vm : std::size_t {
     PgMigrateSuccess,
     PgMigrateFail,
 
+    // MigrationEngine (async queues, admission, transactional copy).
+    // Appended after the seed counters so existing report layouts and
+    // golden fingerprints stay stable.
+    PgMigrateQueued,    //!< requests accepted into a migration queue
+    PgMigrateDeferred,  //!< requests deferred by admission control / full queue
+    PgMigrateFailBusy,  //!< transactional copies aborted by an access
+
     NumCounters,
 };
 

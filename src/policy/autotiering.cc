@@ -93,7 +93,7 @@ AutoTieringPolicy::onHintFault(Pfn pfn, NodeId task_nid)
         budget_--;
     }
 
-    auto [ok, cost] = kernel_->promotePage(pfn, task_nid);
+    auto [ok, cost] = kernel_->promotePage(pfn, frame.nid, task_nid);
     (void)ok;
     return cost;
 }

@@ -49,7 +49,7 @@ NumaBalancingPolicy::onHintFault(Pfn pfn, NodeId task_nid)
     // balancing migrate into a node under pressure (§4.2); Kernel's
     // promotionIgnoresWatermark flag stays false for this policy.
     kernel_->notePromoteCandidate(frame);
-    auto [ok, cost] = kernel_->promotePage(pfn, task_nid);
+    auto [ok, cost] = kernel_->promotePage(pfn, frame.nid, task_nid);
     (void)ok;
     return cost;
 }

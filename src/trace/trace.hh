@@ -62,6 +62,11 @@ enum class TraceEvent : std::uint8_t {
     SwapOut,             //!< page written to the swap device
     SwapIn,              //!< page read back on a major fault
 
+    // MigrationEngine (async queues, admission, transactional copy).
+    MigrateQueued,       //!< request accepted into a queue; aux = dst
+    MigrateDeferred,     //!< request deferred (admission / full queue)
+    MigrateAbort,        //!< transactional copy aborted; aux = dst
+
     NumEvents,
 };
 

@@ -31,6 +31,9 @@ traceEventName(TraceEvent event)
       case TraceEvent::DirectReclaim: return "direct_reclaim";
       case TraceEvent::SwapOut: return "pswpout";
       case TraceEvent::SwapIn: return "pswpin";
+      case TraceEvent::MigrateQueued: return "migrate_queued";
+      case TraceEvent::MigrateDeferred: return "migrate_deferred";
+      case TraceEvent::MigrateAbort: return "migrate_abort";
       case TraceEvent::NumEvents: break;
     }
     tpp_panic("traceEventName: bad event %u",

@@ -31,9 +31,10 @@ struct TestMachine {
     explicit TestMachine(std::uint64_t local_pages = 1024,
                          std::uint64_t cxl_pages = 1024,
                          std::unique_ptr<PlacementPolicy> policy =
-                             std::make_unique<DefaultLinuxPolicy>())
+                             std::make_unique<DefaultLinuxPolicy>(),
+                         MigrationConfig migration = {})
         : mem(TopologyBuilder::cxlSystem(local_pages, cxl_pages)),
-          kernel(mem, eq, std::move(policy)),
+          kernel(mem, eq, std::move(policy), MmCosts{}, migration),
           asid(kernel.createProcess())
     {
         setLogVerbose(false);

@@ -192,5 +192,76 @@ TEST(KernelMigrateDeathTest, SameNodeMigrationPanics)
                  "already on node");
 }
 
+// Regression: the promote early-exit on a freed frame used to read the
+// node id off the already-reset frame; the caller-known source node
+// must be what lands in the trace.
+TEST(KernelMigrate, PromoteFailOnFreedFrameTracesCallerSourceNode)
+{
+    TestMachine m;
+    const Vpn base = m.populate(1, PageType::Anon);
+    const Pfn pfn = m.pte(base).pfn;
+    ASSERT_TRUE(m.kernel.demotePage(pfn).first);
+    const Pfn cxl_pfn = m.pte(base).pfn;
+    const NodeId src = m.mem.frame(cxl_pfn).nid;
+    ASSERT_EQ(src, m.cxl());
+
+    // The page vanishes between candidate selection and the attempt.
+    m.kernel.munmap(m.asid, base, 1);
+    ASSERT_TRUE(m.mem.frame(cxl_pfn).isFree());
+
+    m.kernel.trace().enable();
+    auto [ok, cost] = m.kernel.promotePage(cxl_pfn, src, m.local());
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(cost, 0.0);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgPromoteFailIsolate), 1u);
+
+    bool traced = false;
+    for (const TraceRecord &r : m.kernel.trace().snapshot()) {
+        if (r.event != TraceEvent::PromoteFailIsolate)
+            continue;
+        traced = true;
+        EXPECT_EQ(r.node, src);
+        EXPECT_EQ(r.aux, m.local());
+    }
+    EXPECT_TRUE(traced);
+}
+
+// Regression: migration latency must include any direct-reclaim stall
+// paid while allocating the migration target (stall_ns threads through
+// migratePage into the caller's latency).
+TEST(KernelMigrate, MigrationLatencyIncludesAllocStall)
+{
+    TestMachine m(256, 256);
+    // Fill the machine with clean disk-backed file pages (Load only so
+    // they stay clean) until both nodes sit near their min watermarks;
+    // reclaim then recycles dropped pages to serve new allocations.
+    const Vpn base =
+        m.kernel.mmap(m.asid, 496, PageType::File, "fill", true);
+    for (std::uint64_t i = 0; i < 496; ++i)
+        m.kernel.access(m.asid, base + i, AccessKind::Load, 0);
+
+    // Migrate resident local pages across until the target allocation
+    // has to enter direct reclaim; the stall must surface.
+    double stall = 0.0;
+    for (std::uint64_t i = 0; i < 496 && stall == 0.0; ++i) {
+        const Pte &pte = m.pte(base + i);
+        if (!pte.present())
+            continue;
+        if (m.mem.frame(pte.pfn).nid != m.local())
+            continue;
+        const std::uint64_t stalls_before =
+            m.kernel.vmstat().get(Vm::AllocStall);
+        const Pfn np = m.kernel.migratePage(pte.pfn, m.cxl(),
+                                            AllocReason::App, &stall);
+        if (np == kInvalidPfn)
+            break;
+        if (m.kernel.vmstat().get(Vm::AllocStall) > stalls_before) {
+            EXPECT_GT(stall, 0.0);
+        }
+    }
+    EXPECT_GT(stall, 0.0);
+    EXPECT_GT(m.kernel.vmstat().get(Vm::AllocStall), 0u);
+}
+
 } // namespace
 } // namespace tpp

@@ -192,6 +192,16 @@ TEST(Sweep, CanonicalKeySeparatesConfigs)
     copy.samplePeriod = 42;
     EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
 
+    // The MigrationEngine mode changes simulation results and must
+    // never share a memo slot with the compat mode.
+    copy = cfg;
+    copy.migration = MigrationConfig::asyncEngine();
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    copy = cfg;
+    copy.migration.rateLimitMBps = 64.0;
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
     // The twin differs from its source and strips policy state — and
     // telemetry, so every figure shares one cached baseline run.
     ExperimentConfig source = cfg;

@@ -5,12 +5,17 @@
  * human wants first: per-event totals, per-window migration rates and
  * the worst tier ping-pong pages.
  *
- * usage: trace_summary [FILE ...] [--window-ms N] [--top N]
+ * usage: trace_summary [FILE ...] [--window-ms N] [--top N] [--json]
  *
  * With no FILE (or "-") the trace is read from stdin. Events from all
  * files are pooled, then grouped by their workload/policy tag; each
  * group gets its own summary, so one file holding a whole sweep prints
  * one section per run.
+ *
+ * Each section includes a migration-failure breakdown by cause
+ * (low-mem, isolate, rate-limit, demotion OOM, admission deferral,
+ * transaction abort). --json replaces the tables with one JSON object
+ * on stdout for scripted consumers (CI, plotting).
  */
 
 #include <cerrno>
@@ -50,6 +55,144 @@ constexpr TraceEvent kRateColumns[] = {
     TraceEvent::AllocFallback,  TraceEvent::SwapOut,
 };
 
+/** A migration-failure cause and the tracepoint that counts it. */
+struct FailureCause {
+    TraceEvent event;
+    const char *label;
+};
+
+/** Every way a requested migration can fail to move the page. */
+constexpr FailureCause kFailureCauses[] = {
+    {TraceEvent::PromoteFailLowMem, "promote: target low on memory"},
+    {TraceEvent::PromoteFailIsolate, "promote: page gone/isolated"},
+    {TraceEvent::PromoteFailRateLimit, "promote: rate limited"},
+    {TraceEvent::DemoteFail, "demote: target OOM, classic reclaim"},
+    {TraceEvent::MigrateDeferred, "engine: admission deferred"},
+    {TraceEvent::MigrateAbort, "engine: copy aborted"},
+};
+
+std::uint64_t
+totalFailures(const TraceSummary &summary)
+{
+    std::uint64_t total = 0;
+    for (const FailureCause &cause : kFailureCauses)
+        total += summary.total(cause.event);
+    return total;
+}
+
+void
+printFailureBreakdown(const TraceSummary &summary)
+{
+    const std::uint64_t failures = totalFailures(summary);
+    if (failures == 0) {
+        std::printf("no migration failures\n\n");
+        return;
+    }
+    std::printf("migration failures by cause:\n");
+    TextTable table({"cause", "count", "share"});
+    for (const FailureCause &cause : kFailureCauses) {
+        const std::uint64_t count = summary.total(cause.event);
+        if (count == 0)
+            continue;
+        table.addRow({cause.label, TextTable::count(count),
+                      TextTable::pct(static_cast<double>(count) /
+                                     static_cast<double>(failures))});
+    }
+    table.print();
+    std::printf("\n");
+}
+
+/** Minimal JSON string escape: the tags we emit are workload/policy
+ *  names, but a stray quote must not corrupt the document. */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+void
+printJsonSummary(std::FILE *out, const std::string &tag,
+                 const std::vector<TraceRecord> &events, Tick window_ns,
+                 std::size_t top_n, bool last)
+{
+    const TraceSummary summary = summarizeTrace(events, window_ns, top_n);
+
+    std::fprintf(out, "    {\n      \"tag\": \"%s\",\n",
+                 jsonEscape(tag).c_str());
+    std::fprintf(out, "      \"events\": %zu,\n", events.size());
+    std::fprintf(out, "      \"window_ms\": %.0f,\n",
+                 static_cast<double>(window_ns) / 1e6);
+
+    std::fprintf(out, "      \"totals\": {");
+    bool first = true;
+    for (std::size_t i = 0; i < kNumTraceEvents; ++i) {
+        const TraceEvent event = static_cast<TraceEvent>(i);
+        if (summary.total(event) == 0)
+            continue;
+        std::fprintf(out, "%s\"%s\": %llu", first ? "" : ", ",
+                     traceEventName(event),
+                     static_cast<unsigned long long>(
+                         summary.total(event)));
+        first = false;
+    }
+    std::fprintf(out, "},\n");
+
+    std::fprintf(out, "      \"migration_failures\": {");
+    first = true;
+    for (const FailureCause &cause : kFailureCauses) {
+        std::fprintf(out, "%s\"%s\": %llu", first ? "" : ", ",
+                     traceEventName(cause.event),
+                     static_cast<unsigned long long>(
+                         summary.total(cause.event)));
+        first = false;
+    }
+    std::fprintf(out, "},\n");
+
+    std::fprintf(out, "      \"windows\": [");
+    for (std::size_t w = 0; w < summary.windows.size(); ++w) {
+        const TraceWindow &win = summary.windows[w];
+        std::fprintf(out, "%s{\"t_s\": %.3f", w ? ", " : "",
+                     static_cast<double>(win.start) / 1e9);
+        for (std::size_t i = 0; i < kNumTraceEvents; ++i) {
+            const TraceEvent event = static_cast<TraceEvent>(i);
+            if (win.count(event) == 0)
+                continue;
+            std::fprintf(out, ", \"%s\": %llu", traceEventName(event),
+                         static_cast<unsigned long long>(
+                             win.count(event)));
+        }
+        std::fprintf(out, "}");
+    }
+    std::fprintf(out, "],\n");
+
+    std::fprintf(out, "      \"ping_pong\": [");
+    for (std::size_t i = 0; i < summary.pingPong.size(); ++i) {
+        const PingPongPage &p = summary.pingPong[i];
+        std::fprintf(out,
+                     "%s{\"asid\": %u, \"vpn\": %llu, "
+                     "\"demotions\": %llu, \"promotions\": %llu, "
+                     "\"flips\": %llu}",
+                     i ? ", " : "", p.asid,
+                     static_cast<unsigned long long>(p.vpn),
+                     static_cast<unsigned long long>(p.demotions),
+                     static_cast<unsigned long long>(p.promotions),
+                     static_cast<unsigned long long>(p.flips));
+    }
+    std::fprintf(out, "]\n    }%s\n", last ? "" : ",");
+}
+
 void
 printSummary(const std::string &tag, const std::vector<TraceRecord> &events,
              Tick window_ns, std::size_t top_n)
@@ -88,6 +231,8 @@ printSummary(const std::string &tag, const std::vector<TraceRecord> &events,
     rates.print();
     std::printf("\n");
 
+    printFailureBreakdown(summary);
+
     if (summary.pingPong.empty()) {
         std::printf("no ping-pong pages (no page changed tier direction "
                     "twice)\n\n");
@@ -112,6 +257,7 @@ main(int argc, char **argv)
     std::vector<std::string> files;
     Tick window_ns = 1000 * kMillisecond;
     std::size_t top_n = 10;
+    bool json = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -127,8 +273,11 @@ main(int argc, char **argv)
             window_ns = ms * kMillisecond;
         } else if (arg == "--top") {
             top_n = parseCount("--top", next());
+        } else if (arg == "--json") {
+            json = true;
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s [FILE ...] [--window-ms N] [--top N]\n",
+            std::printf("usage: %s [FILE ...] [--window-ms N] [--top N] "
+                        "[--json]\n",
                         argv[0]);
             return 0;
         } else {
@@ -155,7 +304,10 @@ main(int argc, char **argv)
     }
 
     if (tagged.empty()) {
-        std::printf("no trace events found\n");
+        if (json)
+            std::printf("{\n  \"runs\": []\n}\n");
+        else
+            std::printf("no trace events found\n");
         return 0;
     }
 
@@ -168,6 +320,15 @@ main(int argc, char **argv)
         if (inserted)
             order.push_back(tag);
         it->second.push_back(t.record);
+    }
+
+    if (json) {
+        std::printf("{\n  \"runs\": [\n");
+        for (std::size_t i = 0; i < order.size(); ++i)
+            printJsonSummary(stdout, order[i], groups[order[i]],
+                             window_ns, top_n, i + 1 == order.size());
+        std::printf("  ]\n}\n");
+        return 0;
     }
 
     for (const std::string &tag : order)
