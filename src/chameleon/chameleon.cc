@@ -1,5 +1,6 @@
 #include "chameleon/chameleon.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "mm/kernel.hh"
@@ -176,6 +177,35 @@ Chameleon::meanHotFraction() const
         n++;
     }
     return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::uint64_t
+Chameleon::activityWord(Asid asid, Vpn vpn) const
+{
+    const auto it = history_.find(pageKey(asid, vpn));
+    return it == history_.end() ? 0 : it->second.bitmap;
+}
+
+std::vector<ChameleonPageActivity>
+Chameleon::activitySnapshot() const
+{
+    std::vector<ChameleonPageActivity> out;
+    out.reserve(history_.size());
+    for (const auto &[key, hist] : history_) {
+        ChameleonPageActivity page;
+        page.asid = keyAsid(key);
+        page.vpn = keyVpn(key);
+        page.bitmap = hist.bitmap;
+        page.type = hist.type;
+        out.push_back(page);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ChameleonPageActivity &a,
+                 const ChameleonPageActivity &b) {
+                  return a.asid != b.asid ? a.asid < b.asid
+                                          : a.vpn < b.vpn;
+              });
+    return out;
 }
 
 double

@@ -56,6 +56,16 @@ struct ChameleonConfig {
     std::uint32_t frequentThreshold = 2;
 };
 
+/** One tracked page's folded activity word (Worker state). */
+struct ChameleonPageActivity {
+    Asid asid = 0;
+    Vpn vpn = 0;
+    /** Per-interval sample counts packed at bitsPerInterval each,
+     *  most recent interval in the lowest field. */
+    std::uint64_t bitmap = 0;
+    PageType type = PageType::Anon;
+};
+
 /** Per-interval statistics produced by the Worker. */
 struct ChameleonIntervalStats {
     Tick tick = 0;
@@ -118,6 +128,18 @@ class Chameleon
     {
         return 64 / cfg_.bitsPerInterval;
     }
+
+    const ChameleonConfig &config() const { return cfg_; }
+
+    /** Folded activity word for one page; 0 when untracked. */
+    std::uint64_t activityWord(Asid asid, Vpn vpn) const;
+
+    /**
+     * Snapshot of every tracked page's activity word, sorted by
+     * (asid, vpn) so consumers iterate deterministically. This is the
+     * Worker-state export a hotness source reads (src/hotness).
+     */
+    std::vector<ChameleonPageActivity> activitySnapshot() const;
 
   private:
     struct PageHistory {

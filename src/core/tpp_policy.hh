@@ -70,14 +70,18 @@ class TppPolicy : public PlacementPolicy
 
     double onHintFault(Pfn pfn, NodeId task_nid) override;
 
-  private:
-    void scanTick();
+  protected:
+    // Shared with HotnessPolicy (src/hotness), which reuses TPP's
+    // demotion side and promotion plumbing under a different signal.
 
     /** Local target for a promotion from `src` by a task on `task_nid`. */
     NodeId promotionTarget(NodeId task_nid) const;
 
     /** Token-bucket check for the optional promotion rate limit. */
     bool promotionWithinRateLimit();
+
+  private:
+    void scanTick();
 
     /** Re-derive node watermarks from the current scale factor. */
     void applyWatermarks();

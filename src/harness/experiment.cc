@@ -1,10 +1,13 @@
 #include "harness/experiment.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <unordered_map>
 
 #include "harness/sweep.hh"
+#include "hotness/hotness_policy.hh"
 #include "mm/kernel.hh"
 #include "mm/policy_registry.hh"
 #include "sim/logging.hh"
@@ -106,11 +109,37 @@ runExperiment(const ExperimentConfig &cfg)
         WorkloadSpec{cfg.workload, cfg.wssPages, cfg.seed});
     workload->setTaskNode(mem.cpuNodes().front());
 
-    // Optional profiler.
+    // Workload-side observers. Up to three consumers may want the
+    // access stream (the optional Chameleon profiler, a hotness source
+    // modelling a user-space profiler, and the hot-set ground truth);
+    // the single observer slot gets a fan-out lambda only when more
+    // than one is live, so the common single-consumer path stays flat.
+    std::vector<AccessObserver> observers;
     std::unique_ptr<Chameleon> chameleon;
     if (cfg.withChameleon) {
         chameleon = std::make_unique<Chameleon>(kernel, cfg.chameleon);
-        workload->setObserver(chameleon->observer());
+        observers.push_back(chameleon->observer());
+    }
+    if (auto *hotness = dynamic_cast<HotnessPolicy *>(&kernel.policy())) {
+        if (AccessObserver observer = hotness->accessObserver())
+            observers.push_back(std::move(observer));
+    }
+    std::unordered_map<std::uint64_t, std::uint64_t> true_counts;
+    if (cfg.measureHotness) {
+        observers.push_back([&true_counts, &cfg](const AccessRecord &r) {
+            if (r.tick < cfg.measureFrom)
+                return;
+            true_counts[(static_cast<std::uint64_t>(r.asid) << 48) |
+                        r.vpn]++;
+        });
+    }
+    if (observers.size() == 1) {
+        workload->setObserver(observers.front());
+    } else if (observers.size() > 1) {
+        workload->setObserver([observers](const AccessRecord &r) {
+            for (const AccessObserver &observer : observers)
+                observer(r);
+        });
     }
 
     DriverConfig driver_cfg;
@@ -158,6 +187,41 @@ runExperiment(const ExperimentConfig &cfg)
             result.anonLocalResidency = share;
         else
             result.fileLocalResidency = share;
+    }
+
+    if (cfg.measureHotness) {
+        // True hot set: the top pages by measured access count, as many
+        // as the local tier could hold. Recall = the fraction of them
+        // the policy actually got (or kept) local by the end.
+        std::uint64_t local_capacity = 0;
+        for (NodeId nid : mem.cpuNodes())
+            local_capacity += mem.node(nid).capacity();
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> ranked(
+            true_counts.begin(), true_counts.end());
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second != b.second ? a.second > b.second
+                                                  : a.first < b.first;
+                  });
+        if (ranked.size() > local_capacity)
+            ranked.resize(local_capacity);
+        std::uint64_t considered = 0;
+        std::uint64_t resident_local = 0;
+        for (const auto &[key, count] : ranked) {
+            const Asid asid = static_cast<Asid>(key >> 48);
+            const Vpn vpn = key & ((std::uint64_t{1} << 48) - 1);
+            const AddressSpace &as = kernel.addressSpace(asid);
+            if (vpn >= as.tableSize() || !as.pte(vpn).present())
+                continue;
+            considered++;
+            if (!mem.node(mem.frame(as.pte(vpn).pfn).nid).cpuLess())
+                resident_local++;
+        }
+        result.hotSetPages = considered;
+        result.hotSetRecall =
+            considered ? static_cast<double>(resident_local) /
+                             static_cast<double>(considered)
+                       : 0.0;
     }
 
     if (chameleon) {

@@ -93,6 +93,14 @@ struct ExperimentConfig : PolicyParams {
     bool sampleSeries = false;
     /** Sampler period; 0 means "use sampleEvery". */
     Tick samplePeriod = 0;
+    /**
+     * Compute hot-set recall (src/hotness ablations): count every
+     * page's accesses inside the measurement window, define the true
+     * hot set as the top pages by count up to the local tier's
+     * capacity, and report the fraction of it resident locally at the
+     * end of the run. Purely observational.
+     */
+    bool measureHotness = false;
 };
 
 /** Everything a figure/table needs from one run. */
@@ -121,6 +129,10 @@ struct ExperimentResult {
     double chameleonHotFraction = 0.0;
     double chameleonHotFractionAnon = 0.0;
     double chameleonHotFractionFile = 0.0;
+    /** Hot-set recall against the measured truth (cfg.measureHotness). */
+    double hotSetRecall = 0.0;
+    /** Size of the measured true hot set behind hotSetRecall. */
+    std::uint64_t hotSetPages = 0;
 };
 
 /**

@@ -30,13 +30,13 @@ writeResultsCsv(std::ostream &out,
 {
     out << "workload,policy,throughput_ops_s,mean_access_latency_ns,"
            "local_traffic_share,cxl_traffic_share,anon_local_residency,"
-           "file_local_residency\n";
+           "file_local_residency,hot_set_recall\n";
     for (const ExperimentResult &r : results) {
         out << r.workload << ',' << r.policy << ',' << std::fixed
             << std::setprecision(3) << r.throughput << ','
             << r.meanAccessLatencyNs << ',' << r.localTrafficShare << ','
             << r.cxlTrafficShare << ',' << r.anonLocalResidency << ','
-            << r.fileLocalResidency << '\n';
+            << r.fileLocalResidency << ',' << r.hotSetRecall << '\n';
     }
 }
 
@@ -72,6 +72,8 @@ writeResultJson(std::ostream &out, const ExperimentResult &result)
         << ",\n";
     out << "  \"file_local_residency\": " << result.fileLocalResidency
         << ",\n";
+    out << "  \"hot_set_recall\": " << result.hotSetRecall << ",\n";
+    out << "  \"hot_set_pages\": " << result.hotSetPages << ",\n";
     out << "  \"vmstat\": {";
     bool first = true;
     for (std::size_t i = 0; i < kNumVmCounters; ++i) {

@@ -93,6 +93,17 @@ canonicalKey(const ExperimentConfig &cfg)
     field(out, "at.hotThreshold",
           static_cast<unsigned>(cfg.autoTiering.hotThreshold));
     field(out, "at.promotionReserve", cfg.autoTiering.promotionReserve);
+    field(out, "hot.source", cfg.hotness.source);
+    field(out, "hot.epochPeriod", cfg.hotness.epochPeriod);
+    field(out, "hot.promoteBatch", cfg.hotness.promoteBatch);
+    field(out, "hot.hotWindow", cfg.hotness.hotWindow);
+    field(out, "hot.hotThreshold", cfg.hotness.hotThreshold);
+    field(out, "hot.counterTableSize", cfg.hotness.counterTableSize);
+    field(out, "hot.decayHalfLife", cfg.hotness.decayHalfLife);
+    fieldDouble(out, "hot.targetQuantile", cfg.hotness.targetQuantile);
+    // Like telemetry: recall measurement never perturbs the simulation,
+    // but the result carries extra fields, so no shared memo slot.
+    field(out, "measureHotness", cfg.measureHotness);
     return out.str();
 }
 
@@ -110,6 +121,7 @@ allLocalTwin(const ExperimentConfig &cfg)
     twin.traceCapacity = TraceBuffer::kDefaultCapacity;
     twin.sampleSeries = false;
     twin.samplePeriod = 0;
+    twin.measureHotness = false;
     return twin;
 }
 

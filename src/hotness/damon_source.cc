@@ -1,0 +1,90 @@
+#include "hotness/damon_source.hh"
+
+#include <algorithm>
+
+#include "mm/kernel.hh"
+
+namespace tpp {
+
+void
+DamonSource::attach(Kernel &kernel)
+{
+    HotnessSource::attach(kernel);
+    // Publish aggregates once per hotness epoch so extractHot() always
+    // reads a view at most one epoch old; sampling stays well below the
+    // aggregation cadence so each region gets many prepare/check pairs.
+    DamonConfig damon;
+    damon.aggregationInterval = cfg_.epochPeriod;
+    damon.samplingInterval =
+        std::max<Tick>(cfg_.epochPeriod / 20, 1 * kMillisecond);
+    monitor_ = std::make_unique<DamonMonitor>(kernel, damon);
+}
+
+void
+DamonSource::start()
+{
+    monitor_->start();
+}
+
+const DamonRegion *
+DamonSource::regionOf(Asid asid, Vpn vpn) const
+{
+    for (const DamonRegion &region : monitor_->regions())
+        if (region.asid == asid && vpn >= region.start &&
+            vpn < region.end)
+            return &region;
+    return nullptr;
+}
+
+double
+DamonSource::temperature(Pfn pfn) const
+{
+    if (!cxlResident(pfn))
+        return 0.0;
+    const PageFrame &frame = kernel_->mem().frame(pfn);
+    const DamonRegion *region = regionOf(frame.ownerAsid, frame.ownerVpn);
+    return region ? static_cast<double>(region->nrAccesses) : 0.0;
+}
+
+std::vector<HotPage>
+DamonSource::extractHot(std::uint64_t max_pages)
+{
+    // Rank regions by activity, then walk each active region's pages in
+    // vpn order collecting CXL-resident ones. The region list is a
+    // stable vector, so iteration is deterministic.
+    std::vector<const DamonRegion *> ranked;
+    for (const DamonRegion &region : monitor_->regions())
+        if (region.nrAccesses > 0)
+            ranked.push_back(&region);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const DamonRegion *a, const DamonRegion *b) {
+                  if (a->nrAccesses != b->nrAccesses)
+                      return a->nrAccesses > b->nrAccesses;
+                  if (a->asid != b->asid)
+                      return a->asid < b->asid;
+                  return a->start < b->start;
+              });
+
+    std::vector<HotPage> hot;
+    for (const DamonRegion *region : ranked) {
+        if (hot.size() >= max_pages)
+            break;
+        const AddressSpace &as = kernel_->addressSpace(region->asid);
+        // munmap may have shrunk the VMA since the last region rebuild.
+        const Vpn end = std::min<Vpn>(region->end, as.tableSize());
+        for (Vpn vpn = region->start;
+             vpn < end && hot.size() < max_pages; ++vpn) {
+            const Pte &pte = as.pte(vpn);
+            if (!pte.present() || !cxlResident(pte.pfn))
+                continue;
+            HotPage page;
+            page.pfn = pte.pfn;
+            page.nid = kernel_->mem().frame(pte.pfn).nid;
+            page.temperature = static_cast<double>(region->nrAccesses);
+            hot.push_back(page);
+        }
+    }
+    return hot;
+}
+
+} // namespace tpp

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * DamonSource: DAMON-lite region aggregates as a HotnessSource. The
+ * source owns a DamonMonitor whose aggregation interval is tied to the
+ * hotness epoch, so every extractHot() sees a freshly published region
+ * view; a page's temperature is its containing region's nrAccesses.
+ *
+ * Region granularity is the point of comparison: DAMON's overhead is
+ * proportional to the region count, not memory size, but a hot page in
+ * a lukewarm region inherits the region's mediocre score — exactly the
+ * precision/overhead trade the source ladder is built to show.
+ */
+
+#ifndef TPP_HOTNESS_DAMON_SOURCE_HH
+#define TPP_HOTNESS_DAMON_SOURCE_HH
+
+#include <memory>
+
+#include "hotness/hotness_source.hh"
+#include "mm/damon.hh"
+
+namespace tpp {
+
+class DamonSource : public HotnessSource
+{
+  public:
+    explicit DamonSource(const HotnessConfig &cfg) : cfg_(cfg) {}
+
+    std::string name() const override { return "damon"; }
+
+    void attach(Kernel &kernel) override;
+    void start() override;
+
+    double temperature(Pfn pfn) const override;
+    std::vector<HotPage> extractHot(std::uint64_t max_pages) override;
+
+    const DamonMonitor &monitor() const { return *monitor_; }
+
+  private:
+    const DamonRegion *regionOf(Asid asid, Vpn vpn) const;
+
+    const HotnessConfig &cfg_;
+    std::unique_ptr<DamonMonitor> monitor_;
+};
+
+} // namespace tpp
+
+#endif // TPP_HOTNESS_DAMON_SOURCE_HH

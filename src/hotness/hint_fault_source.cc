@@ -1,0 +1,81 @@
+#include "hotness/hint_fault_source.hh"
+
+#include <algorithm>
+
+#include "mm/kernel.hh"
+
+namespace tpp {
+
+void
+HintFaultSource::noteHintFault(Pfn pfn, NodeId task_nid)
+{
+    (void)task_nid;
+    const Tick now = kernel_->eventQueue().now();
+    Entry &entry = pages_[pfn];
+    if (entry.count == 0 || now - entry.windowStart > cfg_.hotWindow) {
+        entry.windowStart = now;
+        entry.count = 0;
+    }
+    entry.count++;
+    entry.lastFault = now;
+}
+
+double
+HintFaultSource::temperature(Pfn pfn) const
+{
+    const auto it = pages_.find(pfn);
+    if (it == pages_.end())
+        return 0.0;
+    const Tick now = kernel_->eventQueue().now();
+    if (now - it->second.windowStart > cfg_.hotWindow)
+        return 0.0;
+    return static_cast<double>(it->second.count);
+}
+
+std::vector<HotPage>
+HintFaultSource::extractHot(std::uint64_t max_pages)
+{
+    const Tick now = kernel_->eventQueue().now();
+    std::vector<HotPage> hot;
+    for (const auto &[pfn, entry] : pages_) {
+        if (entry.count < cfg_.hotThreshold)
+            continue;
+        if (now - entry.windowStart > cfg_.hotWindow)
+            continue;
+        if (!cxlResident(pfn))
+            continue;
+        HotPage page;
+        page.pfn = pfn;
+        page.nid = kernel_->mem().frame(pfn).nid;
+        page.temperature = static_cast<double>(entry.count);
+        hot.push_back(page);
+    }
+    std::sort(hot.begin(), hot.end(),
+              [](const HotPage &a, const HotPage &b) {
+                  return a.temperature != b.temperature
+                             ? a.temperature > b.temperature
+                             : a.pfn < b.pfn;
+              });
+    if (hot.size() > max_pages)
+        hot.resize(max_pages);
+    for (const HotPage &page : hot)
+        pages_.erase(page.pfn);
+    return hot;
+}
+
+void
+HintFaultSource::advanceEpoch()
+{
+    // Expire pages whose last fault fell out of the hot window; a page
+    // must keep faulting to stay tracked, like the PTE accessed bit the
+    // real scanner keeps re-arming.
+    const Tick now = kernel_->eventQueue().now();
+    for (auto it = pages_.begin(); it != pages_.end();) {
+        if (now - it->second.lastFault > cfg_.hotWindow)
+            it = pages_.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace tpp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * HintFaultSource: the kernel's NUMA-hint sampling recast as a
+ * HotnessSource. Pages on the CXL tier are made prot_none by the
+ * scanner; each hint fault inside a rolling window bumps the page's
+ * count, and a page is hot once it reaches cfg.hotThreshold faults
+ * within cfg.hotWindow — the same two-touch hysteresis TPP's active-LRU
+ * filter implements, expressed as an explicit counter so the signal is
+ * comparable to the other sources.
+ */
+
+#ifndef TPP_HOTNESS_HINT_FAULT_SOURCE_HH
+#define TPP_HOTNESS_HINT_FAULT_SOURCE_HH
+
+#include <unordered_map>
+
+#include "hotness/hotness_source.hh"
+
+namespace tpp {
+
+class HintFaultSource : public HotnessSource
+{
+  public:
+    explicit HintFaultSource(const HotnessConfig &cfg) : cfg_(cfg) {}
+
+    std::string name() const override { return "hintfault"; }
+
+    double temperature(Pfn pfn) const override;
+    std::vector<HotPage> extractHot(std::uint64_t max_pages) override;
+    void advanceEpoch() override;
+    void noteHintFault(Pfn pfn, NodeId task_nid) override;
+    bool wantsHintFaults() const override { return true; }
+
+    std::size_t trackedPages() const { return pages_.size(); }
+
+  private:
+    struct Entry {
+        Tick windowStart = 0; //!< first fault of the current window
+        Tick lastFault = 0;
+        std::uint64_t count = 0;
+    };
+
+    const HotnessConfig &cfg_;
+    std::unordered_map<Pfn, Entry> pages_;
+};
+
+} // namespace tpp
+
+#endif // TPP_HOTNESS_HINT_FAULT_SOURCE_HH

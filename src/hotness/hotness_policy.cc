@@ -1,0 +1,104 @@
+#include "hotness/hotness_policy.hh"
+
+#include "mm/kernel.hh"
+#include "mm/policy_registry.hh"
+
+namespace tpp {
+
+void
+HotnessPolicy::attach(Kernel &kernel)
+{
+    TppPolicy::attach(kernel);
+    source_ = makeHotnessSource(hcfg_);
+    source_->attach(kernel);
+
+    SysctlRegistry &sysctl = kernel.sysctl();
+    sysctl.registerReadOnly("vm.hotness.source",
+                            [this] { return source_->name(); });
+    sysctl.registerU64("vm.hotness.epoch_period_ns", &hcfg_.epochPeriod);
+    sysctl.registerU64("vm.hotness.promote_batch", &hcfg_.promoteBatch);
+    sysctl.registerU64("vm.hotness.hot_window_ns", &hcfg_.hotWindow);
+    sysctl.registerU64("vm.hotness.hot_threshold", &hcfg_.hotThreshold);
+    sysctl.registerU64("vm.hotness.counter_table_size",
+                       &hcfg_.counterTableSize);
+    sysctl.registerU64("vm.hotness.decay_half_life_ns",
+                       &hcfg_.decayHalfLife);
+    sysctl.registerDouble("vm.hotness.target_quantile",
+                          &hcfg_.targetQuantile);
+}
+
+void
+HotnessPolicy::start()
+{
+    // The NUMA scanner only runs when the source consumes hint faults;
+    // device- and profiler-backed sources get their signal elsewhere
+    // and the prot_none faults would be pure overhead.
+    if (source_->wantsHintFaults())
+        TppPolicy::start();
+    source_->start();
+    kernel_->eventQueue().scheduleAfter(hcfg_.epochPeriod,
+                                        [this] { epochTick(); });
+}
+
+bool
+HotnessPolicy::scanNode(NodeId nid) const
+{
+    return source_->wantsHintFaults() && TppPolicy::scanNode(nid);
+}
+
+double
+HotnessPolicy::onHintFault(Pfn pfn, NodeId task_nid)
+{
+    // Hint faults are demoted from promotion triggers to temperature
+    // samples: record and return, never migrate inline. Promotion
+    // happens in batch at the epoch boundary.
+    Kernel &k = *kernel_;
+    PageFrame &frame = k.mem().frame(pfn);
+    frame.lastHintFault = k.eventQueue().now();
+    if (k.mem().node(frame.nid).cpuLess())
+        source_->noteHintFault(pfn, task_nid);
+    return 0.0;
+}
+
+void
+HotnessPolicy::epochTick()
+{
+    Kernel &k = *kernel_;
+    epochs_++;
+    source_->advanceEpoch();
+
+    std::uint32_t promoted = 0;
+    const std::vector<HotPage> hot = source_->extractHot(hcfg_.promoteBatch);
+    for (const HotPage &page : hot) {
+        PageFrame &frame = k.mem().frame(page.pfn);
+        // The source's view can be one epoch stale; re-check liveness.
+        if (frame.isFree() || frame.underMigration() ||
+            !k.mem().node(frame.nid).cpuLess())
+            continue;
+        if (!promotionWithinRateLimit()) {
+            k.vmstat().inc(Vm::PgPromoteFailRateLimit);
+            k.trace().emitPage(TraceEvent::PromoteFailRateLimit,
+                               k.eventQueue().now(), frame.nid, frame.type,
+                               page.pfn, frame.ownerAsid, frame.ownerVpn);
+            continue;
+        }
+        k.notePromoteCandidate(frame);
+        const auto [ok, cost] =
+            k.promotePage(page.pfn, frame.nid, promotionTarget(frame.nid));
+        (void)cost;
+        if (ok)
+            promoted++;
+    }
+    if (!hot.empty())
+        k.vmstat().inc(Vm::HotnessPromoteBatch);
+    k.trace().emit(TraceEvent::HotnessEpoch, k.eventQueue().now(),
+                   kInvalidNode, promoted);
+
+    k.eventQueue().scheduleAfter(hcfg_.epochPeriod, [this] { epochTick(); });
+}
+
+TPP_REGISTER_POLICY(hotness, [](const PolicyParams &p) {
+    return std::make_unique<HotnessPolicy>(p);
+});
+
+} // namespace tpp

@@ -1,0 +1,83 @@
+#include "hotness/hotness_source.hh"
+
+#include <map>
+#include <sstream>
+
+#include "hotness/chameleon_source.hh"
+#include "hotness/damon_source.hh"
+#include "hotness/hint_fault_source.hh"
+#include "hotness/neoprof_source.hh"
+#include "mm/kernel.hh"
+#include "sim/logging.hh"
+
+namespace tpp {
+
+bool
+HotnessSource::cxlResident(Pfn pfn) const
+{
+    if (pfn == kInvalidPfn ||
+        pfn >= static_cast<Pfn>(kernel_->mem().totalFrames()))
+        return false;
+    const PageFrame &frame = kernel_->mem().frame(pfn);
+    if (frame.isFree())
+        return false;
+    return kernel_->mem().node(frame.nid).cpuLess();
+}
+
+namespace {
+
+using SourceFactory =
+    std::unique_ptr<HotnessSource> (*)(const HotnessConfig &);
+
+/** std::map: names() and error listings come out sorted. */
+const std::map<std::string, SourceFactory> &
+sourceFactories()
+{
+    static const std::map<std::string, SourceFactory> factories = {
+        {"hintfault",
+         [](const HotnessConfig &cfg) -> std::unique_ptr<HotnessSource> {
+             return std::make_unique<HintFaultSource>(cfg);
+         }},
+        {"damon",
+         [](const HotnessConfig &cfg) -> std::unique_ptr<HotnessSource> {
+             return std::make_unique<DamonSource>(cfg);
+         }},
+        {"chameleon",
+         [](const HotnessConfig &cfg) -> std::unique_ptr<HotnessSource> {
+             return std::make_unique<ChameleonSource>(cfg);
+         }},
+        {"neoprof",
+         [](const HotnessConfig &cfg) -> std::unique_ptr<HotnessSource> {
+             return std::make_unique<NeoProfSource>(cfg);
+         }},
+    };
+    return factories;
+}
+
+} // namespace
+
+std::unique_ptr<HotnessSource>
+makeHotnessSource(const HotnessConfig &cfg)
+{
+    const auto &factories = sourceFactories();
+    const auto it = factories.find(cfg.source);
+    if (it == factories.end()) {
+        std::ostringstream known;
+        for (const auto &[name, factory] : factories)
+            known << ' ' << name;
+        tpp_fatal("unknown hotness source '%s'; known sources:%s",
+                  cfg.source.c_str(), known.str().c_str());
+    }
+    return it->second(cfg);
+}
+
+std::vector<std::string>
+hotnessSourceNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, factory] : sourceFactories())
+        names.push_back(name);
+    return names;
+}
+
+} // namespace tpp

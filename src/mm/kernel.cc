@@ -268,6 +268,9 @@ Kernel::access(Asid asid, Vpn vpn, AccessKind kind, NodeId task_nid)
     t.accesses++;
     t.accessesByType[static_cast<std::size_t>(frame.type)]++;
 
+    if (accessTap_)
+        accessTap_->onKernelAccess(frame, task_nid, eq_.now());
+
     res.servedBy = nid;
     res.latencyNs = latency;
     return res;

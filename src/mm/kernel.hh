@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mem/memory_system.hh"
+#include "mm/access_tap.hh"
 #include "mm/address_space.hh"
 #include "mm/lru.hh"
 #include "mm/migration/migration_config.hh"
@@ -121,6 +122,14 @@ class Kernel
     /** /proc/sys-style knob registry (policies add theirs at attach). */
     SysctlRegistry &sysctl() { return sysctl_; }
     const SysctlRegistry &sysctl() const { return sysctl_; }
+
+    /**
+     * Attach a device-side access tap (mm/access_tap.hh); nullptr
+     * detaches. The tap observes every resolved access; with no tap the
+     * access path is unchanged.
+     */
+    void setAccessTap(KernelAccessTap *tap) { accessTap_ = tap; }
+    KernelAccessTap *accessTap() const { return accessTap_; }
 
     LruSet &lru(NodeId nid) { return lrus_[nid]; }
     const LruSet &lru(NodeId nid) const { return lrus_[nid]; }
@@ -318,6 +327,7 @@ class Kernel
     std::vector<KswapdState> kswapd_;
     std::vector<Pfn> scanCursor_;
 
+    KernelAccessTap *accessTap_ = nullptr;
     bool promotionIgnoresWatermark_ = false;
     bool started_ = false;
 };

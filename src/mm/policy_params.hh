@@ -14,6 +14,7 @@
 #define TPP_MM_POLICY_PARAMS_HH
 
 #include <cstdint>
+#include <string>
 
 #include "sim/types.hh"
 
@@ -81,6 +82,47 @@ struct AutoTieringConfig {
 };
 
 /**
+ * Unified hotness-subsystem tunables (src/hotness). The `hotness`
+ * policy drives promotion from a pluggable HotnessSource selected by
+ * name; the NeoProf fields model NeoMem's CXL-device counter engine
+ * (bounded counter table, decaying log-scale histogram, auto-tuned hot
+ * threshold).
+ */
+struct HotnessConfig {
+    /** Source name: "hintfault", "damon", "chameleon" or "neoprof". */
+    std::string source = "hintfault";
+    /**
+     * Epoch cadence: decay, threshold retune and batch promotion.
+     * Longer epochs accumulate more evidence per ranking and promote
+     * less junk; 200ms roughly halves migration churn versus 100ms at
+     * materially better end-state hot-set recall for every source.
+     */
+    Tick epochPeriod = 200 * kMillisecond;
+    /** Maximum pages promoted per epoch (extractHot top-k). */
+    std::uint64_t promoteBatch = 512;
+    /** Hint-fault source: faults within this window make a page hot. */
+    Tick hotWindow = 3 * kSecond;
+    /** Hint-fault source: faults needed inside the window (two-touch). */
+    std::uint64_t hotThreshold = 2;
+    /**
+     * NeoProf: bounded per-page counter table (LRU eviction). Sized
+     * for the default bench working set; an undersized table thrashes
+     * and loses the frequency signal to eviction.
+     */
+    std::uint64_t counterTableSize = 32768;
+    /** NeoProf: counter decay half-life; 0 disables decay. */
+    Tick decayHalfLife = 1 * kSecond;
+    /**
+     * NeoProf: when > 0, cap the target hot-set size at the
+     * (1 - quantile) tail of the tracked-page population in addition to
+     * the local-tier free-headroom target; 0 = headroom-driven only.
+     * The default keeps the device engine pickier than fault sampling:
+     * only the hottest 5% of tracked far-tier pages compete per epoch.
+     */
+    double targetQuantile = 0.95;
+};
+
+/**
  * Every built-in policy's parameter block, bundled. PolicyRegistry
  * factories receive one of these and pick out the block they need;
  * ExperimentConfig derives from it so `cfg.tpp.scanBatch = ...` keeps
@@ -90,6 +132,7 @@ struct PolicyParams {
     TppConfig tpp;
     NumaBalancingConfig numaBalancing;
     AutoTieringConfig autoTiering;
+    HotnessConfig hotness;
 };
 
 } // namespace tpp

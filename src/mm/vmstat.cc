@@ -49,6 +49,10 @@ vmName(Vm counter)
       case Vm::PgMigrateQueued: return "pgmigrate_queued";
       case Vm::PgMigrateDeferred: return "pgmigrate_deferred";
       case Vm::PgMigrateFailBusy: return "pgmigrate_fail_busy";
+      case Vm::HotnessCounterEvict: return "hotness_counter_evict";
+      case Vm::HotnessThresholdRaise: return "hotness_threshold_raise";
+      case Vm::HotnessThresholdLower: return "hotness_threshold_lower";
+      case Vm::HotnessPromoteBatch: return "hotness_promote_batch";
       case Vm::NumCounters: break;
     }
     tpp_panic("vmName: bad counter %zu", static_cast<std::size_t>(counter));

@@ -74,6 +74,14 @@ enum class Vm : std::size_t {
     PgMigrateDeferred,  //!< requests deferred by admission control / full queue
     PgMigrateFailBusy,  //!< transactional copies aborted by an access
 
+    // Hotness subsystem (src/hotness): NeoProf counter engine and the
+    // histogram-driven promotion policy. Appended behind everything
+    // above for the same fingerprint-stability reason.
+    HotnessCounterEvict,   //!< counter-table entries evicted (LRU, full)
+    HotnessThresholdRaise, //!< epochs that raised the hot threshold
+    HotnessThresholdLower, //!< epochs that lowered the hot threshold
+    HotnessPromoteBatch,   //!< epochs that extracted a promotion batch
+
     NumCounters,
 };
 

@@ -59,6 +59,9 @@ summarizeTrace(const std::vector<TraceRecord> &events, Tick window_ns,
         summary.windows[static_cast<std::size_t>(r.tick / window_ns)]
             .counts[e]++;
 
+        if (r.event == TraceEvent::HotnessThreshold)
+            summary.hotnessThresholds.emplace_back(r.tick, r.aux);
+
         if (!r.hasPage || (r.event != TraceEvent::Demote &&
                            r.event != TraceEvent::PromoteSuccess))
             continue;

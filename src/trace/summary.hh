@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "trace/trace.hh"
@@ -49,6 +50,8 @@ struct TraceSummary {
     std::array<std::uint64_t, kNumTraceEvents> totals{};
     /** Pages with ≥ 1 direction flip, most flips first. */
     std::vector<PingPongPage> pingPong;
+    /** Hot-threshold retunes (hotness_threshold events), tick order. */
+    std::vector<std::pair<Tick, std::uint32_t>> hotnessThresholds;
 
     std::uint64_t
     total(TraceEvent event) const

@@ -67,6 +67,11 @@ enum class TraceEvent : std::uint8_t {
     MigrateDeferred,     //!< request deferred (admission / full queue)
     MigrateAbort,        //!< transactional copy aborted; aux = dst
 
+    // Hotness subsystem (src/hotness).
+    HotnessEpoch,        //!< epoch boundary; aux = pages promoted
+    HotnessThreshold,    //!< hot threshold retuned; aux = new threshold
+    HotnessEvict,        //!< counter-table entry evicted (LRU, full)
+
     NumEvents,
 };
 

@@ -34,6 +34,9 @@ traceEventName(TraceEvent event)
       case TraceEvent::MigrateQueued: return "migrate_queued";
       case TraceEvent::MigrateDeferred: return "migrate_deferred";
       case TraceEvent::MigrateAbort: return "migrate_abort";
+      case TraceEvent::HotnessEpoch: return "hotness_epoch";
+      case TraceEvent::HotnessThreshold: return "hotness_threshold";
+      case TraceEvent::HotnessEvict: return "hotness_evict";
       case TraceEvent::NumEvents: break;
     }
     tpp_panic("traceEventName: bad event %u",

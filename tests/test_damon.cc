@@ -111,6 +111,83 @@ TEST(Damon, RebuildAfterMunmapDropsRegions)
     EXPECT_TRUE(monitor.regions().empty());
 }
 
+TEST(Damon, EmptyVmaSetYieldsNoRegions)
+{
+    // A process with no mappings must not break the monitor: no
+    // regions, and the daemons idle harmlessly.
+    TestMachine m(256, 256);
+    DamonMonitor monitor(m.kernel, fastConfig());
+    monitor.rebuildRegions();
+    EXPECT_TRUE(monitor.regions().empty());
+    monitor.aggregateNow();
+    EXPECT_EQ(monitor.aggregationsDone(), 1u);
+    monitor.start();
+    m.eq.run(m.eq.now() + 100 * kMillisecond);
+    EXPECT_TRUE(monitor.regions().empty());
+    EXPECT_GT(monitor.aggregationsDone(), 1u);
+}
+
+TEST(Damon, SingleRegionAddressSpace)
+{
+    // minRegions == maxRegions == 1: the whole VMA is one region, no
+    // split is possible, and merging must leave the singleton alone.
+    TestMachine m(512, 512);
+    const Vpn base = m.kernel.mmap(m.asid, 128, PageType::Anon, "a");
+    DamonConfig cfg = fastConfig();
+    cfg.minRegions = 1;
+    cfg.maxRegions = 1;
+    DamonMonitor monitor(m.kernel, cfg);
+    monitor.rebuildRegions();
+    ASSERT_EQ(monitor.regions().size(), 1u);
+    EXPECT_EQ(monitor.regions().front().start, base);
+    EXPECT_EQ(monitor.regions().front().end, base + 128);
+    monitor.aggregateNow();
+    ASSERT_EQ(monitor.regions().size(), 1u);
+    EXPECT_EQ(monitor.regions().front().pages(), 128u);
+}
+
+TEST(Damon, ActivityChangeResetsRegionAge)
+{
+    // Age tracks how long the activity level persisted; it must reset
+    // to zero when the level changes — and a merge keeps the youngest
+    // constituent's age, never inventing persistence.
+    TestMachine m(4096, 4096);
+    const Vpn base = m.populate(256, PageType::Anon);
+    DamonConfig cfg = fastConfig();
+    cfg.regionsUpdateInterval = 10 * kSecond; // keep regions stable
+    DamonMonitor monitor(m.kernel, cfg);
+    monitor.start();
+
+    // Phase 1: nothing accessed — every region is stably cold, ages up.
+    m.eq.run(m.eq.now() + 200 * kMillisecond);
+    std::uint32_t idle_min_age = ~0u;
+    for (const DamonRegion &region : monitor.regions())
+        idle_min_age = std::min(idle_min_age, region.age);
+    ASSERT_GT(idle_min_age, 1u);
+
+    // Phase 2: hammer the lower half so its activity level jumps.
+    for (int round = 0; round < 60; ++round) {
+        for (int i = 0; i < 128; ++i) {
+            m.kernel.access(m.asid, base + i, AccessKind::Load, 0);
+            m.kernel.access(m.asid, base + i, AccessKind::Load, 0);
+        }
+        m.eq.run(m.eq.now() + 5 * kMillisecond);
+    }
+
+    std::uint32_t hot_min_age = ~0u;
+    std::uint32_t cold_max_age = 0;
+    for (const DamonRegion &region : monitor.regions()) {
+        if (region.start < base + 128 && region.nrAccesses > 0)
+            hot_min_age = std::min(hot_min_age, region.age);
+        if (region.start >= base + 128 && region.nrAccesses == 0)
+            cold_max_age = std::max(cold_max_age, region.age);
+    }
+    // At least one region went hot and had its age reset below the
+    // still-idle regions' accumulated age.
+    ASSERT_NE(hot_min_age, ~0u);
+    EXPECT_LT(hot_min_age, cold_max_age);
+}
+
 TEST(DamonDeathTest, BadRegionBoundsAreFatal)
 {
     TestMachine m(256, 256);

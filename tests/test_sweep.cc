@@ -218,6 +218,70 @@ TEST(Sweep, CanonicalKeySeparatesConfigs)
     EXPECT_EQ(twin.samplePeriod, 0u);
 }
 
+TEST(Sweep, CanonicalKeySeparatesHotnessConfigs)
+{
+    // Two configs differing only in hotness settings must never share a
+    // memo slot — the PR-3 lesson, re-learned for src/hotness.
+    const ExperimentConfig cfg = smallConfig("cache1", "hotness", "1:4");
+    ExperimentConfig copy = cfg;
+    EXPECT_EQ(canonicalKey(cfg), canonicalKey(copy));
+
+    copy.hotness.source = "neoprof";
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    copy = cfg;
+    copy.hotness.epochPeriod += 1;
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    copy = cfg;
+    copy.hotness.promoteBatch += 1;
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    copy = cfg;
+    copy.hotness.hotWindow += 1;
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    copy = cfg;
+    copy.hotness.hotThreshold += 1;
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    copy = cfg;
+    copy.hotness.counterTableSize += 1;
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    copy = cfg;
+    copy.hotness.decayHalfLife += 1;
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    copy = cfg;
+    copy.hotness.targetQuantile = 0.9;
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    // Recall measurement changes what the result carries (like
+    // telemetry): no shared memo slot, and the all-local twin drops it.
+    copy = cfg;
+    copy.measureHotness = true;
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+    EXPECT_FALSE(allLocalTwin(copy).measureHotness);
+}
+
+TEST(Sweep, CanonicalKeyTwinStripsState)
+{
+    const ExperimentConfig cfg = smallConfig("cache1", "tpp", "1:4");
+    ExperimentConfig source = cfg;
+    source.traceEnabled = true;
+    source.sampleSeries = true;
+    source.samplePeriod = 42;
+    const ExperimentConfig twin = allLocalTwin(source);
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(twin));
+    EXPECT_TRUE(twin.allLocal);
+    EXPECT_EQ(twin.policy, "linux");
+    EXPECT_TRUE(twin.sysctls.empty());
+    EXPECT_FALSE(twin.traceEnabled);
+    EXPECT_FALSE(twin.sampleSeries);
+    EXPECT_EQ(twin.samplePeriod, 0u);
+}
+
 TEST(Registry, PoliciesSelfRegister)
 {
     auto &reg = PolicyRegistry::instance();

@@ -102,6 +102,31 @@ printFailureBreakdown(const TraceSummary &summary)
     std::printf("\n");
 }
 
+void
+printHotnessSection(const TraceSummary &summary)
+{
+    const std::uint64_t epochs = summary.total(TraceEvent::HotnessEpoch);
+    const std::uint64_t evictions =
+        summary.total(TraceEvent::HotnessEvict);
+    if (epochs == 0 && evictions == 0 &&
+        summary.hotnessThresholds.empty())
+        return;
+    std::printf("hotness: %llu epochs, %llu counter evictions, "
+                "%zu threshold retunes\n",
+                static_cast<unsigned long long>(epochs),
+                static_cast<unsigned long long>(evictions),
+                summary.hotnessThresholds.size());
+    if (!summary.hotnessThresholds.empty()) {
+        TextTable thresholds({"t(s)", "hot threshold"});
+        for (const auto &[tick, value] : summary.hotnessThresholds)
+            thresholds.addRow(
+                {TextTable::num(static_cast<double>(tick) / 1e9, 3),
+                 TextTable::count(value)});
+        thresholds.print();
+    }
+    std::printf("\n");
+}
+
 /** Minimal JSON string escape: the tags we emit are workload/policy
  *  names, but a stray quote must not corrupt the document. */
 std::string
@@ -177,6 +202,22 @@ printJsonSummary(std::FILE *out, const std::string &tag,
     }
     std::fprintf(out, "],\n");
 
+    std::fprintf(out,
+                 "      \"hotness\": {\"epochs\": %llu, "
+                 "\"evictions\": %llu, \"thresholds\": [",
+                 static_cast<unsigned long long>(
+                     summary.total(TraceEvent::HotnessEpoch)),
+                 static_cast<unsigned long long>(
+                     summary.total(TraceEvent::HotnessEvict)));
+    for (std::size_t i = 0; i < summary.hotnessThresholds.size(); ++i)
+        std::fprintf(out, "%s{\"t_s\": %.3f, \"value\": %u}",
+                     i ? ", " : "",
+                     static_cast<double>(
+                         summary.hotnessThresholds[i].first) /
+                         1e9,
+                     summary.hotnessThresholds[i].second);
+    std::fprintf(out, "]},\n");
+
     std::fprintf(out, "      \"ping_pong\": [");
     for (std::size_t i = 0; i < summary.pingPong.size(); ++i) {
         const PingPongPage &p = summary.pingPong[i];
@@ -232,6 +273,7 @@ printSummary(const std::string &tag, const std::vector<TraceRecord> &events,
     std::printf("\n");
 
     printFailureBreakdown(summary);
+    printHotnessSection(summary);
 
     if (summary.pingPong.empty()) {
         std::printf("no ping-pong pages (no page changed tier direction "
