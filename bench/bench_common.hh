@@ -61,6 +61,8 @@ struct BenchOptions {
     /** Sampler period in milliseconds; 0 = sampler off. */
     std::uint64_t sampleMs = 0;
     bool verbose = false;
+    /** --tenants spec (see parseTenantsSpec); empty = single workload. */
+    std::string tenantsSpec;
 };
 
 /** Strict unsigned parse; fatal() on trailing junk or overflow. */
@@ -84,7 +86,7 @@ printUsage(const char *argv0)
 {
     std::printf("usage: %s [PAGES] [--wss PAGES] [--jobs N] [--seed S]\n"
                 "       %*s [--csv PATH] [--trace] [--trace-out PATH]\n"
-                "       %*s [--sample-ms N] [--verbose]\n",
+                "       %*s [--sample-ms N] [--tenants SPEC] [--verbose]\n",
                 argv0, static_cast<int>(std::string(argv0).size()), "",
                 static_cast<int>(std::string(argv0).size()), "");
 }
@@ -124,6 +126,8 @@ parseBenchArgs(int argc, char **argv)
             opt.sampleMs = parseCount("--sample-ms", next());
             if (opt.sampleMs == 0)
                 tpp_fatal("--sample-ms expects a period > 0");
+        } else if (arg == "--tenants") {
+            opt.tenantsSpec = next();
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -152,6 +156,8 @@ makeConfig(const BenchOptions &opt)
         cfg.sampleSeries = true;
         cfg.samplePeriod = opt.sampleMs * kMillisecond;
     }
+    if (!opt.tenantsSpec.empty())
+        cfg.tenants = parseTenantsSpec(opt.tenantsSpec);
     return cfg;
 }
 
@@ -176,6 +182,19 @@ maybeWriteCsv(const BenchOptions &opt,
     if (!out)
         tpp_fatal("cannot open --csv path '%s'", opt.csvPath.c_str());
     writeResultsCsv(out, results);
+    // Multi-tenant runs get their per-tenant rows next to the headline
+    // CSV, in "<path>.tenants.csv".
+    for (const ExperimentResult &r : results) {
+        if (r.tenants.empty())
+            continue;
+        const std::string tenant_path = opt.csvPath + ".tenants.csv";
+        std::ofstream tout(tenant_path);
+        if (!tout)
+            tpp_fatal("cannot open tenants CSV path '%s'",
+                      tenant_path.c_str());
+        writeTenantsCsv(tout, results);
+        break;
+    }
 }
 
 /**

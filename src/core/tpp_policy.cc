@@ -50,17 +50,21 @@ TppPolicy::attach(Kernel &kernel)
 
     // Administration surface: the sysctl knobs the paper describes.
     SysctlRegistry &sysctl = kernel.sysctl();
+    // demote_scale_factor is tenths of a percent of node capacity in
+    // the kernel patchset; beyond 100% the watermark maths degenerates.
     sysctl.registerDouble("vm.demote_scale_factor",
                           &cfg_.demoteScaleFactor,
-                          [this] { applyWatermarks(); });
+                          [this] { applyWatermarks(); },
+                          /*min_value=*/0.0, /*max_value=*/100.0);
     sysctl.registerBool("vm.tpp.type_aware_allocation",
                         &cfg_.typeAwareAllocation);
     sysctl.registerBool("vm.tpp.active_lru_filter",
                         &cfg_.activeLruFilter);
     sysctl.registerDouble("kernel.numa_balancing_promote_rate_limit_MBps",
-                          &cfg_.promoteRateLimitMBps);
+                          &cfg_.promoteRateLimitMBps, nullptr,
+                          /*min_value=*/0.0);
     sysctl.registerU64("kernel.numa_balancing_scan_size_pages",
-                       &cfg_.scanBatch);
+                       &cfg_.scanBatch, nullptr, /*min_value=*/1);
     sysctl.registerReadOnly("kernel.numa_balancing", [this] {
         return std::string(effectiveMode_ == NumaMode::Tiered
                                ? "2 (NUMA_BALANCING_TIERED)"

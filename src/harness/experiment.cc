@@ -59,9 +59,366 @@ makePolicy(const ExperimentConfig &cfg)
     return PolicyRegistry::instance().make(cfg.policy, cfg);
 }
 
+std::vector<TenantSpec>
+parseTenantsSpec(const std::string &spec)
+{
+    std::vector<TenantSpec> tenants;
+    std::size_t begin = 0;
+    while (begin < spec.size()) {
+        std::size_t end = spec.find(';', begin);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string entry = spec.substr(begin, end - begin);
+        begin = end + 1;
+        if (entry.empty())
+            tpp_fatal("empty tenant entry in --tenants spec '%s'",
+                      spec.c_str());
+
+        TenantSpec tenant;
+        std::size_t field_begin = 0;
+        bool first = true;
+        while (field_begin <= entry.size()) {
+            std::size_t field_end = entry.find(':', field_begin);
+            if (field_end == std::string::npos)
+                field_end = entry.size();
+            const std::string field =
+                entry.substr(field_begin, field_end - field_begin);
+            field_begin = field_end + 1;
+            if (first) {
+                if (field.empty())
+                    tpp_fatal("tenant entry '%s' has no workload name",
+                              entry.c_str());
+                tenant.workload = field;
+                first = false;
+                continue;
+            }
+            const auto eq = field.find('=');
+            if (eq == std::string::npos)
+                tpp_fatal("tenant option '%s' must look like key=value",
+                          field.c_str());
+            const std::string key = field.substr(0, eq);
+            const std::string value = field.substr(eq + 1);
+            char *parse_end = nullptr;
+            if (key == "wss") {
+                if (value.empty() ||
+                    !std::isdigit(static_cast<unsigned char>(value[0])))
+                    tpp_fatal("bad tenant wss value '%s'", value.c_str());
+                tenant.wssPages =
+                    std::strtoull(value.c_str(), &parse_end, 10);
+            } else if (key == "low") {
+                tenant.lowFraction = std::strtod(value.c_str(), &parse_end);
+                if (!(tenant.lowFraction >= 0.0 &&
+                      tenant.lowFraction <= 1.0))
+                    tpp_fatal("tenant low=%s out of [0, 1]", value.c_str());
+            } else if (key == "budget") {
+                tenant.budgetMBps = std::strtod(value.c_str(), &parse_end);
+                if (!(tenant.budgetMBps >= 0.0) ||
+                    !std::isfinite(tenant.budgetMBps))
+                    tpp_fatal("tenant budget=%s must be finite and >= 0",
+                              value.c_str());
+            } else if (key == "place") {
+                if (value != "none" && value != "local_only" &&
+                    value != "cxl_only")
+                    tpp_fatal("tenant place=%s must be none, local_only "
+                              "or cxl_only",
+                              value.c_str());
+                tenant.placement = value;
+                parse_end = nullptr;
+            } else {
+                tpp_fatal("unknown tenant option '%s' (want wss, low, "
+                          "budget or place)",
+                          key.c_str());
+            }
+            if (key != "place" &&
+                (value.empty() || parse_end != value.c_str() + value.size()))
+                tpp_fatal("bad tenant %s value '%s'", key.c_str(),
+                          value.c_str());
+        }
+        tenants.push_back(std::move(tenant));
+    }
+    if (tenants.empty())
+        tpp_fatal("--tenants spec '%s' names no tenants", spec.c_str());
+    return tenants;
+}
+
+namespace {
+
+/**
+ * The multi-tenant variant of runExperiment: one workload per tenant,
+ * each process attached to its own memory cgroup, all sharing one
+ * kernel and one event queue. Kept separate so the single-workload
+ * path stays textually untouched (and provably bit-identical).
+ */
+ExperimentResult
+runTenantExperiment(const ExperimentConfig &cfg)
+{
+    if (cfg.withChameleon)
+        tpp_fatal("tenants and the Chameleon profiler are mutually "
+                  "exclusive (the profiler assumes one workload)");
+
+    // Resolve tenant working sets: explicit pages, or an equal share of
+    // the config's total.
+    std::vector<std::uint64_t> wss;
+    std::uint64_t total_wss = 0;
+    for (const TenantSpec &tenant : cfg.tenants) {
+        const std::uint64_t pages =
+            tenant.wssPages ? tenant.wssPages
+                            : cfg.wssPages / cfg.tenants.size();
+        if (pages == 0)
+            tpp_fatal("tenant '%s' resolves to a zero-page working set",
+                      tenant.workload.c_str());
+        wss.push_back(pages);
+        total_wss += pages;
+    }
+
+    const std::uint64_t total_pages = static_cast<std::uint64_t>(
+        static_cast<double>(total_wss) * cfg.capacityHeadroom);
+    MemoryConfig mem_cfg;
+    if (cfg.allLocal) {
+        mem_cfg = TopologyBuilder::allLocal(total_pages);
+    } else {
+        const std::uint64_t local_pages = static_cast<std::uint64_t>(
+            static_cast<double>(total_pages) * cfg.localFraction);
+        mem_cfg = TopologyBuilder::cxlSystem(local_pages,
+                                             total_pages - local_pages);
+    }
+
+    EventQueue eq;
+    MemorySystem mem(mem_cfg);
+    Kernel kernel(mem, eq, makePolicy(cfg), MmCosts{}, cfg.migration);
+
+    if (cfg.traceEnabled) {
+        kernel.trace().setCapacity(
+            static_cast<std::size_t>(cfg.traceCapacity));
+        kernel.trace().enable();
+    }
+    std::unique_ptr<TimeSeriesSampler> sampler;
+    if (cfg.sampleSeries) {
+        const Tick period =
+            cfg.samplePeriod ? cfg.samplePeriod : cfg.sampleEvery;
+        sampler = std::make_unique<TimeSeriesSampler>(kernel, period,
+                                                      cfg.runUntil);
+        sampler->start();
+    }
+
+    // Cgroups exist before cfg.sysctls are applied, so a config can
+    // also address the per-cgroup memcg.<name>.* knobs directly.
+    MemcgController &memcg = kernel.memcg();
+    std::vector<CgroupId> cgids;
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < cfg.tenants.size(); ++i) {
+        const TenantSpec &tenant = cfg.tenants[i];
+        names.push_back("t" + std::to_string(i) + "-" + tenant.workload);
+        const CgroupId id = memcg.create(names.back());
+        MemCgroup &cg = memcg.cgroup(id);
+        cg.low = static_cast<std::uint64_t>(
+            static_cast<double>(wss[i]) * tenant.lowFraction);
+        if (tenant.placement == "local_only")
+            cg.placement = MemcgPlacement::LocalOnly;
+        else if (tenant.placement == "cxl_only")
+            cg.placement = MemcgPlacement::CxlOnly;
+        else if (tenant.placement != "none")
+            tpp_fatal("tenant '%s': bad placement '%s'",
+                      tenant.workload.c_str(), tenant.placement.c_str());
+        memcg.setMigrationBudget(id, tenant.budgetMBps);
+        cgids.push_back(id);
+    }
+
+    for (const auto &[name, value] : cfg.sysctls) {
+        if (!kernel.sysctl().set(name, value))
+            tpp_fatal("sysctl %s=%s rejected", name.c_str(),
+                      value.c_str());
+    }
+
+    // Workload-side observers, shared by every tenant's workload.
+    std::vector<AccessObserver> observers;
+    if (auto *hotness = dynamic_cast<HotnessPolicy *>(&kernel.policy())) {
+        if (AccessObserver observer = hotness->accessObserver())
+            observers.push_back(std::move(observer));
+    }
+    std::unordered_map<std::uint64_t, std::uint64_t> true_counts;
+    if (cfg.measureHotness) {
+        observers.push_back([&true_counts, &cfg](const AccessRecord &r) {
+            if (r.tick < cfg.measureFrom)
+                return;
+            true_counts[(static_cast<std::uint64_t>(r.asid) << 48) |
+                        r.vpn]++;
+        });
+    }
+
+    DriverConfig driver_cfg;
+    driver_cfg.runUntil = cfg.runUntil;
+    driver_cfg.measureFrom = cfg.measureFrom;
+    driver_cfg.sampleEvery = cfg.sampleEvery;
+
+    std::vector<std::unique_ptr<Workload>> workloads;
+    std::vector<std::unique_ptr<WorkloadDriver>> drivers;
+    for (std::size_t i = 0; i < cfg.tenants.size(); ++i) {
+        workloads.push_back(WorkloadRegistry::instance().make(WorkloadSpec{
+            cfg.tenants[i].workload, wss[i], cfg.seed + i}));
+        workloads.back()->setTaskNode(mem.cpuNodes().front());
+        if (observers.size() == 1) {
+            workloads.back()->setObserver(observers.front());
+        } else if (observers.size() > 1) {
+            workloads.back()->setObserver(
+                [observers](const AccessRecord &r) {
+                    for (const AccessObserver &observer : observers)
+                        observer(r);
+                });
+        }
+        drivers.push_back(std::make_unique<WorkloadDriver>(
+            kernel, *workloads.back(), driver_cfg));
+    }
+
+    kernel.start();
+    // Each driver's init runs with the spawn cgroup pointed at its
+    // tenant, so the processes a workload creates land in the right
+    // cgroup without the workloads knowing cgroups exist.
+    for (std::size_t i = 0; i < drivers.size(); ++i) {
+        memcg.setSpawnCgroup(cgids[i]);
+        drivers[i]->start();
+    }
+    memcg.setSpawnCgroup(kRootCgroup);
+    eq.run(cfg.runUntil);
+
+    // Harvest: headline row first (aggregate over tenants).
+    ExperimentResult result;
+    for (std::size_t i = 0; i < cfg.tenants.size(); ++i) {
+        if (i)
+            result.workload += '+';
+        result.workload += cfg.tenants[i].workload;
+    }
+    result.policy = cfg.policy;
+    double latency_weight = 0.0;
+    for (const auto &driver : drivers) {
+        result.throughput += driver->throughput();
+        const double ops = static_cast<double>(driver->measuredOps());
+        result.meanAccessLatencyNs +=
+            driver->meanAccessLatencyNs() * ops;
+        latency_weight += ops;
+    }
+    if (latency_weight > 0.0)
+        result.meanAccessLatencyNs /= latency_weight;
+    const NodeId local = mem.cpuNodes().front();
+    result.localTrafficShare = drivers.front()->trafficShare(local);
+    result.cxlTrafficShare = 1.0 - result.localTrafficShare;
+    result.samples = drivers.front()->samples();
+    result.vmstat = kernel.vmstat();
+    result.meminfo = collectMemInfo(kernel);
+    if (cfg.traceEnabled) {
+        result.trace = kernel.trace().snapshot();
+        result.traceEmitted = kernel.trace().emitted();
+        result.traceDropped = kernel.trace().dropped();
+    }
+    if (sampler)
+        result.series = sampler->takeSeries();
+    for (PageType type : {PageType::Anon, PageType::File}) {
+        std::uint64_t on_local = kernel.residentPages(local, type);
+        std::uint64_t total = on_local;
+        for (NodeId nid : mem.cxlNodes())
+            total += kernel.residentPages(nid, type);
+        const double share =
+            total ? static_cast<double>(on_local) /
+                        static_cast<double>(total)
+                  : 0.0;
+        if (type == PageType::Anon)
+            result.anonLocalResidency = share;
+        else
+            result.fileLocalResidency = share;
+    }
+
+    // Per-tenant rows.
+    for (std::size_t i = 0; i < cfg.tenants.size(); ++i) {
+        TenantResult row;
+        row.name = names[i];
+        row.workload = cfg.tenants[i].workload;
+        row.throughput = drivers[i]->throughput();
+        row.meanAccessLatencyNs = drivers[i]->meanAccessLatencyNs();
+        const MemCgroup &cg = memcg.cgroup(cgids[i]);
+        row.pagesTotal = cg.usage();
+        for (NodeId nid : mem.cpuNodes())
+            row.pagesLocal += cg.usageOnNode(nid);
+        row.localResidency =
+            row.pagesTotal ? static_cast<double>(row.pagesLocal) /
+                                 static_cast<double>(row.pagesTotal)
+                           : 0.0;
+        row.memcg = cg.stats;
+        result.tenants.push_back(std::move(row));
+    }
+
+    if (cfg.measureHotness) {
+        // Tenant hot sets: each tenant's top pages by measured access
+        // count, up to its *capacity share* of the local tier (a tenant
+        // is entitled to local_capacity * wss_i / total_wss pages).
+        std::uint64_t local_capacity = 0;
+        for (NodeId nid : mem.cpuNodes())
+            local_capacity += mem.node(nid).capacity();
+
+        using Entry = std::pair<std::uint64_t, std::uint64_t>;
+        std::vector<std::vector<Entry>> per_tenant(cfg.tenants.size());
+        std::unordered_map<CgroupId, std::size_t> by_cgid;
+        for (std::size_t i = 0; i < cgids.size(); ++i)
+            by_cgid[cgids[i]] = i;
+        for (const auto &[key, count] : true_counts) {
+            const Asid asid = static_cast<Asid>(key >> 48);
+            const auto it = by_cgid.find(memcg.cgroupOf(asid));
+            if (it != by_cgid.end())
+                per_tenant[it->second].emplace_back(key, count);
+        }
+
+        std::uint64_t considered_all = 0;
+        std::uint64_t resident_all = 0;
+        for (std::size_t i = 0; i < per_tenant.size(); ++i) {
+            auto &ranked = per_tenant[i];
+            std::sort(ranked.begin(), ranked.end(),
+                      [](const Entry &a, const Entry &b) {
+                          return a.second != b.second
+                                     ? a.second > b.second
+                                     : a.first < b.first;
+                      });
+            const std::uint64_t share = static_cast<std::uint64_t>(
+                static_cast<double>(local_capacity) *
+                static_cast<double>(wss[i]) /
+                static_cast<double>(total_wss));
+            if (ranked.size() > share)
+                ranked.resize(share);
+            std::uint64_t considered = 0;
+            std::uint64_t resident_local = 0;
+            for (const auto &[key, count] : ranked) {
+                const Asid asid = static_cast<Asid>(key >> 48);
+                const Vpn vpn = key & ((std::uint64_t{1} << 48) - 1);
+                const AddressSpace &as = kernel.addressSpace(asid);
+                if (vpn >= as.tableSize() || !as.pte(vpn).present())
+                    continue;
+                considered++;
+                if (!mem.node(mem.frame(as.pte(vpn).pfn).nid).cpuLess())
+                    resident_local++;
+            }
+            result.tenants[i].hotSetPages = considered;
+            result.tenants[i].hotSetRecall =
+                considered ? static_cast<double>(resident_local) /
+                                 static_cast<double>(considered)
+                           : 0.0;
+            considered_all += considered;
+            resident_all += resident_local;
+        }
+        result.hotSetPages = considered_all;
+        result.hotSetRecall =
+            considered_all ? static_cast<double>(resident_all) /
+                                 static_cast<double>(considered_all)
+                           : 0.0;
+    }
+    return result;
+}
+
+} // namespace
+
 ExperimentResult
 runExperiment(const ExperimentConfig &cfg)
 {
+    if (!cfg.tenants.empty())
+        return runTenantExperiment(cfg);
+
     // Build the machine.
     const std::uint64_t total_pages = static_cast<std::uint64_t>(
         static_cast<double>(cfg.wssPages) * cfg.capacityHeadroom);

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "chameleon/chameleon.hh"
+#include "mm/memcg/memcg.hh"
 #include "mm/meminfo.hh"
 #include "mm/migration/migration_config.hh"
 #include "mm/policy_params.hh"
@@ -38,6 +39,51 @@
 namespace tpp {
 
 class PlacementPolicy;
+
+/**
+ * One co-located tenant: a workload bound to its own memory cgroup.
+ *
+ * The textual form accepted by parseTenantsSpec (and the bench
+ * binaries' --tenants flag) is `workload[:key=val]...` with tenants
+ * separated by ';', e.g.
+ *
+ *     cache1:low=0.6:wss=65536;churn:budget=50
+ *
+ * keys: `wss` (pages; 0 = equal share of ExperimentConfig::wssPages),
+ * `low` (memory.low floor as a fraction of the tenant's working set),
+ * `budget` (per-cgroup migration budget, MB/s; 0 = unlimited) and
+ * `place` (none | local_only | cxl_only).
+ */
+struct TenantSpec {
+    std::string workload;
+    /** Working-set pages; 0 = equal share of the config's wssPages. */
+    std::uint64_t wssPages = 0;
+    /** memory.low floor as a fraction of this tenant's working set. */
+    double lowFraction = 0.0;
+    /** Per-cgroup migration token budget in MB/s; 0 = unlimited. */
+    double budgetMBps = 0.0;
+    /** Placement policy: "none", "local_only" or "cxl_only". */
+    std::string placement = "none";
+};
+
+/** Per-tenant slice of an ExperimentResult. */
+struct TenantResult {
+    /** Cgroup name: "t<index>-<workload>". */
+    std::string name;
+    std::string workload;
+    double throughput = 0.0; //!< ops per second, measurement window
+    double meanAccessLatencyNs = 0.0;
+    /** Fraction of the tenant's resident pages on the local tier. */
+    double localResidency = 0.0;
+    std::uint64_t pagesLocal = 0;
+    std::uint64_t pagesTotal = 0;
+    /** Tenant hot-set recall against its capacity share
+     *  (cfg.measureHotness). */
+    double hotSetRecall = 0.0;
+    std::uint64_t hotSetPages = 0;
+    /** memory.stat-style per-cgroup counters at end of run. */
+    MemcgStats memcg;
+};
 
 /**
  * Declarative description of one experiment run.
@@ -101,6 +147,13 @@ struct ExperimentConfig : PolicyParams {
      * end of the run. Purely observational.
      */
     bool measureHotness = false;
+    /**
+     * Multi-tenant co-location: one workload per entry, each in its own
+     * memory cgroup (src/mm/memcg). Empty (the default) runs the
+     * single-workload path above, bit-identical to a build without
+     * cgroups. Tenant working sets default to equal shares of wssPages.
+     */
+    std::vector<TenantSpec> tenants;
 };
 
 /** Everything a figure/table needs from one run. */
@@ -133,7 +186,12 @@ struct ExperimentResult {
     double hotSetRecall = 0.0;
     /** Size of the measured true hot set behind hotSetRecall. */
     std::uint64_t hotSetPages = 0;
+    /** Per-tenant rows, in cfg.tenants order (empty otherwise). */
+    std::vector<TenantResult> tenants;
 };
+
+/** Parse a --tenants spec (see TenantSpec); fatal() on bad input. */
+std::vector<TenantSpec> parseTenantsSpec(const std::string &spec);
 
 /**
  * Instantiate the config's policy via PolicyRegistry. Unknown names

@@ -24,6 +24,23 @@ jsonEscape(const std::string &text)
 
 } // namespace
 
+std::string
+csvField(const std::string &value)
+{
+    if (value.find_first_of(",\"\n\r") == std::string::npos)
+        return value;
+    std::string out;
+    out.reserve(value.size() + 2);
+    out.push_back('"');
+    for (char c : value) {
+        if (c == '"')
+            out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
 void
 writeResultsCsv(std::ostream &out,
                 const std::vector<ExperimentResult> &results)
@@ -32,11 +49,35 @@ writeResultsCsv(std::ostream &out,
            "local_traffic_share,cxl_traffic_share,anon_local_residency,"
            "file_local_residency,hot_set_recall\n";
     for (const ExperimentResult &r : results) {
-        out << r.workload << ',' << r.policy << ',' << std::fixed
-            << std::setprecision(3) << r.throughput << ','
+        out << csvField(r.workload) << ',' << csvField(r.policy) << ','
+            << std::fixed << std::setprecision(3) << r.throughput << ','
             << r.meanAccessLatencyNs << ',' << r.localTrafficShare << ','
             << r.cxlTrafficShare << ',' << r.anonLocalResidency << ','
             << r.fileLocalResidency << ',' << r.hotSetRecall << '\n';
+    }
+}
+
+void
+writeTenantsCsv(std::ostream &out,
+                const std::vector<ExperimentResult> &results)
+{
+    out << "run_workload,policy,tenant,tenant_workload,"
+           "throughput_ops_s,mean_access_latency_ns,local_residency,"
+           "pages_local,pages_total,hot_set_recall,promote_success,"
+           "demotions,reclaim_protected,reclaim_low,migrate_throttled\n";
+    for (const ExperimentResult &r : results) {
+        for (const TenantResult &t : r.tenants) {
+            out << csvField(r.workload) << ',' << csvField(r.policy)
+                << ',' << csvField(t.name) << ','
+                << csvField(t.workload) << ',' << std::fixed
+                << std::setprecision(3) << t.throughput << ','
+                << t.meanAccessLatencyNs << ',' << t.localResidency
+                << ',' << t.pagesLocal << ',' << t.pagesTotal << ','
+                << t.hotSetRecall << ',' << t.memcg.promoteSuccess << ','
+                << t.memcg.demotions << ','
+                << t.memcg.reclaimProtected << ',' << t.memcg.reclaimLow
+                << ',' << t.memcg.migrateThrottled << '\n';
+        }
     }
 }
 
@@ -87,6 +128,32 @@ writeResultJson(std::ostream &out, const ExperimentResult &result)
         out << "\n    \"" << vmName(counter) << "\": " << value;
     }
     out << "\n  },\n";
+    if (!result.tenants.empty()) {
+        out << "  \"tenants\": [";
+        for (std::size_t i = 0; i < result.tenants.size(); ++i) {
+            const TenantResult &t = result.tenants[i];
+            if (i)
+                out << ',';
+            out << "\n    {\"name\": \"" << jsonEscape(t.name)
+                << "\", \"workload\": \"" << jsonEscape(t.workload)
+                << "\", \"throughput_ops_s\": " << std::fixed
+                << std::setprecision(3) << t.throughput
+                << ", \"mean_access_latency_ns\": "
+                << t.meanAccessLatencyNs
+                << ", \"local_residency\": " << t.localResidency
+                << ", \"pages_local\": " << t.pagesLocal
+                << ", \"pages_total\": " << t.pagesTotal
+                << ", \"hot_set_recall\": " << t.hotSetRecall
+                << ", \"promote_success\": " << t.memcg.promoteSuccess
+                << ", \"demotions\": " << t.memcg.demotions
+                << ", \"reclaim_protected\": "
+                << t.memcg.reclaimProtected
+                << ", \"reclaim_low\": " << t.memcg.reclaimLow
+                << ", \"migrate_throttled\": "
+                << t.memcg.migrateThrottled << "}";
+        }
+        out << "\n  ],\n";
+    }
     out << "  \"samples\": [";
     for (std::size_t i = 0; i < result.samples.size(); ++i) {
         const IntervalSample &s = result.samples[i];

@@ -16,8 +16,19 @@
 
 namespace tpp {
 
+/**
+ * Render one CSV field per RFC 4180: values containing a comma, quote
+ * or newline are double-quoted with embedded quotes doubled. Plain
+ * identifiers pass through unchanged.
+ */
+std::string csvField(const std::string &value);
+
 /** Write one header + one row per result: the paper-style summary. */
 void writeResultsCsv(std::ostream &out,
+                     const std::vector<ExperimentResult> &results);
+
+/** Write per-tenant rows (ExperimentResult::tenants) for all results. */
+void writeTenantsCsv(std::ostream &out,
                      const std::vector<ExperimentResult> &results);
 
 /** Write a result's interval time series as CSV. */

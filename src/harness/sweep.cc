@@ -104,6 +104,16 @@ canonicalKey(const ExperimentConfig &cfg)
     // Like telemetry: recall measurement never perturbs the simulation,
     // but the result carries extra fields, so no shared memo slot.
     field(out, "measureHotness", cfg.measureHotness);
+    out << "tenants=[";
+    for (const TenantSpec &tenant : cfg.tenants) {
+        out << tenant.workload << ':' << tenant.wssPages << ':';
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", tenant.lowFraction);
+        out << buf << ':';
+        std::snprintf(buf, sizeof(buf), "%.17g", tenant.budgetMBps);
+        out << buf << ':' << tenant.placement << ',';
+    }
+    out << "];";
     return out.str();
 }
 
@@ -122,6 +132,9 @@ allLocalTwin(const ExperimentConfig &cfg)
     twin.sampleSeries = false;
     twin.samplePeriod = 0;
     twin.measureHotness = false;
+    // The baseline machine has no co-located tenants: the metric is
+    // "what would this workload do with all-local memory to itself".
+    twin.tenants.clear();
     return twin;
 }
 

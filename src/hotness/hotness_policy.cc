@@ -15,16 +15,21 @@ HotnessPolicy::attach(Kernel &kernel)
     SysctlRegistry &sysctl = kernel.sysctl();
     sysctl.registerReadOnly("vm.hotness.source",
                             [this] { return source_->name(); });
-    sysctl.registerU64("vm.hotness.epoch_period_ns", &hcfg_.epochPeriod);
+    // A zero epoch period or counter table would wedge the epoch timer
+    // / drop every sample; the quantile is a probability by definition.
+    sysctl.registerU64("vm.hotness.epoch_period_ns", &hcfg_.epochPeriod,
+                       nullptr, /*min_value=*/1);
     sysctl.registerU64("vm.hotness.promote_batch", &hcfg_.promoteBatch);
     sysctl.registerU64("vm.hotness.hot_window_ns", &hcfg_.hotWindow);
     sysctl.registerU64("vm.hotness.hot_threshold", &hcfg_.hotThreshold);
     sysctl.registerU64("vm.hotness.counter_table_size",
-                       &hcfg_.counterTableSize);
+                       &hcfg_.counterTableSize, nullptr,
+                       /*min_value=*/1);
     sysctl.registerU64("vm.hotness.decay_half_life_ns",
                        &hcfg_.decayHalfLife);
     sysctl.registerDouble("vm.hotness.target_quantile",
-                          &hcfg_.targetQuantile);
+                          &hcfg_.targetQuantile, nullptr,
+                          /*min_value=*/0.0, /*max_value=*/1.0);
 }
 
 void

@@ -17,7 +17,8 @@ namespace tpp {
 Kernel::Kernel(MemorySystem &mem, EventQueue &eq,
                std::unique_ptr<PlacementPolicy> policy, MmCosts costs,
                MigrationConfig migration)
-    : mem_(mem), eq_(eq), policy_(std::move(policy)), costs_(costs)
+    : mem_(mem), eq_(eq), policy_(std::move(policy)), costs_(costs),
+      memcg_(mem.numNodes(), sysctl_, eq)
 {
     if (!policy_)
         tpp_fatal("Kernel requires a placement policy");
@@ -52,6 +53,7 @@ Kernel::createProcess()
 {
     const Asid asid = static_cast<Asid>(spaces_.size());
     spaces_.push_back(std::make_unique<AddressSpace>(asid));
+    memcg_.noteProcess(asid);
     return asid;
 }
 
@@ -117,6 +119,7 @@ Kernel::unmapFrame(PageFrame &frame)
     pte.clear(Pte::BitProtNone);
     pte.pfn = kInvalidPfn;
     addressSpace(frame.ownerAsid).noteUnmapped(frame.type);
+    memcg_.uncharge(frame.ownerAsid, frame.nid);
 }
 
 void
@@ -142,7 +145,20 @@ Kernel::faultIn(AddressSpace &as, Vpn vpn, NodeId task_nid,
     Pte &pte = as.pte(vpn);
     vmstat_.inc(Vm::PgFault);
 
-    const NodeId preferred = policy_->allocPreferredNode(pte.type, task_nid);
+    NodeId preferred = policy_->allocPreferredNode(pte.type, task_nid);
+    // A cgroup placement preference (mempolicy opt-out, §5.4) overrides
+    // the policy's choice; the zonelist fallback may still spill it.
+    switch (memcg_.placementOf(as.asid())) {
+      case MemcgPlacement::LocalOnly:
+        preferred = mem_.cpuNodes().front();
+        break;
+      case MemcgPlacement::CxlOnly:
+        if (!mem_.cxlNodes().empty())
+            preferred = mem_.cxlNodes().front();
+        break;
+      case MemcgPlacement::None:
+        break;
+    }
     double stall_ns = 0.0;
     const AllocReason reason =
         pte.swapped() ? AllocReason::SwapIn : AllocReason::App;
@@ -198,6 +214,7 @@ Kernel::faultIn(AddressSpace &as, Vpn vpn, NodeId task_nid,
     pte.set(Pte::BitPresent);
     pte.set(Pte::BitTouched);
     as.noteMapped(pte.type);
+    memcg_.charge(as.asid(), frame.nid);
 
     // New and swapped-in pages start on the inactive list, as in Linux
     // since the anon-workingset rework; reclaim's second chance or TPP's

@@ -24,6 +24,7 @@
 #include "mm/access_tap.hh"
 #include "mm/address_space.hh"
 #include "mm/lru.hh"
+#include "mm/memcg/memcg.hh"
 #include "mm/migration/migration_config.hh"
 #include "mm/placement_policy.hh"
 #include "mm/sysctl.hh"
@@ -122,6 +123,10 @@ class Kernel
     /** /proc/sys-style knob registry (policies add theirs at attach). */
     SysctlRegistry &sysctl() { return sysctl_; }
     const SysctlRegistry &sysctl() const { return sysctl_; }
+
+    /** Memory cgroups: per-tenant accounting, protection, budgets. */
+    MemcgController &memcg() { return memcg_; }
+    const MemcgController &memcg() const { return memcg_; }
 
     /**
      * Attach a device-side access tap (mm/access_tap.hh); nullptr
@@ -303,7 +308,20 @@ class Kernel
     std::pair<std::uint64_t, double> shrinkNode(NodeId nid,
                                                 std::uint64_t nr_to_reclaim,
                                                 bool background);
+    /**
+     * One scan pass of shrinkNode. When `honor_protection` is set,
+     * pages of cgroups under their memory.low floor on this node are
+     * rotated past (counted into `*protected_skips`); when
+     * `count_breach` is set, reclaimed under-floor pages are accounted
+     * as floor breaches (the second, floor-breaking pass).
+     */
+    std::pair<std::uint64_t, double>
+    shrinkNodePass(NodeId nid, std::uint64_t nr_to_reclaim,
+                   bool background, bool honor_protection,
+                   bool count_breach, std::uint64_t *protected_skips);
     std::pair<bool, double> reclaimOnePage(Pfn pfn, bool demote_mode);
+    /** Account one pass-2 reclaim of a page under its cgroup's floor. */
+    void noteReclaimBreach(Asid asid, NodeId nid);
     bool inactiveIsLow(NodeId nid, PageType type) const;
     void shrinkActiveList(NodeId nid, PageType type, std::uint64_t batch,
                           double *cost_ns);
@@ -319,6 +337,7 @@ class Kernel
     MmCosts costs_;
     VmStat vmstat_;
     SysctlRegistry sysctl_;
+    MemcgController memcg_;
     TraceBuffer trace_;
 
     std::vector<LruSet> lrus_;

@@ -65,6 +65,7 @@ Kernel::migratePage(Pfn pfn, NodeId dst, AllocReason reason,
     const NodeId landed = new_frame.nid;
     lrus_[landed].addHead(lruListFor(new_frame.type, was_active),
                           new_pfn);
+    memcg_.transfer(new_frame.ownerAsid, src, landed);
 
     // The copy moves one page of data off the source and onto the
     // destination node.
@@ -82,6 +83,8 @@ Kernel::notePromoteCandidate(const PageFrame &frame)
                                              : Vm::PgPromoteCandidateFile);
     if (frame.demoted())
         vmstat_.inc(Vm::PgPromoteCandidateDemoted);
+    memcg_.cgroup(memcg_.cgroupOf(frame.ownerAsid))
+        .stats.promoteCandidates++;
     trace_.emitPage(TraceEvent::PromoteCandidate, eq_.now(), frame.nid,
                     frame.type, frame.pfn, frame.ownerAsid,
                     frame.ownerVpn, frame.demoted() ? 1 : 0);

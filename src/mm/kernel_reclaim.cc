@@ -123,8 +123,52 @@ Kernel::shrinkActiveList(NodeId nid, PageType type, std::uint64_t batch,
     }
 }
 
+void
+Kernel::noteReclaimBreach(Asid asid, NodeId nid)
+{
+    const CgroupId cgid = memcg_.cgroupOf(asid);
+    memcg_.cgroup(cgid).stats.reclaimLow++;
+    vmstat_.inc(Vm::MemcgReclaimLow);
+    trace_.emit(TraceEvent::MemcgEvent, eq_.now(), nid,
+                memcgEventAux(cgid, MemcgEventKind::LowBreach));
+}
+
 std::pair<std::uint64_t, double>
 Kernel::shrinkNode(NodeId nid, std::uint64_t nr_to_reclaim, bool background)
+{
+    // Two-pass reclaim in the style of memory.low: the first pass skips
+    // pages whose cgroup sits at or under its protection floor on this
+    // node; only when that pass finds nothing reclaimable AND protected
+    // pages were what stood in the way does a second pass ignore the
+    // floors (counting each breach). With no floors configured the
+    // wrapper degenerates to the single unprotected pass and is
+    // bit-identical to the pre-memcg reclaim.
+    if (!memcg_.protectionActive())
+        return shrinkNodePass(nid, nr_to_reclaim, background,
+                              /*honor_protection=*/false,
+                              /*count_breach=*/false, nullptr);
+
+    std::uint64_t skips = 0;
+    auto [reclaimed, cost] =
+        shrinkNodePass(nid, nr_to_reclaim, background,
+                       /*honor_protection=*/true,
+                       /*count_breach=*/false, &skips);
+    if (reclaimed == 0 && skips > 0) {
+        auto [breached, breach_cost] =
+            shrinkNodePass(nid, nr_to_reclaim, background,
+                           /*honor_protection=*/false,
+                           /*count_breach=*/true, nullptr);
+        reclaimed += breached;
+        cost += breach_cost;
+    }
+    return {reclaimed, cost};
+}
+
+std::pair<std::uint64_t, double>
+Kernel::shrinkNodePass(NodeId nid, std::uint64_t nr_to_reclaim,
+                       bool background, bool honor_protection,
+                       bool count_breach,
+                       std::uint64_t *protected_skips)
 {
     LruSet &lru = lrus_[nid];
     const bool demote_mode = policy_->reclaimByDemotion(nid);
@@ -164,6 +208,25 @@ Kernel::shrinkNode(NodeId nid, std::uint64_t nr_to_reclaim, bool background)
         vmstat_.inc(scan_counter);
 
         PageFrame &frame = mem_.frame(pfn);
+        const bool under_floor =
+            (honor_protection || count_breach) &&
+            memcg_.protectedOnNode(frame.ownerAsid, nid);
+        if (honor_protection && under_floor) {
+            // The owning cgroup is at or below its floor on this node:
+            // rotate the page away untouched and remember that
+            // protection — not emptiness — is why we made no progress.
+            const CgroupId cgid = memcg_.cgroupOf(frame.ownerAsid);
+            memcg_.cgroup(cgid).stats.reclaimProtected++;
+            vmstat_.inc(Vm::MemcgReclaimProtected);
+            trace_.emit(TraceEvent::MemcgEvent, eq_.now(), nid,
+                        memcgEventAux(cgid,
+                                      MemcgEventKind::ProtectedSkip));
+            lru.rotate(pfn);
+            if (protected_skips)
+                (*protected_skips)++;
+            continue;
+        }
+
         if (frame.referenced()) {
             // Second chance: a page touched since the last scan is
             // working-set; activate instead of reclaiming.
@@ -172,6 +235,10 @@ Kernel::shrinkNode(NodeId nid, std::uint64_t nr_to_reclaim, bool background)
             vmstat_.inc(Vm::PgActivate);
             continue;
         }
+
+        // The frame's owner is gone once the page is freed; capture it
+        // first so a pass-2 breach can still be billed to its cgroup.
+        const Asid owner_asid = frame.ownerAsid;
 
         if (demote_mode) {
             // Background reclaim may queue the demotion on the engine;
@@ -184,6 +251,8 @@ Kernel::shrinkNode(NodeId nid, std::uint64_t nr_to_reclaim, bool background)
             if (res.freed) {
                 reclaimed++;
                 vmstat_.inc(steal_counter);
+                if (count_breach && under_floor)
+                    noteReclaimBreach(owner_asid, nid);
             } else if (res.outcome != MigrateOutcome::Queued) {
                 // Deferred or failed: the page is still on the LRU;
                 // rotate away so the scan makes progress. A queued page
@@ -198,6 +267,8 @@ Kernel::shrinkNode(NodeId nid, std::uint64_t nr_to_reclaim, bool background)
         if (freed) {
             reclaimed++;
             vmstat_.inc(steal_counter);
+            if (count_breach && under_floor)
+                noteReclaimBreach(owner_asid, nid);
         } else {
             // Unreclaimable right now (e.g. swap full): rotate away so
             // the scan makes progress.

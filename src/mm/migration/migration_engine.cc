@@ -11,6 +11,9 @@
 #include "mm/migration/migration_engine.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "mm/kernel.hh"
 #include "sim/logging.hh"
@@ -24,14 +27,32 @@ MigrationEngine::MigrationEngine(Kernel &kernel, MigrationConfig cfg)
     demoteQueues_.resize(n);
     promoteQueues_.resize(n);
     // Buckets start full (one burst) so admission control limits the
-    // sustained rate, not the first requests after boot.
+    // sustained rate, not the first requests after boot. The refill
+    // clock starts at *now*, not tick 0: an engine constructed after
+    // sim time has advanced must not treat the elapsed time as earned
+    // tokens on its first refill.
     tokens_.assign(n, cfg_.rateLimitMBps * 1e6 * 0.1);
-    tokensRefilledAt_.assign(n, 0);
+    tokensRefilledAt_.assign(n, kernel_.eq_.now());
 
     SysctlRegistry &sysctl = kernel_.sysctl_;
-    sysctl.registerDouble("vm.migration_rate_limit_mbps",
-                          &cfg_.rateLimitMBps);
-    sysctl.registerU64("vm.migration_queue_depth", &cfg_.queueDepth);
+    sysctl.registerKnob(
+        "vm.migration_rate_limit_mbps",
+        [this] {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%g", cfg_.rateLimitMBps);
+            return std::string(buf);
+        },
+        [this](const std::string &text) {
+            char *end = nullptr;
+            const double parsed = std::strtod(text.c_str(), &end);
+            if (end == text.c_str() || *end != '\0' ||
+                !std::isfinite(parsed) || parsed < 0.0)
+                return false;
+            setRateLimit(parsed);
+            return true;
+        });
+    sysctl.registerU64("vm.migration_queue_depth", &cfg_.queueDepth,
+                       nullptr, /*min=*/1);
     sysctl.registerBool("vm.migration_async", &cfg_.async);
     sysctl.registerBool("vm.migration_transactional",
                         &cfg_.transactional);
@@ -100,6 +121,8 @@ MigrationEngine::syncDemote(Pfn pfn)
             k.mem_.frame(new_pfn).setFlag(PageFrame::FlagDemoted);
             k.vmstat_.inc(type == PageType::Anon ? Vm::PgDemoteAnon
                                                  : Vm::PgDemoteFile);
+            k.memcg_.cgroup(k.memcg_.cgroupOf(owner_asid))
+                .stats.demotions++;
             k.trace_.emitPage(TraceEvent::Demote, k.eq_.now(), src, type,
                               new_pfn, owner_asid, owner_vpn, dst);
             return {MigrateOutcome::Completed, true,
@@ -154,6 +177,8 @@ MigrationEngine::syncPromote(Pfn pfn, NodeId src, NodeId dst)
     // only counts pages that get demoted *again* afterwards.
     k.mem_.frame(new_pfn).clearFlag(PageFrame::FlagDemoted);
     k.vmstat_.inc(Vm::PgPromoteSuccess);
+    k.memcg_.cgroup(k.memcg_.cgroupOf(owner_asid))
+        .stats.promoteSuccess++;
     k.trace_.emitPage(TraceEvent::PromoteSuccess, k.eq_.now(), src, type,
                       new_pfn, owner_asid, owner_vpn, dst);
     return {MigrateOutcome::Completed, true,
@@ -212,6 +237,29 @@ MigrationEngine::promote(Pfn pfn, NodeId dst)
 
 // ---- admission + queueing -------------------------------------------
 
+void
+MigrationEngine::setRateLimit(double mbps)
+{
+    const Tick now = kernel_.eq_.now();
+    const double old_rate_bpn = cfg_.rateLimitMBps * 1e6 / 1e9;
+    const double old_burst = cfg_.rateLimitMBps * 1e6 * 0.1;
+    const double new_burst = mbps * 1e6 * 0.1;
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+        // Settle at the old rate: tokens earned so far survive (capped
+        // at the old burst), but time elapsed under rate 0 earns none.
+        if (cfg_.rateLimitMBps > 0.0) {
+            tokens_[i] += static_cast<double>(now - tokensRefilledAt_[i]) *
+                          old_rate_bpn;
+            if (tokens_[i] > old_burst)
+                tokens_[i] = old_burst;
+        }
+        tokensRefilledAt_[i] = now;
+        if (tokens_[i] > new_burst)
+            tokens_[i] = new_burst;
+    }
+    cfg_.rateLimitMBps = mbps;
+}
+
 bool
 MigrationEngine::admit(NodeId dst)
 {
@@ -240,10 +288,27 @@ MigrationEngine::enqueue(Pfn pfn, bool promotion, NodeId dst)
     std::deque<Request> &queue =
         promotion ? promoteQueues_[dst] : demoteQueues_[src];
 
-    // Admission control: a full queue or an exhausted token bucket for
-    // the destination defers the request; the page stays where it is
-    // and the caller may retry on a later scan.
-    if (queue.size() >= cfg_.queueDepth || !admit(dst)) {
+    // Admission control: a full queue, a dry cgroup migration budget,
+    // or an exhausted token bucket for the destination defers the
+    // request; the page stays where it is and the caller may retry on
+    // a later scan. The cgroup budget is checked before the per-node
+    // bucket so a throttled tenant cannot drain the shared tokens.
+    bool defer = queue.size() >= cfg_.queueDepth;
+    bool throttled = false;
+    if (!defer && !k.memcg_.chargeMigration(frame.ownerAsid, kPageSize)) {
+        defer = true;
+        throttled = true;
+    }
+    if (!defer && !admit(dst))
+        defer = true;
+    if (defer) {
+        if (throttled) {
+            const CgroupId cgid = k.memcg_.cgroupOf(frame.ownerAsid);
+            k.memcg_.cgroup(cgid).stats.migrateThrottled++;
+            k.vmstat_.inc(Vm::MemcgMigrateThrottled);
+            k.trace_.emit(TraceEvent::MemcgEvent, k.eq_.now(), src,
+                          memcgEventAux(cgid, MemcgEventKind::Throttled));
+        }
         k.vmstat_.inc(Vm::PgMigrateDeferred);
         k.trace_.emitPage(TraceEvent::MigrateDeferred, k.eq_.now(), src,
                           frame.type, pfn, frame.ownerAsid,
@@ -463,11 +528,15 @@ MigrationEngine::finishMove(const Request &req, Pfn dst_pfn,
 
     k.lrus_[dst_nid].addHead(lruListFor(new_frame.type, req.wasActive),
                              dst_pfn);
+    k.memcg_.transfer(req.asid, req.src, dst_nid);
     k.vmstat_.inc(Vm::PgMigrateSuccess);
 
+    MemcgStats &cg_stats =
+        k.memcg_.cgroup(k.memcg_.cgroupOf(req.asid)).stats;
     if (req.promotion) {
         new_frame.clearFlag(PageFrame::FlagDemoted);
         k.vmstat_.inc(Vm::PgPromoteSuccess);
+        cg_stats.promoteSuccess++;
         k.trace_.emitPage(TraceEvent::PromoteSuccess, k.eq_.now(),
                           req.src, req.type, dst_pfn, req.asid, req.vpn,
                           dst_nid);
@@ -475,6 +544,7 @@ MigrationEngine::finishMove(const Request &req, Pfn dst_pfn,
         new_frame.setFlag(PageFrame::FlagDemoted);
         k.vmstat_.inc(req.type == PageType::Anon ? Vm::PgDemoteAnon
                                                  : Vm::PgDemoteFile);
+        cg_stats.demotions++;
         k.trace_.emitPage(TraceEvent::Demote, k.eq_.now(), req.src,
                           req.type, dst_pfn, req.asid, req.vpn, dst_nid);
     }

@@ -168,6 +168,14 @@ class MigrationEngine
     // Async path.
     MigrateResult enqueue(Pfn pfn, bool promotion, NodeId dst);
     bool admit(NodeId dst);
+    /**
+     * Apply a new rate limit (sysctl setter): settle every bucket at
+     * the old rate up to now, stamp the refill time, clamp outstanding
+     * tokens to the new burst. A live rate change therefore never
+     * grants tokens for time that elapsed under a different (or zero)
+     * rate.
+     */
+    void setRateLimit(double mbps);
     void scheduleDrain();
     void drainTick();
     void drainQueue(std::deque<Request> &queue, std::uint64_t budget);

@@ -1,5 +1,8 @@
 #include "mm/sysctl.hh"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -20,7 +23,8 @@ SysctlRegistry::registerReadOnly(const std::string &name, Getter getter)
 
 void
 SysctlRegistry::registerDouble(const std::string &name, double *value,
-                               std::function<void()> on_change)
+                               std::function<void()> on_change,
+                               double min_value, double max_value)
 {
     registerKnob(
         name,
@@ -29,10 +33,18 @@ SysctlRegistry::registerDouble(const std::string &name, double *value,
             std::snprintf(buf, sizeof(buf), "%g", *value);
             return std::string(buf);
         },
-        [value, on_change](const std::string &text) {
+        [value, on_change, min_value,
+         max_value](const std::string &text) {
             char *end = nullptr;
             const double parsed = std::strtod(text.c_str(), &end);
             if (end == text.c_str() || *end != '\0')
+                return false;
+            // "nan"/"inf" parse cleanly but no tunable means anything
+            // with them; a non-finite rate or threshold silently
+            // disables comparisons downstream.
+            if (!std::isfinite(parsed))
+                return false;
+            if (parsed < min_value || parsed > max_value)
                 return false;
             *value = parsed;
             if (on_change)
@@ -63,16 +75,28 @@ SysctlRegistry::registerBool(const std::string &name, bool *value,
 
 void
 SysctlRegistry::registerU64(const std::string &name, std::uint64_t *value,
-                            std::function<void()> on_change)
+                            std::function<void()> on_change,
+                            std::uint64_t min_value,
+                            std::uint64_t max_value)
 {
     registerKnob(
         name,
         [value] { return std::to_string(*value); },
-        [value, on_change](const std::string &text) {
+        [value, on_change, min_value,
+         max_value](const std::string &text) {
+            // strtoull happily parses "-1" as 2^64-1; an unsigned knob
+            // must reject any sign (and leading whitespace, which would
+            // hide one).
+            if (text.empty() ||
+                !std::isdigit(static_cast<unsigned char>(text[0])))
+                return false;
+            errno = 0;
             char *end = nullptr;
             const unsigned long long parsed =
                 std::strtoull(text.c_str(), &end, 10);
-            if (end == text.c_str() || *end != '\0')
+            if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+                return false;
+            if (parsed < min_value || parsed > max_value)
                 return false;
             *value = parsed;
             if (on_change)

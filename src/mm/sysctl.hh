@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -37,18 +38,33 @@ class SysctlRegistry
     /** Register a read-only knob. */
     void registerReadOnly(const std::string &name, Getter getter);
 
-    /** Convenience: bind a double variable, with an optional on-change
-     *  hook (e.g. re-deriving watermarks). */
-    void registerDouble(const std::string &name, double *value,
-                        std::function<void()> on_change = nullptr);
+    /**
+     * Convenience: bind a double variable, with an optional on-change
+     * hook (e.g. re-deriving watermarks). Writes reject non-finite
+     * values (nan/inf have no meaning for any kernel tunable) and
+     * values outside [min_value, max_value].
+     */
+    void registerDouble(
+        const std::string &name, double *value,
+        std::function<void()> on_change = nullptr,
+        double min_value = std::numeric_limits<double>::lowest(),
+        double max_value = std::numeric_limits<double>::max());
 
     /** Convenience: bind a bool variable ("0"/"1"). */
     void registerBool(const std::string &name, bool *value,
                       std::function<void()> on_change = nullptr);
 
-    /** Convenience: bind an unsigned integer variable. */
-    void registerU64(const std::string &name, std::uint64_t *value,
-                     std::function<void()> on_change = nullptr);
+    /**
+     * Convenience: bind an unsigned integer variable. Writes reject
+     * negative input ("-1" must not wrap to 2^64-1 the way a bare
+     * strtoull would parse it), overflow, and values outside
+     * [min_value, max_value].
+     */
+    void registerU64(
+        const std::string &name, std::uint64_t *value,
+        std::function<void()> on_change = nullptr,
+        std::uint64_t min_value = 0,
+        std::uint64_t max_value = std::numeric_limits<std::uint64_t>::max());
 
     /** @return true when the knob exists. */
     bool exists(const std::string &name) const;

@@ -53,6 +53,9 @@ vmName(Vm counter)
       case Vm::HotnessThresholdRaise: return "hotness_threshold_raise";
       case Vm::HotnessThresholdLower: return "hotness_threshold_lower";
       case Vm::HotnessPromoteBatch: return "hotness_promote_batch";
+      case Vm::MemcgReclaimProtected: return "memcg_reclaim_protected";
+      case Vm::MemcgReclaimLow: return "memcg_reclaim_low";
+      case Vm::MemcgMigrateThrottled: return "memcg_migrate_throttled";
       case Vm::NumCounters: break;
     }
     tpp_panic("vmName: bad counter %zu", static_cast<std::size_t>(counter));

@@ -82,6 +82,13 @@ enum class Vm : std::size_t {
     HotnessThresholdLower, //!< epochs that lowered the hot threshold
     HotnessPromoteBatch,   //!< epochs that extracted a promotion batch
 
+    // Memory cgroups (src/mm/memcg): multi-tenant accounting and
+    // protection. Appended behind everything above so the golden
+    // fingerprints over the seed counters stay stable.
+    MemcgReclaimProtected, //!< reclaim skipped a page under its cgroup floor
+    MemcgReclaimLow,       //!< reclaim took a page despite the floor (pass 2)
+    MemcgMigrateThrottled, //!< migration deferred by a cgroup token budget
+
     NumCounters,
 };
 

@@ -62,6 +62,17 @@ summarizeTrace(const std::vector<TraceRecord> &events, Tick window_ns,
         if (r.event == TraceEvent::HotnessThreshold)
             summary.hotnessThresholds.emplace_back(r.tick, r.aux);
 
+        if (r.event == TraceEvent::MemcgEvent) {
+            // aux = (cgroup id << 8) | MemcgEventKind.
+            MemcgTally &tally = summary.memcg[r.aux >> 8];
+            switch (r.aux & 0xff) {
+              case 0: tally.protectedSkips++; break;
+              case 1: tally.lowBreaches++; break;
+              case 2: tally.throttled++; break;
+              default: break;
+            }
+        }
+
         if (!r.hasPage || (r.event != TraceEvent::Demote &&
                            r.event != TraceEvent::PromoteSuccess))
             continue;

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -43,6 +44,13 @@ struct PingPongPage {
     std::uint64_t flips = 0;
 };
 
+/** Per-cgroup tallies decoded from memcg_event records. */
+struct MemcgTally {
+    std::uint64_t protectedSkips = 0; //!< reclaim skipped (under floor)
+    std::uint64_t lowBreaches = 0;    //!< reclaimed despite the floor
+    std::uint64_t throttled = 0;      //!< migrations deferred by budget
+};
+
 /** Everything trace_summary reports about one run's events. */
 struct TraceSummary {
     Tick windowNs = 0;
@@ -52,6 +60,8 @@ struct TraceSummary {
     std::vector<PingPongPage> pingPong;
     /** Hot-threshold retunes (hotness_threshold events), tick order. */
     std::vector<std::pair<Tick, std::uint32_t>> hotnessThresholds;
+    /** memcg_event tallies keyed by cgroup id (empty without cgroups). */
+    std::map<std::uint32_t, MemcgTally> memcg;
 
     std::uint64_t
     total(TraceEvent event) const

@@ -72,6 +72,9 @@ enum class TraceEvent : std::uint8_t {
     HotnessThreshold,    //!< hot threshold retuned; aux = new threshold
     HotnessEvict,        //!< counter-table entry evicted (LRU, full)
 
+    // Memory cgroups (src/mm/memcg).
+    MemcgEvent,          //!< aux = (cgroup id << 8) | MemcgEventKind
+
     NumEvents,
 };
 

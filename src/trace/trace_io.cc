@@ -37,6 +37,7 @@ traceEventName(TraceEvent event)
       case TraceEvent::HotnessEpoch: return "hotness_epoch";
       case TraceEvent::HotnessThreshold: return "hotness_threshold";
       case TraceEvent::HotnessEvict: return "hotness_evict";
+      case TraceEvent::MemcgEvent: return "memcg_event";
       case TraceEvent::NumEvents: break;
     }
     tpp_panic("traceEventName: bad event %u",

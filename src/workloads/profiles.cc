@@ -322,6 +322,60 @@ dataWarehouse(std::uint64_t wss_pages, std::uint64_t seed)
 }
 
 WorkloadProfile
+churn(std::uint64_t wss_pages, std::uint64_t seed)
+{
+    WorkloadProfile p;
+    p.name = "churn";
+    p.seed = seed;
+    p.thinkTimePerOpNs = 700.0;
+    p.accessesPerOp = 6;
+    p.opsPerBatch = 2000;
+
+    // One big anon scan buffer, dropped and re-populated every two
+    // intervals: a continuous allocation storm with near-uniform access
+    // (nothing is really "hot" — the hot window is a fast sweep).
+    RegionSpec scan;
+    scan.label = "scan";
+    scan.type = PageType::Anon;
+    scan.pages = frac(wss_pages, 0.90);
+    scan.sequentialWarmup = true;
+    scan.accessWeight = 0.95;
+    scan.hotFraction = 0.30;
+    scan.hotAccessShare = 0.55; // weak skew: reuse is incidental
+    scan.zipfTheta = 0.1;
+    scan.storeShare = 0.60;
+    scan.rotationPeriod = kProfileInterval / 4;
+    scan.rotationStep = stepFor(0.50, 0.30); // sweep half per interval
+    scan.churnPeriod = 2 * kProfileInterval;
+    scan.populateOnChurn = true;
+    p.regions.push_back(scan);
+
+    // Write-once output files, immediately cold.
+    RegionSpec out;
+    out.label = "out";
+    out.type = PageType::File;
+    out.diskBacked = true;
+    out.pages = frac(wss_pages, 0.10);
+    out.accessWeight = 0.05;
+    out.hotFraction = 0.10;
+    out.hotAccessShare = 0.60;
+    out.zipfTheta = 0.2;
+    out.storeShare = 0.90;
+    out.rotationPeriod = kProfileInterval / 2;
+    out.rotationStep = stepFor(0.25, 0.10);
+    out.churnPeriod = 4 * kProfileInterval;
+    p.regions.push_back(out);
+
+    // Aggressive short-lived allocations keep the allocator under
+    // constant pressure on the fast tier.
+    p.transient.regionsPerSecond = 300.0;
+    p.transient.regionPages = 32;
+    p.transient.lifetime = 150 * kMillisecond;
+    p.transient.touchesPerPage = 2.0;
+    return p;
+}
+
+WorkloadProfile
 byName(const std::string &name, std::uint64_t wss_pages, std::uint64_t seed)
 {
     if (name == "web")
@@ -332,6 +386,8 @@ byName(const std::string &name, std::uint64_t wss_pages, std::uint64_t seed)
         return cache2(wss_pages, seed);
     if (name == "dwh" || name == "data-warehouse")
         return dataWarehouse(wss_pages, seed);
+    if (name == "churn")
+        return churn(wss_pages, seed);
     tpp_fatal("unknown workload profile '%s'", name.c_str());
 }
 
@@ -355,6 +411,7 @@ TPP_REGISTER_WORKLOAD(web, syntheticFactory("web"));
 TPP_REGISTER_WORKLOAD(cache1, syntheticFactory("cache1"));
 TPP_REGISTER_WORKLOAD(cache2, syntheticFactory("cache2"));
 TPP_REGISTER_WORKLOAD(dwh, syntheticFactory("dwh"));
+TPP_REGISTER_WORKLOAD(churn, syntheticFactory("churn"));
 TPP_REGISTER_WORKLOAD_AS(dataWarehouse, "data-warehouse",
                          syntheticFactory("dwh"));
 

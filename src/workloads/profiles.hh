@@ -46,8 +46,17 @@ WorkloadProfile cache1(std::uint64_t wss_pages, std::uint64_t seed = 1);
 WorkloadProfile cache2(std::uint64_t wss_pages, std::uint64_t seed = 1);
 WorkloadProfile dataWarehouse(std::uint64_t wss_pages,
                               std::uint64_t seed = 1);
+/**
+ * Antagonist for multi-tenant co-location studies: an allocation-heavy
+ * scan workload with almost no reuse, churning its whole working set
+ * every couple of intervals. Without cgroup protection its allocation
+ * bursts evict a co-located victim's hot set from the fast tier; its
+ * own pages are a poor use of that tier (it barely re-accesses them).
+ */
+WorkloadProfile churn(std::uint64_t wss_pages, std::uint64_t seed = 1);
 
-/** Lookup by name ("web", "cache1", "cache2", "dwh"); fatal if unknown. */
+/** Lookup by name ("web", "cache1", "cache2", "dwh", "churn");
+ *  fatal if unknown. */
 WorkloadProfile byName(const std::string &name, std::uint64_t wss_pages,
                        std::uint64_t seed = 1);
 

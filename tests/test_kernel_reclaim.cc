@@ -224,5 +224,34 @@ TEST(KernelReclaim, SwappinessPrefersFile)
     EXPECT_EQ(m.kernel.lru(0).countType(PageType::File), 12u);
 }
 
+TEST(KernelReclaim, SwappinessScanBalancePinned)
+{
+    // Pin the swappiness=60 scan weighting (anon 60 / file 140): with
+    // equal cold inactive lists, reclaim eats file pages until
+    // file*140 < anon*60, then interleaves to hold the weighted counts
+    // equal. 100 reclaims from 140+140 must settle at exactly 54 file /
+    // 126 anon remaining (54*140 == 126*60). If the weights or the
+    // pick rule change, these numbers move.
+    TestMachine m;
+    const Vpn anon = m.populate(140, PageType::Anon);
+    const Vpn file =
+        m.kernel.mmap(m.asid, 140, PageType::File, "f", true);
+    for (int i = 0; i < 140; ++i)
+        m.kernel.access(m.asid, file + i, AccessKind::Load, 0);
+    for (int i = 0; i < 140; ++i) {
+        m.frameOf(anon + i).clearFlag(PageFrame::FlagReferenced);
+        m.frameOf(file + i).clearFlag(PageFrame::FlagReferenced);
+    }
+
+    auto [reclaimed, cost] = m.kernel.directReclaim(0, 100);
+    EXPECT_EQ(reclaimed, 100u);
+    const LruSet &lru = m.kernel.lru(0);
+    EXPECT_EQ(lru.count(LruListId::InactiveFile), 54u);
+    EXPECT_EQ(lru.count(LruListId::InactiveAnon), 126u);
+    // The 86 file reclaims were clean drops; only the 14 anons swapped.
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PswpOut), 14u);
+    (void)cost;
+}
+
 } // namespace
 } // namespace tpp

@@ -119,6 +119,25 @@ INSTANTIATE_TEST_SUITE_P(Golden, MigrationCompat,
                              return std::string(info.param.tag);
                          });
 
+TEST(MigrationCompatMemcg, PlumbingIsInertWhenUnconfigured)
+{
+    // The memcg layer charges every fault, free and migration even when
+    // no cgroup exists. That always-on accounting must be invisible:
+    // with the protection switch explicitly set (to its default) and no
+    // floor configured, a golden config reproduces its fingerprint
+    // bit-for-bit and the new memcg counters stay silent.
+    const GoldenCase &c = kGolden[1]; // fig15_web_tpp
+    ExperimentConfig cfg = goldenConfig(c);
+    cfg.sysctls.emplace_back("vm.memcg_protection", "1");
+    const ExperimentResult r = runExperiment(cfg);
+    EXPECT_EQ(r.throughput, c.throughput);
+    EXPECT_EQ(r.meanAccessLatencyNs, c.meanLatencyNs);
+    EXPECT_EQ(seedVmHash(r.vmstat), c.vmsum);
+    EXPECT_EQ(r.vmstat.get(Vm::MemcgReclaimProtected), 0u);
+    EXPECT_EQ(r.vmstat.get(Vm::MemcgReclaimLow), 0u);
+    EXPECT_EQ(r.vmstat.get(Vm::MemcgMigrateThrottled), 0u);
+}
+
 // The headline figure shapes must also hold when the full asynchronous,
 // transactional engine replaces the compat mode: TPP stays close to
 // all-local (the paper's central claim) and keeps beating default

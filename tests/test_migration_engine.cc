@@ -155,6 +155,73 @@ TEST(MigrationEngine, RateLimitSysctlIsLive)
               MigrateOutcome::Deferred);
 }
 
+TEST(MigrationEngine, RateLimitEnabledMidRunStartsEmpty)
+{
+    // Regression: the refill clock used to start at tick 0 and the
+    // sysctl wrote the rate straight into the config, so enabling a
+    // limit after the sim had run treated all the elapsed unlimited
+    // time as earned tokens — the first refill minted a full burst the
+    // tenant never accrued.
+    AsyncMachine m; // rateLimitMBps = 0: unlimited at construction
+    const Vpn base = m.populate(8);
+    m.eq.run(m.eq.now() + 1 * kSecond);
+
+    ASSERT_TRUE(
+        m.kernel.sysctl().set("vm.migration_rate_limit_mbps", "1"));
+    // Tokens accrue only from the moment the limit was set: the very
+    // next request must defer, not ride a spurious one-second burst.
+    const auto res = m.engine().demote(m.pte(base).pfn);
+    EXPECT_EQ(res.outcome, MigrateOutcome::Deferred);
+    EXPECT_EQ(m.kernel.vmstat().get(Vm::PgMigrateDeferred), 1u);
+
+    // After a real 100 ms of accrual the bucket admits again.
+    m.eq.run(m.eq.now() + 100 * kMillisecond);
+    EXPECT_EQ(m.engine().demote(m.pte(base).pfn).outcome,
+              MigrateOutcome::Queued);
+}
+
+TEST(MigrationEngine, RateLimitLoweredClampsOutstandingTokens)
+{
+    // Regression: lowering the limit never clamped tokens already in
+    // the bucket, so a tenant could spend a burst earned at the old
+    // (higher) rate after being throttled down.
+    MigrationConfig cfg = asyncConfig();
+    cfg.rateLimitMBps = 100.0; // burst = 10 MB
+    AsyncMachine m(cfg);
+    const Vpn base = m.populate(8);
+    m.eq.run(m.eq.now() + 1 * kSecond); // bucket is full
+
+    // Down to one page per 100 ms burst window (as in
+    // TokenBucketBoundsAdmission): the old 10 MB of tokens must not
+    // survive the change.
+    ASSERT_TRUE(m.kernel.sysctl().set("vm.migration_rate_limit_mbps",
+                                      "0.04096"));
+    std::uint64_t queued = 0, deferred = 0;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        const auto res = m.engine().demote(m.pte(base + i).pfn);
+        if (res.outcome == MigrateOutcome::Queued)
+            queued++;
+        else if (res.outcome == MigrateOutcome::Deferred)
+            deferred++;
+    }
+    EXPECT_EQ(queued, 1u);
+    EXPECT_EQ(deferred, 7u);
+}
+
+TEST(MigrationEngine, RateLimitSysctlRejectsHostileValues)
+{
+    AsyncMachine m;
+    SysctlRegistry &sysctl = m.kernel.sysctl();
+    EXPECT_FALSE(sysctl.set("vm.migration_rate_limit_mbps", "nan"));
+    EXPECT_FALSE(sysctl.set("vm.migration_rate_limit_mbps", "inf"));
+    EXPECT_FALSE(sysctl.set("vm.migration_rate_limit_mbps", "-1"));
+    EXPECT_EQ(sysctl.get("vm.migration_rate_limit_mbps"), "0");
+    // The queue depth knob floors at 1: a zero-depth queue would defer
+    // every request forever.
+    EXPECT_FALSE(sysctl.set("vm.migration_queue_depth", "0"));
+    EXPECT_FALSE(sysctl.set("vm.migration_queue_depth", "-1"));
+}
+
 TEST(MigrationEngine, AbortOnAccessDuringCopyWindow)
 {
     AsyncMachine m;

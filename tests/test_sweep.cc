@@ -282,6 +282,62 @@ TEST(Sweep, CanonicalKeyTwinStripsState)
     EXPECT_EQ(twin.samplePeriod, 0u);
 }
 
+TEST(Sweep, CanonicalKeySeparatesTenantConfigs)
+{
+    // Multi-tenant runs share a kernel between workloads: a config with
+    // tenants simulates a different machine than the same config
+    // without, and every tenant knob feeds the result.
+    const ExperimentConfig cfg = smallConfig("cache1", "tpp", "1:4");
+    ExperimentConfig copy = cfg;
+    TenantSpec tenant;
+    tenant.workload = "cache1";
+    copy.tenants.push_back(tenant);
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    ExperimentConfig other = copy;
+    other.tenants[0].wssPages = 2048;
+    EXPECT_NE(canonicalKey(copy), canonicalKey(other));
+
+    other = copy;
+    other.tenants[0].lowFraction = 0.6;
+    EXPECT_NE(canonicalKey(copy), canonicalKey(other));
+
+    other = copy;
+    other.tenants[0].budgetMBps = 10.0;
+    EXPECT_NE(canonicalKey(copy), canonicalKey(other));
+
+    other = copy;
+    other.tenants[0].placement = "cxl_only";
+    EXPECT_NE(canonicalKey(copy), canonicalKey(other));
+
+    // The all-local baseline is a single-workload machine: the twin
+    // strips tenants so every pairing shares one cached baseline.
+    EXPECT_TRUE(allLocalTwin(copy).tenants.empty());
+}
+
+TEST(Export, CsvQuotesHostileFields)
+{
+    EXPECT_EQ(csvField("plain"), "plain");
+    EXPECT_EQ(csvField("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvField("line\nbreak"), "\"line\nbreak\"");
+    EXPECT_EQ(csvField(""), "");
+
+    // Regression: workload/policy used to be written raw, so a comma in
+    // a registered name shifted every column after it and an embedded
+    // quote corrupted the row (RFC 4180 requires doubling).
+    ExperimentResult res;
+    res.workload = "cache,1";
+    res.policy = "tpp \"patched\"";
+    std::ostringstream out;
+    writeResultsCsv(out, {res});
+    const std::string text = out.str();
+    const std::size_t row = text.find('\n') + 1;
+    EXPECT_EQ(text.substr(row, text.find('\n', row) - row),
+              "\"cache,1\",\"tpp \"\"patched\"\"\",0.000,0.000,0.000,"
+              "0.000,0.000,0.000,0.000");
+}
+
 TEST(Registry, PoliciesSelfRegister)
 {
     auto &reg = PolicyRegistry::instance();

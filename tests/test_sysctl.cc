@@ -47,6 +47,59 @@ TEST(Sysctl, U64Knob)
     EXPECT_FALSE(reg.set("vm.count", "12x"));
 }
 
+TEST(Sysctl, DoubleKnobRejectsNonFinite)
+{
+    // Regression: "nan"/"inf"/"-inf" parse cleanly through strtod and
+    // used to land in the bound variable, silently disabling every
+    // comparison downstream (a NaN rate limit admits everything).
+    SysctlRegistry reg;
+    double value = 1.0;
+    reg.registerDouble("vm.knob", &value);
+    EXPECT_FALSE(reg.set("vm.knob", "nan"));
+    EXPECT_FALSE(reg.set("vm.knob", "inf"));
+    EXPECT_FALSE(reg.set("vm.knob", "-inf"));
+    EXPECT_FALSE(reg.set("vm.knob", "NAN"));
+    EXPECT_DOUBLE_EQ(value, 1.0);
+}
+
+TEST(Sysctl, DoubleKnobEnforcesRange)
+{
+    SysctlRegistry reg;
+    double value = 0.5;
+    reg.registerDouble("vm.frac", &value, nullptr, 0.0, 1.0);
+    EXPECT_TRUE(reg.set("vm.frac", "1"));
+    EXPECT_DOUBLE_EQ(value, 1.0);
+    EXPECT_FALSE(reg.set("vm.frac", "1.5"));
+    EXPECT_FALSE(reg.set("vm.frac", "-0.1"));
+    EXPECT_DOUBLE_EQ(value, 1.0);
+}
+
+TEST(Sysctl, U64KnobRejectsSignsAndOverflow)
+{
+    // Regression: strtoull parses "-1" as 2^64-1, so a stray minus sign
+    // used to wrap an unsigned knob to its maximum instead of failing.
+    SysctlRegistry reg;
+    std::uint64_t value = 7;
+    reg.registerU64("vm.count", &value);
+    EXPECT_FALSE(reg.set("vm.count", "-1"));
+    EXPECT_FALSE(reg.set("vm.count", "+1"));
+    EXPECT_FALSE(reg.set("vm.count", " 1"));
+    EXPECT_FALSE(reg.set("vm.count", ""));
+    EXPECT_FALSE(reg.set("vm.count", "99999999999999999999999"));
+    EXPECT_EQ(value, 7u);
+}
+
+TEST(Sysctl, U64KnobEnforcesRange)
+{
+    SysctlRegistry reg;
+    std::uint64_t value = 4;
+    reg.registerU64("vm.depth", &value, nullptr, 1, 64);
+    EXPECT_FALSE(reg.set("vm.depth", "0"));
+    EXPECT_FALSE(reg.set("vm.depth", "65"));
+    EXPECT_TRUE(reg.set("vm.depth", "64"));
+    EXPECT_EQ(value, 64u);
+}
+
 TEST(Sysctl, OnChangeHookFires)
 {
     SysctlRegistry reg;
@@ -96,6 +149,25 @@ TEST(SysctlTpp, DemoteScaleFactorKnobReappliesWatermarks)
 
     ASSERT_TRUE(sysctl.set("vm.demote_scale_factor", "5"));
     EXPECT_EQ(m.mem.node(0).watermarks().demoteTrigger, 500u);
+}
+
+TEST(SysctlTpp, RegisteredKnobsCarryRanges)
+{
+    // The audit that followed the nan/-1 bugs: every TPP knob with a
+    // meaningful domain now declares it at registration time.
+    TestMachine m(10000, 10000, std::make_unique<TppPolicy>());
+    SysctlRegistry &sysctl = m.kernel.sysctl();
+    EXPECT_FALSE(sysctl.set("vm.demote_scale_factor", "-1"));
+    EXPECT_FALSE(sysctl.set("vm.demote_scale_factor", "101"));
+    EXPECT_FALSE(sysctl.set("vm.demote_scale_factor", "nan"));
+    EXPECT_FALSE(sysctl.set(
+        "kernel.numa_balancing_promote_rate_limit_MBps", "-5"));
+    EXPECT_FALSE(sysctl.set("kernel.numa_balancing_scan_size_pages", "0"));
+    EXPECT_FALSE(sysctl.set("kernel.numa_balancing_scan_size_pages",
+                            "-1"));
+    // Rejected writes leave the previous values in force.
+    EXPECT_EQ(sysctl.get("vm.demote_scale_factor"), "2");
+    EXPECT_EQ(m.mem.node(0).watermarks().demoteTrigger, 200u);
 }
 
 TEST(SysctlTpp, ModeKnobIsReadOnly)

@@ -127,6 +127,23 @@ printHotnessSection(const TraceSummary &summary)
     std::printf("\n");
 }
 
+void
+printMemcgSection(const TraceSummary &summary)
+{
+    if (summary.memcg.empty())
+        return;
+    std::printf("memcg events by cgroup:\n");
+    TextTable table(
+        {"cgroup", "protected skips", "low breaches", "throttled"});
+    for (const auto &[cgid, tally] : summary.memcg)
+        table.addRow({TextTable::count(cgid),
+                      TextTable::count(tally.protectedSkips),
+                      TextTable::count(tally.lowBreaches),
+                      TextTable::count(tally.throttled)});
+    table.print();
+    std::printf("\n");
+}
+
 /** Minimal JSON string escape: the tags we emit are workload/policy
  *  names, but a stray quote must not corrupt the document. */
 std::string
@@ -218,6 +235,20 @@ printJsonSummary(std::FILE *out, const std::string &tag,
                      summary.hotnessThresholds[i].second);
     std::fprintf(out, "]},\n");
 
+    std::fprintf(out, "      \"memcg\": [");
+    first = true;
+    for (const auto &[cgid, tally] : summary.memcg) {
+        std::fprintf(out,
+                     "%s{\"cgroup\": %u, \"protected_skips\": %llu, "
+                     "\"low_breaches\": %llu, \"throttled\": %llu}",
+                     first ? "" : ", ", cgid,
+                     static_cast<unsigned long long>(tally.protectedSkips),
+                     static_cast<unsigned long long>(tally.lowBreaches),
+                     static_cast<unsigned long long>(tally.throttled));
+        first = false;
+    }
+    std::fprintf(out, "],\n");
+
     std::fprintf(out, "      \"ping_pong\": [");
     for (std::size_t i = 0; i < summary.pingPong.size(); ++i) {
         const PingPongPage &p = summary.pingPong[i];
@@ -274,6 +305,7 @@ printSummary(const std::string &tag, const std::vector<TraceRecord> &events,
 
     printFailureBreakdown(summary);
     printHotnessSection(summary);
+    printMemcgSection(summary);
 
     if (summary.pingPong.empty()) {
         std::printf("no ping-pong pages (no page changed tier direction "
