@@ -16,12 +16,21 @@
  *   --trace-out PATH  write tracepoint events + sampler series as
  *                 JSONL (implies --trace; tools/trace_summary reads it)
  *   --sample-ms N attach the TimeSeriesSampler at an N ms period
+ *   --sysctl N=V  apply a sysctl to every run (repeatable)
+ *   --qps Q       open-loop offered load in requests/s (0 = closed loop)
+ *   --arrival A   arrival process: poisson | bursty | diurnal
+ *   --slo US      p99 latency SLO in microseconds (0 = none)
  *   --verbose     enable inform()/warn() logging + sweep progress
  *   PAGES         bare positional working-set size (backward compat)
  *
  * Tracing and sampling are observational: enabling them changes what a
  * run *records*, never what it computes — the printed tables are
  * byte-identical with or without these flags (tests/test_trace.cc).
+ *
+ * Malformed spec-valued flags (--tenants, --sysctl, --qps, --arrival,
+ * --slo) print the diagnostic from the spec parser — naming the bad
+ * token — and exit with status 2, so scripts can tell "bad invocation"
+ * from a simulator failure.
  */
 
 #ifndef TPP_BENCH_BENCH_COMMON_HH
@@ -36,6 +45,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/export.hh"
+#include "harness/spec.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
@@ -61,9 +71,29 @@ struct BenchOptions {
     /** Sampler period in milliseconds; 0 = sampler off. */
     std::uint64_t sampleMs = 0;
     bool verbose = false;
-    /** --tenants spec (see parseTenantsSpec); empty = single workload. */
+    /** --tenants spec (see parseTenants); empty = single workload. */
     std::string tenantsSpec;
+    /** --sysctl name=value assignments, applied to every run. */
+    std::vector<std::pair<std::string, std::string>> sysctls;
+    /** Open-loop traffic (--qps/--arrival/--slo); qps 0 = closed. */
+    OpenLoopSpec openLoop;
 };
+
+/** Exit status for malformed spec-valued flags (vs. 1 for fatals). */
+inline constexpr int kBadSpecExit = 2;
+
+/** Unwrap a spec result or print its diagnostic and exit(2). */
+template <typename T>
+inline T
+specValueOrDie(SpecResult<T> result)
+{
+    if (!result) {
+        std::fprintf(stderr, "error: %s\n",
+                     result.error().render().c_str());
+        std::exit(kBadSpecExit);
+    }
+    return std::move(*result);
+}
 
 /** Strict unsigned parse; fatal() on trailing junk or overflow. */
 inline std::uint64_t
@@ -84,11 +114,13 @@ parseCount(const char *flag, const std::string &text)
 inline void
 printUsage(const char *argv0)
 {
+    const int pad = static_cast<int>(std::string(argv0).size());
     std::printf("usage: %s [PAGES] [--wss PAGES] [--jobs N] [--seed S]\n"
                 "       %*s [--csv PATH] [--trace] [--trace-out PATH]\n"
-                "       %*s [--sample-ms N] [--tenants SPEC] [--verbose]\n",
-                argv0, static_cast<int>(std::string(argv0).size()), "",
-                static_cast<int>(std::string(argv0).size()), "");
+                "       %*s [--sample-ms N] [--tenants SPEC] [--verbose]\n"
+                "       %*s [--sysctl NAME=VALUE] [--qps QPS]\n"
+                "       %*s [--arrival poisson|bursty|diurnal] [--slo US]\n",
+                argv0, pad, "", pad, "", pad, "", pad, "");
 }
 
 /**
@@ -128,6 +160,24 @@ parseBenchArgs(int argc, char **argv)
                 tpp_fatal("--sample-ms expects a period > 0");
         } else if (arg == "--tenants") {
             opt.tenantsSpec = next();
+        } else if (arg == "--sysctl") {
+            opt.sysctls.push_back(
+                specValueOrDie(parseAssignment(next())));
+        } else if (arg == "--qps") {
+            opt.openLoop.qps =
+                specValueOrDie(parseSpecDouble(next(), 0.0, 1e9));
+        } else if (arg == "--arrival") {
+            const std::string name = next();
+            if (!ArrivalProcess::known(name)) {
+                std::fprintf(stderr,
+                             "error: unknown --arrival '%s' (want %s)\n",
+                             name.c_str(), ArrivalProcess::knownNames());
+                std::exit(kBadSpecExit);
+            }
+            opt.openLoop.arrival = name;
+        } else if (arg == "--slo") {
+            opt.openLoop.sloP99Us =
+                specValueOrDie(parseSpecDouble(next(), 0.0, 1e9));
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -156,8 +206,21 @@ makeConfig(const BenchOptions &opt)
         cfg.sampleSeries = true;
         cfg.samplePeriod = opt.sampleMs * kMillisecond;
     }
+    for (const auto &assignment : opt.sysctls)
+        cfg.sysctls.push_back(assignment);
     if (!opt.tenantsSpec.empty())
-        cfg.tenants = parseTenantsSpec(opt.tenantsSpec);
+        cfg.tenants = specValueOrDie(parseTenants(opt.tenantsSpec));
+    if (opt.openLoop.enabled()) {
+        if (!cfg.tenants.empty()) {
+            // With --tenants, the run-wide flags are a default each
+            // tenant inherits unless its spec sets its own qps=.
+            for (TenantSpec &tenant : cfg.tenants)
+                if (!tenant.openLoop.enabled())
+                    tenant.openLoop = opt.openLoop;
+        } else {
+            cfg.openLoop = opt.openLoop;
+        }
+    }
     return cfg;
 }
 

@@ -15,42 +15,13 @@
 
 namespace tpp {
 
-namespace {
-
-/** Parse one side of a "L:C" ratio; fatal() on anything malformed. */
-double
-ratioField(const std::string &ratio, const std::string &field)
-{
-    if (field.empty() || std::isspace(static_cast<unsigned char>(field[0])))
-        tpp_fatal("capacity ratio must look like '2:1', got '%s'",
-                  ratio.c_str());
-    char *end = nullptr;
-    const double value = std::strtod(field.c_str(), &end);
-    if (end != field.c_str() + field.size())
-        tpp_fatal("capacity ratio must look like '2:1', got '%s'",
-                  ratio.c_str());
-    if (!std::isfinite(value))
-        tpp_fatal("bad capacity ratio '%s': values must be finite",
-                  ratio.c_str());
-    return value;
-}
-
-} // namespace
-
 double
 parseRatio(const std::string &ratio)
 {
-    const auto colon = ratio.find(':');
-    if (colon == std::string::npos)
-        tpp_fatal("capacity ratio must look like '2:1', got '%s'",
-                  ratio.c_str());
-    const double local = ratioField(ratio, ratio.substr(0, colon));
-    const double cxl = ratioField(ratio, ratio.substr(colon + 1));
-    if (local <= 0.0 || cxl < 0.0)
-        tpp_fatal("bad capacity ratio '%s': local share must be > 0 and "
-                  "CXL share >= 0",
-                  ratio.c_str());
-    return local / (local + cxl);
+    const SpecResult<double> parsed = parseRatioSpec(ratio);
+    if (!parsed)
+        tpp_fatal("%s", parsed.error().render().c_str());
+    return *parsed;
 }
 
 std::unique_ptr<PlacementPolicy>
@@ -59,89 +30,187 @@ makePolicy(const ExperimentConfig &cfg)
     return PolicyRegistry::instance().make(cfg.policy, cfg);
 }
 
-std::vector<TenantSpec>
-parseTenantsSpec(const std::string &spec)
-{
-    std::vector<TenantSpec> tenants;
-    std::size_t begin = 0;
-    while (begin < spec.size()) {
-        std::size_t end = spec.find(';', begin);
-        if (end == std::string::npos)
-            end = spec.size();
-        const std::string entry = spec.substr(begin, end - begin);
-        begin = end + 1;
-        if (entry.empty())
-            tpp_fatal("empty tenant entry in --tenants spec '%s'",
-                      spec.c_str());
+namespace {
 
-        TenantSpec tenant;
-        std::size_t field_begin = 0;
-        bool first = true;
-        while (field_begin <= entry.size()) {
-            std::size_t field_end = entry.find(':', field_begin);
-            if (field_end == std::string::npos)
-                field_end = entry.size();
-            const std::string field =
-                entry.substr(field_begin, field_end - field_begin);
-            field_begin = field_end + 1;
-            if (first) {
-                if (field.empty())
-                    tpp_fatal("tenant entry '%s' has no workload name",
-                              entry.c_str());
-                tenant.workload = field;
-                first = false;
-                continue;
-            }
-            const auto eq = field.find('=');
-            if (eq == std::string::npos)
-                tpp_fatal("tenant option '%s' must look like key=value",
-                          field.c_str());
-            const std::string key = field.substr(0, eq);
-            const std::string value = field.substr(eq + 1);
-            char *parse_end = nullptr;
-            if (key == "wss") {
-                if (value.empty() ||
-                    !std::isdigit(static_cast<unsigned char>(value[0])))
-                    tpp_fatal("bad tenant wss value '%s'", value.c_str());
-                tenant.wssPages =
-                    std::strtoull(value.c_str(), &parse_end, 10);
-            } else if (key == "low") {
-                tenant.lowFraction = std::strtod(value.c_str(), &parse_end);
-                if (!(tenant.lowFraction >= 0.0 &&
-                      tenant.lowFraction <= 1.0))
-                    tpp_fatal("tenant low=%s out of [0, 1]", value.c_str());
-            } else if (key == "budget") {
-                tenant.budgetMBps = std::strtod(value.c_str(), &parse_end);
-                if (!(tenant.budgetMBps >= 0.0) ||
-                    !std::isfinite(tenant.budgetMBps))
-                    tpp_fatal("tenant budget=%s must be finite and >= 0",
-                              value.c_str());
-            } else if (key == "place") {
-                if (value != "none" && value != "local_only" &&
-                    value != "cxl_only")
-                    tpp_fatal("tenant place=%s must be none, local_only "
-                              "or cxl_only",
-                              value.c_str());
-                tenant.placement = value;
-                parse_end = nullptr;
-            } else {
-                tpp_fatal("unknown tenant option '%s' (want wss, low, "
-                          "budget or place)",
-                          key.c_str());
-            }
-            if (key != "place" &&
-                (value.empty() || parse_end != value.c_str() + value.size()))
-                tpp_fatal("bad tenant %s value '%s'", key.c_str(),
-                          value.c_str());
-        }
-        tenants.push_back(std::move(tenant));
+/** Decode one tenant entry's fields into a TenantSpec. */
+SpecResult<TenantSpec>
+parseTenantEntry(const SpecEntry &entry)
+{
+    TenantSpec tenant;
+    tenant.workload = entry.head();
+    if (auto r = entry.getU64("wss", &tenant.wssPages); !r)
+        return makeUnexpected(r.error());
+    if (auto r = entry.getDouble("low", &tenant.lowFraction, 0.0, 1.0); !r)
+        return makeUnexpected(r.error());
+    if (auto r = entry.getDouble("budget", &tenant.budgetMBps, 0.0, 1e9);
+        !r) {
+        return makeUnexpected(r.error());
+    }
+    if (auto r = entry.getKeyword("place", &tenant.placement,
+                                  {"none", "local_only", "cxl_only"});
+        !r) {
+        return makeUnexpected(r.error());
+    }
+    if (auto r = entry.getDouble("qps", &tenant.openLoop.qps, 0.0, 1e9);
+        !r) {
+        return makeUnexpected(r.error());
+    }
+    if (auto r = entry.getKeyword("arrival", &tenant.openLoop.arrival,
+                                  {"poisson", "bursty", "diurnal"});
+        !r) {
+        return makeUnexpected(r.error());
+    }
+    if (auto r =
+            entry.getDouble("slo", &tenant.openLoop.sloP99Us, 0.0, 1e9);
+        !r) {
+        return makeUnexpected(r.error());
+    }
+    if (auto r =
+            entry.finish("wss, low, budget, place, qps, arrival, slo");
+        !r) {
+        return makeUnexpected(r.error());
+    }
+    return tenant;
+}
+
+} // namespace
+
+SpecResult<std::vector<TenantSpec>>
+parseTenants(const std::string &spec)
+{
+    const auto entries = parseSpec(spec, /*with_head=*/true);
+    if (!entries)
+        return makeUnexpected(entries.error());
+    std::vector<TenantSpec> tenants;
+    for (const SpecEntry &entry : *entries) {
+        SpecResult<TenantSpec> tenant = parseTenantEntry(entry);
+        if (!tenant)
+            return makeUnexpected(tenant.error());
+        tenants.push_back(std::move(*tenant));
     }
     if (tenants.empty())
-        tpp_fatal("--tenants spec '%s' names no tenants", spec.c_str());
+        return specError("--tenants spec names no tenants", spec);
     return tenants;
 }
 
+std::vector<TenantSpec>
+parseTenantsSpec(const std::string &spec)
+{
+    SpecResult<std::vector<TenantSpec>> tenants = parseTenants(spec);
+    if (!tenants)
+        tpp_fatal("%s", tenants.error().render().c_str());
+    return std::move(*tenants);
+}
+
+SpecResult<void>
+ExperimentConfig::validate() const
+{
+    if (wssPages == 0)
+        return specError("config wssPages must be > 0");
+    if (!std::isfinite(capacityHeadroom) || capacityHeadroom < 1.0) {
+        return specError("config capacityHeadroom must be >= 1",
+                         std::to_string(capacityHeadroom));
+    }
+    if (!allLocal &&
+        !(localFraction > 0.0 && localFraction <= 1.0)) {
+        return specError("config localFraction out of (0, 1]",
+                         std::to_string(localFraction));
+    }
+    if (measureFrom > runUntil)
+        return specError("config measureFrom is after runUntil");
+    if (sampleEvery == 0)
+        return specError("config sampleEvery must be > 0");
+
+    const auto check_open_loop =
+        [](const OpenLoopSpec &ol,
+           const std::string &who) -> SpecResult<void> {
+        if (!(ol.qps >= 0.0) || !std::isfinite(ol.qps))
+            return specError(who + " qps must be finite and >= 0",
+                             std::to_string(ol.qps));
+        if (!(ol.sloP99Us >= 0.0) || !std::isfinite(ol.sloP99Us))
+            return specError(who + " slo must be finite and >= 0",
+                             std::to_string(ol.sloP99Us));
+        if (ol.enabled() && !ArrivalProcess::known(ol.arrival)) {
+            return specError(who + " arrival process is unknown (want " +
+                                 ArrivalProcess::knownNames() + ")",
+                             ol.arrival);
+        }
+        return {};
+    };
+    if (auto r = check_open_loop(openLoop, "config"); !r)
+        return r;
+    if (openLoop.enabled() && !tenants.empty()) {
+        return specError("config-level open loop and tenants are "
+                         "mutually exclusive; give each tenant its own "
+                         "qps= instead");
+    }
+
+    std::uint64_t explicit_wss = 0;
+    for (const TenantSpec &tenant : tenants) {
+        if (tenant.workload.empty())
+            return specError("tenant entry has no workload name");
+        if (!(tenant.lowFraction >= 0.0 && tenant.lowFraction <= 1.0)) {
+            return specError("tenant low out of [0, 1]",
+                             std::to_string(tenant.lowFraction));
+        }
+        if (!(tenant.budgetMBps >= 0.0) ||
+            !std::isfinite(tenant.budgetMBps)) {
+            return specError("tenant budget must be finite and >= 0",
+                             std::to_string(tenant.budgetMBps));
+        }
+        if (tenant.placement != "none" &&
+            tenant.placement != "local_only" &&
+            tenant.placement != "cxl_only") {
+            return specError("tenant place must be none, local_only or "
+                             "cxl_only",
+                             tenant.placement);
+        }
+        if (auto r = check_open_loop(tenant.openLoop,
+                                     "tenant " + tenant.workload);
+            !r) {
+            return r;
+        }
+        explicit_wss += tenant.wssPages;
+    }
+    if (!tenants.empty() && explicit_wss > wssPages) {
+        return specError("tenant wss sum exceeds the config's wssPages",
+                         std::to_string(explicit_wss));
+    }
+    return {};
+}
+
 namespace {
+
+/** Tail-latency summary of one finished open-loop driver. */
+OpenLoopResult
+harvestOpenLoop(const WorkloadDriver &driver, const OpenLoopSpec &spec)
+{
+    OpenLoopResult ol;
+    ol.enabled = true;
+    ol.offeredQps = spec.qps;
+    ol.arrival = spec.arrival;
+    const LatencyHistogram &hist = driver.requestLatency();
+    ol.requests = hist.count();
+    ol.dropped = driver.windowDropped();
+    ol.p50Ns = hist.percentileNs(50.0);
+    ol.p99Ns = hist.percentileNs(99.0);
+    ol.p999Ns = hist.percentileNs(99.9);
+    ol.maxNs = hist.maxNs();
+    ol.meanNs = hist.mean();
+    ol.meanQueueDepth = driver.meanQueueDepth();
+    ol.maxQueueDepth = driver.maxQueueDepth();
+    ol.goodputQps = driver.goodputQps();
+    ol.sloP99Us = spec.sloP99Us;
+    ol.sloAttainment = driver.sloAttainment();
+    return ol;
+}
+
+/** Arrival seed decorrelated from the workload's access-pattern seed. */
+std::uint64_t
+arrivalSeed(std::uint64_t seed)
+{
+    return seed ^ 0x9e3779b97f4a7c15ULL;
+}
 
 /**
  * The multi-tenant variant of runExperiment: one workload per tenant,
@@ -221,6 +290,7 @@ runTenantExperiment(const ExperimentConfig &cfg)
             tpp_fatal("tenant '%s': bad placement '%s'",
                       tenant.workload.c_str(), tenant.placement.c_str());
         memcg.setMigrationBudget(id, tenant.budgetMBps);
+        cg.sloP99Us = tenant.openLoop.sloP99Us;
         cgids.push_back(id);
     }
 
@@ -266,8 +336,13 @@ runTenantExperiment(const ExperimentConfig &cfg)
                         observer(r);
                 });
         }
+        // Each tenant drives its own (possibly open-loop) request
+        // stream; the arrival RNG is decorrelated per tenant.
+        DriverConfig tenant_cfg = driver_cfg;
+        tenant_cfg.openLoop = cfg.tenants[i].openLoop;
+        tenant_cfg.openLoopSeed = arrivalSeed(cfg.seed + i);
         drivers.push_back(std::make_unique<WorkloadDriver>(
-            kernel, *workloads.back(), driver_cfg));
+            kernel, *workloads.back(), tenant_cfg));
     }
 
     kernel.start();
@@ -334,6 +409,16 @@ runTenantExperiment(const ExperimentConfig &cfg)
         row.workload = cfg.tenants[i].workload;
         row.throughput = drivers[i]->throughput();
         row.meanAccessLatencyNs = drivers[i]->meanAccessLatencyNs();
+        if (drivers[i]->openLoop()) {
+            // Request accounting lands in memory.stat before the stats
+            // snapshot below, so the row and the sysctl surface agree.
+            memcg.noteRequests(cgids[i],
+                               drivers[i]->windowRequests() +
+                                   drivers[i]->windowDropped(),
+                               drivers[i]->windowSloMet());
+            row.openLoop =
+                harvestOpenLoop(*drivers[i], cfg.tenants[i].openLoop);
+        }
         const MemCgroup &cg = memcg.cgroup(cgids[i]);
         row.pagesTotal = cg.usage();
         for (NodeId nid : mem.cpuNodes())
@@ -344,6 +429,55 @@ runTenantExperiment(const ExperimentConfig &cfg)
                            : 0.0;
         row.memcg = cg.stats;
         result.tenants.push_back(std::move(row));
+    }
+
+    // Merged open-loop headline over every tenant that ran one.
+    {
+        LatencyHistogram merged;
+        std::uint64_t met = 0;
+        std::uint64_t dropped = 0;
+        bool any = false;
+        bool same_slo = true;
+        double slo = -1.0;
+        for (std::size_t i = 0; i < drivers.size(); ++i) {
+            if (!drivers[i]->openLoop())
+                continue;
+            const OpenLoopSpec &spec = cfg.tenants[i].openLoop;
+            any = true;
+            merged.merge(drivers[i]->requestLatency());
+            met += drivers[i]->windowSloMet();
+            dropped += drivers[i]->windowDropped();
+            result.openLoop.offeredQps += spec.qps;
+            result.openLoop.goodputQps += drivers[i]->goodputQps();
+            result.openLoop.meanQueueDepth += drivers[i]->meanQueueDepth();
+            result.openLoop.maxQueueDepth =
+                std::max(result.openLoop.maxQueueDepth,
+                         drivers[i]->maxQueueDepth());
+            if (result.openLoop.arrival.empty())
+                result.openLoop.arrival = spec.arrival;
+            else if (result.openLoop.arrival != spec.arrival)
+                result.openLoop.arrival = "mixed";
+            if (slo < 0.0)
+                slo = spec.sloP99Us;
+            else if (slo != spec.sloP99Us)
+                same_slo = false;
+        }
+        if (any) {
+            result.openLoop.enabled = true;
+            result.openLoop.requests = merged.count();
+            result.openLoop.dropped = dropped;
+            result.openLoop.p50Ns = merged.percentileNs(50.0);
+            result.openLoop.p99Ns = merged.percentileNs(99.0);
+            result.openLoop.p999Ns = merged.percentileNs(99.9);
+            result.openLoop.maxNs = merged.maxNs();
+            result.openLoop.meanNs = merged.mean();
+            result.openLoop.sloP99Us = same_slo ? slo : 0.0;
+            const std::uint64_t offered = merged.count() + dropped;
+            result.openLoop.sloAttainment =
+                offered ? static_cast<double>(met) /
+                              static_cast<double>(offered)
+                        : 1.0;
+        }
     }
 
     if (cfg.measureHotness) {
@@ -416,6 +550,8 @@ runTenantExperiment(const ExperimentConfig &cfg)
 ExperimentResult
 runExperiment(const ExperimentConfig &cfg)
 {
+    if (const SpecResult<void> valid = cfg.validate(); !valid)
+        tpp_fatal("%s", valid.error().render().c_str());
     if (!cfg.tenants.empty())
         return runTenantExperiment(cfg);
 
@@ -503,6 +639,8 @@ runExperiment(const ExperimentConfig &cfg)
     driver_cfg.runUntil = cfg.runUntil;
     driver_cfg.measureFrom = cfg.measureFrom;
     driver_cfg.sampleEvery = cfg.sampleEvery;
+    driver_cfg.openLoop = cfg.openLoop;
+    driver_cfg.openLoopSeed = arrivalSeed(cfg.seed);
     WorkloadDriver driver(kernel, *workload, driver_cfg);
 
     kernel.start();
@@ -522,6 +660,8 @@ runExperiment(const ExperimentConfig &cfg)
     result.samples = driver.samples();
     result.vmstat = kernel.vmstat();
     result.meminfo = collectMemInfo(kernel);
+    if (driver.openLoop())
+        result.openLoop = harvestOpenLoop(driver, cfg.openLoop);
     if (cfg.traceEnabled) {
         result.trace = kernel.trace().snapshot();
         result.traceEmitted = kernel.trace().emitted();

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "chameleon/chameleon.hh"
+#include "harness/spec.hh"
 #include "mm/memcg/memcg.hh"
 #include "mm/meminfo.hh"
 #include "mm/migration/migration_config.hh"
@@ -34,6 +35,7 @@
 #include "sim/types.hh"
 #include "trace/sampler.hh"
 #include "trace/trace.hh"
+#include "workloads/arrival.hh"
 #include "workloads/driver.hh"
 
 namespace tpp {
@@ -51,8 +53,10 @@ class PlacementPolicy;
  *
  * keys: `wss` (pages; 0 = equal share of ExperimentConfig::wssPages),
  * `low` (memory.low floor as a fraction of the tenant's working set),
- * `budget` (per-cgroup migration budget, MB/s; 0 = unlimited) and
- * `place` (none | local_only | cxl_only).
+ * `budget` (per-cgroup migration budget, MB/s; 0 = unlimited),
+ * `place` (none | local_only | cxl_only), `qps` (open-loop arrival
+ * rate; 0 = closed loop), `arrival` (poisson | bursty | diurnal) and
+ * `slo` (p99 latency target in microseconds; 0 = no SLO).
  */
 struct TenantSpec {
     std::string workload;
@@ -64,6 +68,36 @@ struct TenantSpec {
     double budgetMBps = 0.0;
     /** Placement policy: "none", "local_only" or "cxl_only". */
     std::string placement = "none";
+    /** Open-loop arrival process; disabled (qps 0) = closed loop. */
+    OpenLoopSpec openLoop;
+};
+
+/**
+ * Tail-latency summary of an open-loop run (qps > 0). Zero-initialised
+ * and `enabled == false` for closed-loop runs, so exporters can keep
+ * their output byte-identical when no one asked for open-loop traffic.
+ */
+struct OpenLoopResult {
+    bool enabled = false;
+    double offeredQps = 0.0;   //!< configured arrival rate
+    std::string arrival;       //!< arrival process name
+    std::uint64_t requests = 0; //!< completed in the window
+    std::uint64_t dropped = 0;  //!< rejected at the queue cap
+    double p50Ns = 0.0;
+    double p99Ns = 0.0;
+    double p999Ns = 0.0;
+    double maxNs = 0.0;
+    double meanNs = 0.0;
+    /** Time-weighted mean request-queue depth over the window. */
+    double meanQueueDepth = 0.0;
+    std::uint64_t maxQueueDepth = 0;
+    /** Requests per second that met the SLO (all completions when no
+     *  SLO is set). */
+    double goodputQps = 0.0;
+    double sloP99Us = 0.0;     //!< configured target; 0 = none
+    /** Fraction of offered requests that completed within the SLO.
+     *  Drops count as misses. 1.0 when nothing was offered. */
+    double sloAttainment = 1.0;
 };
 
 /** Per-tenant slice of an ExperimentResult. */
@@ -83,6 +117,8 @@ struct TenantResult {
     std::uint64_t hotSetPages = 0;
     /** memory.stat-style per-cgroup counters at end of run. */
     MemcgStats memcg;
+    /** Open-loop tail-latency summary (tenant qps > 0). */
+    OpenLoopResult openLoop;
 };
 
 /**
@@ -154,6 +190,23 @@ struct ExperimentConfig : PolicyParams {
      * cgroups. Tenant working sets default to equal shares of wssPages.
      */
     std::vector<TenantSpec> tenants;
+    /**
+     * Open-loop traffic for the single-workload path: requests arrive
+     * on the configured process at `qps` regardless of service latency,
+     * so queueing delay shows up in the tail instead of throttling the
+     * offered load. Disabled (qps 0) keeps the closed-loop driver and
+     * bit-identical results. Mutually exclusive with `tenants` — give
+     * each tenant its own spec there instead.
+     */
+    OpenLoopSpec openLoop;
+
+    /**
+     * Check the config before building a machine for it: capacity and
+     * fraction ranges, measurement-window ordering, tenant working-set
+     * budgets and open-loop parameters. runExperiment() fatals on a
+     * failed validation; SweepRunner rejects just the offending config.
+     */
+    SpecResult<void> validate() const;
 };
 
 /** Everything a figure/table needs from one run. */
@@ -188,9 +241,28 @@ struct ExperimentResult {
     std::uint64_t hotSetPages = 0;
     /** Per-tenant rows, in cfg.tenants order (empty otherwise). */
     std::vector<TenantResult> tenants;
+    /** Open-loop tail-latency summary (cfg.openLoop / tenant qps);
+     *  merged across tenants on the multi-tenant path. */
+    OpenLoopResult openLoop;
+    /**
+     * Non-empty when the run was rejected without being simulated
+     * (SweepRunner::run on a config whose validate() failed). All
+     * metric fields are zero in that case.
+     */
+    std::string error;
+
+    /** @return true when the run was rejected, not simulated. */
+    bool failed() const { return !error.empty(); }
 };
 
-/** Parse a --tenants spec (see TenantSpec); fatal() on bad input. */
+/**
+ * Parse a --tenants spec (see TenantSpec) into tenant descriptions.
+ * Errors come back as values naming the offending token; nothing is
+ * printed and nothing exits.
+ */
+SpecResult<std::vector<TenantSpec>> parseTenants(const std::string &spec);
+
+/** Compatibility wrapper over parseTenants(); fatal() on bad input. */
 std::vector<TenantSpec> parseTenantsSpec(const std::string &spec);
 
 /**
@@ -214,7 +286,8 @@ double relativeToAllLocal(const ExperimentConfig &cfg,
                           ExperimentResult *out = nullptr,
                           ExperimentResult *baseline_out = nullptr);
 
-/** Parse a "L:C" capacity ratio ("2:1", "1:4") into a local fraction. */
+/** Parse a "L:C" capacity ratio ("2:1", "1:4") into a local fraction.
+ *  Compatibility wrapper over parseRatioSpec(); fatal() on bad input. */
 double parseRatio(const std::string &ratio);
 
 } // namespace tpp

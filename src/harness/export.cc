@@ -45,15 +45,42 @@ void
 writeResultsCsv(std::ostream &out,
                 const std::vector<ExperimentResult> &results)
 {
+    // Open-loop and error columns appear only when some run carries
+    // them, so closed-loop outputs stay byte-identical to before the
+    // open-loop layer existed.
+    bool open = false;
+    bool errors = false;
+    for (const ExperimentResult &r : results) {
+        open = open || r.openLoop.enabled;
+        errors = errors || r.failed();
+    }
     out << "workload,policy,throughput_ops_s,mean_access_latency_ns,"
            "local_traffic_share,cxl_traffic_share,anon_local_residency,"
-           "file_local_residency,hot_set_recall\n";
+           "file_local_residency,hot_set_recall";
+    if (open) {
+        out << ",offered_qps,p50_us,p99_us,p999_us,mean_queue_depth,"
+               "goodput_ops_s,slo_attainment";
+    }
+    if (errors)
+        out << ",error";
+    out << '\n';
     for (const ExperimentResult &r : results) {
         out << csvField(r.workload) << ',' << csvField(r.policy) << ','
             << std::fixed << std::setprecision(3) << r.throughput << ','
             << r.meanAccessLatencyNs << ',' << r.localTrafficShare << ','
             << r.cxlTrafficShare << ',' << r.anonLocalResidency << ','
-            << r.fileLocalResidency << ',' << r.hotSetRecall << '\n';
+            << r.fileLocalResidency << ',' << r.hotSetRecall;
+        if (open) {
+            const OpenLoopResult &ol = r.openLoop;
+            out << ',' << ol.offeredQps << ',' << ol.p50Ns / 1000.0
+                << ',' << ol.p99Ns / 1000.0 << ',' << ol.p999Ns / 1000.0
+                << ',' << ol.meanQueueDepth << ',' << ol.goodputQps
+                << ',' << std::setprecision(4) << ol.sloAttainment
+                << std::setprecision(3);
+        }
+        if (errors)
+            out << ',' << csvField(r.error);
+        out << '\n';
     }
 }
 
@@ -61,10 +88,20 @@ void
 writeTenantsCsv(std::ostream &out,
                 const std::vector<ExperimentResult> &results)
 {
+    bool open = false;
+    for (const ExperimentResult &r : results)
+        for (const TenantResult &t : r.tenants)
+            open = open || t.openLoop.enabled;
     out << "run_workload,policy,tenant,tenant_workload,"
            "throughput_ops_s,mean_access_latency_ns,local_residency,"
            "pages_local,pages_total,hot_set_recall,promote_success,"
-           "demotions,reclaim_protected,reclaim_low,migrate_throttled\n";
+           "demotions,reclaim_protected,reclaim_low,migrate_throttled";
+    if (open) {
+        out << ",offered_qps,arrival,requests,dropped,p50_us,p99_us,"
+               "p999_us,mean_queue_depth,goodput_ops_s,slo_p99_us,"
+               "slo_attainment";
+    }
+    out << '\n';
     for (const ExperimentResult &r : results) {
         for (const TenantResult &t : r.tenants) {
             out << csvField(r.workload) << ',' << csvField(r.policy)
@@ -76,7 +113,18 @@ writeTenantsCsv(std::ostream &out,
                 << t.hotSetRecall << ',' << t.memcg.promoteSuccess << ','
                 << t.memcg.demotions << ','
                 << t.memcg.reclaimProtected << ',' << t.memcg.reclaimLow
-                << ',' << t.memcg.migrateThrottled << '\n';
+                << ',' << t.memcg.migrateThrottled;
+            if (open) {
+                const OpenLoopResult &ol = t.openLoop;
+                out << ',' << ol.offeredQps << ','
+                    << csvField(ol.arrival) << ',' << ol.requests << ','
+                    << ol.dropped << ',' << ol.p50Ns / 1000.0 << ','
+                    << ol.p99Ns / 1000.0 << ',' << ol.p999Ns / 1000.0
+                    << ',' << ol.meanQueueDepth << ',' << ol.goodputQps
+                    << ',' << ol.sloP99Us << ',' << std::setprecision(4)
+                    << ol.sloAttainment << std::setprecision(3);
+            }
+            out << '\n';
         }
     }
 }
@@ -84,15 +132,22 @@ writeTenantsCsv(std::ostream &out,
 void
 writeSamplesCsv(std::ostream &out, const ExperimentResult &result)
 {
+    const bool open = result.openLoop.enabled;
     out << "tick_ns,local_share,promotion_pages_s,demotion_pages_s,"
            "local_alloc_pages_s,local_free_pages,throughput_ops_s,"
-           "anon_resident,file_resident\n";
+           "anon_resident,file_resident";
+    if (open)
+        out << ",queue_depth";
+    out << '\n';
     for (const IntervalSample &s : result.samples) {
         out << s.tick << ',' << std::fixed << std::setprecision(4)
             << s.localShare << ',' << s.promotionRate << ','
             << s.demotionRate << ',' << s.localAllocRate << ','
             << s.localFree << ',' << s.throughput << ','
-            << s.anonResident << ',' << s.fileResident << '\n';
+            << s.anonResident << ',' << s.fileResident;
+        if (open)
+            out << ',' << s.queueDepth;
+        out << '\n';
     }
 }
 
@@ -115,6 +170,28 @@ writeResultJson(std::ostream &out, const ExperimentResult &result)
         << ",\n";
     out << "  \"hot_set_recall\": " << result.hotSetRecall << ",\n";
     out << "  \"hot_set_pages\": " << result.hotSetPages << ",\n";
+    if (result.failed())
+        out << "  \"error\": \"" << jsonEscape(result.error) << "\",\n";
+    if (result.openLoop.enabled) {
+        const OpenLoopResult &ol = result.openLoop;
+        out << "  \"open_loop\": {\n";
+        out << "    \"offered_qps\": " << ol.offeredQps << ",\n";
+        out << "    \"arrival\": \"" << jsonEscape(ol.arrival) << "\",\n";
+        out << "    \"requests\": " << ol.requests << ",\n";
+        out << "    \"dropped\": " << ol.dropped << ",\n";
+        out << "    \"p50_us\": " << ol.p50Ns / 1000.0 << ",\n";
+        out << "    \"p99_us\": " << ol.p99Ns / 1000.0 << ",\n";
+        out << "    \"p999_us\": " << ol.p999Ns / 1000.0 << ",\n";
+        out << "    \"max_us\": " << ol.maxNs / 1000.0 << ",\n";
+        out << "    \"mean_us\": " << ol.meanNs / 1000.0 << ",\n";
+        out << "    \"mean_queue_depth\": " << ol.meanQueueDepth << ",\n";
+        out << "    \"max_queue_depth\": " << ol.maxQueueDepth << ",\n";
+        out << "    \"goodput_ops_s\": " << ol.goodputQps << ",\n";
+        out << "    \"slo_p99_us\": " << ol.sloP99Us << ",\n";
+        out << "    \"slo_attainment\": " << std::setprecision(4)
+            << ol.sloAttainment << std::setprecision(3) << "\n";
+        out << "  },\n";
+    }
     out << "  \"vmstat\": {";
     bool first = true;
     for (std::size_t i = 0; i < kNumVmCounters; ++i) {
@@ -150,7 +227,18 @@ writeResultJson(std::ostream &out, const ExperimentResult &result)
                 << t.memcg.reclaimProtected
                 << ", \"reclaim_low\": " << t.memcg.reclaimLow
                 << ", \"migrate_throttled\": "
-                << t.memcg.migrateThrottled << "}";
+                << t.memcg.migrateThrottled;
+            if (t.openLoop.enabled) {
+                out << ", \"offered_qps\": " << t.openLoop.offeredQps
+                    << ", \"arrival\": \""
+                    << jsonEscape(t.openLoop.arrival)
+                    << "\", \"p99_us\": " << t.openLoop.p99Ns / 1000.0
+                    << ", \"goodput_ops_s\": " << t.openLoop.goodputQps
+                    << ", \"slo_p99_us\": " << t.openLoop.sloP99Us
+                    << ", \"slo_attainment\": " << std::setprecision(4)
+                    << t.openLoop.sloAttainment << std::setprecision(3);
+            }
+            out << "}";
         }
         out << "\n  ],\n";
     }

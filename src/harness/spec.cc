@@ -1,0 +1,312 @@
+#include "harness/spec.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tpp {
+
+std::string
+SpecError::render() const
+{
+    if (token.empty())
+        return message;
+    return message + " (at '" + token + "')";
+}
+
+Unexpected<SpecError>
+specError(std::string message, std::string token)
+{
+    return makeUnexpected(
+        SpecError{std::move(message), std::move(token)});
+}
+
+namespace {
+
+/** Format a double bound the way the spec wrote it (no trailing zeros). */
+std::string
+boundText(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%g", value);
+    return buf;
+}
+
+} // namespace
+
+SpecResult<std::uint64_t>
+parseSpecU64(const std::string &value, std::uint64_t min_value,
+             std::uint64_t max_value)
+{
+    if (value.empty() ||
+        !std::isdigit(static_cast<unsigned char>(value[0])))
+        return specError("expected an unsigned integer", value);
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(value.c_str(), &end, 10);
+    if (end != value.c_str() + value.size() || errno == ERANGE)
+        return specError("expected an unsigned integer", value);
+    if (parsed < min_value || parsed > max_value) {
+        return specError("value out of [" + std::to_string(min_value) +
+                             ", " + std::to_string(max_value) + "]",
+                         value);
+    }
+    return static_cast<std::uint64_t>(parsed);
+}
+
+SpecResult<double>
+parseSpecDouble(const std::string &value, double min_value,
+                double max_value)
+{
+    if (value.empty() ||
+        std::isspace(static_cast<unsigned char>(value[0])))
+        return specError("expected a number", value);
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end != value.c_str() + value.size())
+        return specError("expected a number", value);
+    // The sysctl lessons (PR 5), applied here: no NaN floors, no inf
+    // rates sneaking through strtod.
+    if (!std::isfinite(parsed) || parsed < min_value ||
+        parsed > max_value) {
+        return specError("value out of [" + boundText(min_value) + ", " +
+                             boundText(max_value) + "]",
+                         value);
+    }
+    return parsed;
+}
+
+// ---- SpecEntry ------------------------------------------------------
+
+bool
+SpecEntry::has(const std::string &key) const
+{
+    for (const auto &[k, v] : fields_)
+        if (k == key)
+            return true;
+    return false;
+}
+
+void
+SpecEntry::consumeAll() const
+{
+    for (std::size_t i = 0; i < consumed_.size(); ++i)
+        consumed_[i] = true;
+}
+
+bool
+SpecEntry::lookup(const char *key, std::string *value) const
+{
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].first == key) {
+            consumed_[i] = true;
+            *value = fields_[i].second;
+            return true;
+        }
+    }
+    return false;
+}
+
+SpecResult<void>
+SpecEntry::getU64(const char *key, std::uint64_t *out,
+                  std::uint64_t min_value, std::uint64_t max_value) const
+{
+    std::string value;
+    if (!lookup(key, &value))
+        return {};
+    auto parsed = parseSpecU64(value, min_value, max_value);
+    if (!parsed) {
+        return specError(std::string(key) + ": " +
+                             parsed.error().message,
+                         key + ("=" + value));
+    }
+    *out = *parsed;
+    return {};
+}
+
+SpecResult<void>
+SpecEntry::getDouble(const char *key, double *out, double min_value,
+                     double max_value) const
+{
+    std::string value;
+    if (!lookup(key, &value))
+        return {};
+    auto parsed = parseSpecDouble(value, min_value, max_value);
+    if (!parsed) {
+        return specError(std::string(key) + ": " +
+                             parsed.error().message,
+                         key + ("=" + value));
+    }
+    *out = *parsed;
+    return {};
+}
+
+SpecResult<void>
+SpecEntry::getKeyword(const char *key, std::string *out,
+                      std::initializer_list<const char *> allowed) const
+{
+    std::string value;
+    if (!lookup(key, &value))
+        return {};
+    for (const char *candidate : allowed) {
+        if (value == candidate) {
+            *out = value;
+            return {};
+        }
+    }
+    std::string wanted;
+    for (const char *candidate : allowed) {
+        if (!wanted.empty())
+            wanted += ", ";
+        wanted += candidate;
+    }
+    return specError(std::string(key) + " must be one of: " + wanted,
+                     key + ("=" + value));
+}
+
+SpecResult<void>
+SpecEntry::getString(const char *key, std::string *out) const
+{
+    std::string value;
+    if (lookup(key, &value))
+        *out = value;
+    return {};
+}
+
+SpecResult<void>
+SpecEntry::finish(const char *known) const
+{
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (!consumed_[i]) {
+            return specError("unknown key '" + fields_[i].first +
+                                 "' (known keys: " + known + ")",
+                             fields_[i].first + "=" + fields_[i].second);
+        }
+    }
+    return {};
+}
+
+// ---- splitting ------------------------------------------------------
+
+SpecResult<std::vector<SpecEntry>>
+parseSpec(const std::string &spec, bool with_head, char entry_sep,
+          char field_sep)
+{
+    std::vector<SpecEntry> entries;
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        std::size_t end = spec.find(entry_sep, begin);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string text = spec.substr(begin, end - begin);
+        const bool last = end == spec.size();
+        begin = end + 1;
+        if (text.empty()) {
+            if (spec.empty())
+                break; // empty spec parses to zero entries
+            if (last && !entries.empty())
+                break; // tolerate one trailing separator
+            return specError("empty entry in spec", spec);
+        }
+
+        SpecEntry entry;
+        entry.raw_ = text;
+        std::size_t field_begin = 0;
+        bool first = true;
+        while (field_begin <= text.size()) {
+            std::size_t field_end = text.find(field_sep, field_begin);
+            if (field_end == std::string::npos)
+                field_end = text.size();
+            const std::string field =
+                text.substr(field_begin, field_end - field_begin);
+            const bool field_last = field_end == text.size();
+            field_begin = field_end + 1;
+
+            const auto eq = field.find('=');
+            if (first && with_head) {
+                first = false;
+                if (field.empty() || eq != std::string::npos) {
+                    return specError("entry '" + text +
+                                         "' has no leading name",
+                                     field);
+                }
+                entry.head_ = field;
+                if (field_last)
+                    break;
+                continue;
+            }
+            first = false;
+            if (eq == std::string::npos || eq == 0) {
+                return specError("option must look like key=value",
+                                 field);
+            }
+            const std::string key = field.substr(0, eq);
+            if (entry.has(key)) {
+                return specError("duplicate key '" + key + "' in '" +
+                                     text + "'",
+                                 field);
+            }
+            entry.fields_.emplace_back(key, field.substr(eq + 1));
+            if (field_last)
+                break;
+        }
+        entry.consumed_.assign(entry.fields_.size(), false);
+        entries.push_back(std::move(entry));
+        if (last)
+            break;
+    }
+    return entries;
+}
+
+SpecResult<std::pair<std::string, std::string>>
+parseAssignment(const std::string &text)
+{
+    const auto eq = text.find('=');
+    if (eq == std::string::npos || eq == 0 || eq == text.size() - 1)
+        return specError("expected name=value", text);
+    return std::pair<std::string, std::string>{text.substr(0, eq),
+                                               text.substr(eq + 1)};
+}
+
+SpecResult<double>
+parseRatioSpec(const std::string &ratio)
+{
+    const auto colon = ratio.find(':');
+    if (colon == std::string::npos ||
+        ratio.find(':', colon + 1) != std::string::npos)
+        return specError("capacity ratio must look like '2:1'", ratio);
+
+    auto side = [&](const std::string &field) -> SpecResult<double> {
+        if (field.empty() ||
+            std::isspace(static_cast<unsigned char>(field[0])))
+            return specError("capacity ratio must look like '2:1'",
+                             ratio);
+        char *end = nullptr;
+        const double value = std::strtod(field.c_str(), &end);
+        if (end != field.c_str() + field.size())
+            return specError("capacity ratio must look like '2:1'",
+                             ratio);
+        if (!std::isfinite(value))
+            return specError(
+                "bad capacity ratio: values must be finite", ratio);
+        return value;
+    };
+
+    const auto local = side(ratio.substr(0, colon));
+    if (!local)
+        return specError(local.error().message, local.error().token);
+    const auto cxl = side(ratio.substr(colon + 1));
+    if (!cxl)
+        return specError(cxl.error().message, cxl.error().token);
+    if (*local <= 0.0 || *cxl < 0.0) {
+        return specError("bad capacity ratio: local share must be > 0 "
+                         "and CXL share >= 0",
+                         ratio);
+    }
+    return *local / (*local + *cxl);
+}
+
+} // namespace tpp

@@ -104,6 +104,14 @@ canonicalKey(const ExperimentConfig &cfg)
     // Like telemetry: recall measurement never perturbs the simulation,
     // but the result carries extra fields, so no shared memo slot.
     field(out, "measureHotness", cfg.measureHotness);
+    fieldDouble(out, "ol.qps", cfg.openLoop.qps);
+    field(out, "ol.arrival", cfg.openLoop.arrival);
+    fieldDouble(out, "ol.slo", cfg.openLoop.sloP99Us);
+    fieldDouble(out, "ol.burstFactor", cfg.openLoop.burstFactor);
+    fieldDouble(out, "ol.burstOnFraction", cfg.openLoop.burstOnFraction);
+    field(out, "ol.burstPeriod", cfg.openLoop.burstPeriod);
+    field(out, "ol.diurnalPeriod", cfg.openLoop.diurnalPeriod);
+    fieldDouble(out, "ol.diurnalAmplitude", cfg.openLoop.diurnalAmplitude);
     out << "tenants=[";
     for (const TenantSpec &tenant : cfg.tenants) {
         out << tenant.workload << ':' << tenant.wssPages << ':';
@@ -111,7 +119,12 @@ canonicalKey(const ExperimentConfig &cfg)
         std::snprintf(buf, sizeof(buf), "%.17g", tenant.lowFraction);
         out << buf << ':';
         std::snprintf(buf, sizeof(buf), "%.17g", tenant.budgetMBps);
-        out << buf << ':' << tenant.placement << ',';
+        out << buf << ':' << tenant.placement << ':';
+        std::snprintf(buf, sizeof(buf), "%.17g", tenant.openLoop.qps);
+        out << buf << ':' << tenant.openLoop.arrival << ':';
+        std::snprintf(buf, sizeof(buf), "%.17g",
+                      tenant.openLoop.sloP99Us);
+        out << buf << ',';
     }
     out << "];";
     return out.str();
@@ -135,6 +148,9 @@ allLocalTwin(const ExperimentConfig &cfg)
     // The baseline machine has no co-located tenants: the metric is
     // "what would this workload do with all-local memory to itself".
     twin.tenants.clear();
+    // And it runs closed-loop: "relative to all-local" is a throughput
+    // metric, so the baseline saturates rather than pacing arrivals.
+    twin.openLoop = OpenLoopSpec{};
     return twin;
 }
 
@@ -222,6 +238,26 @@ SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts)
 ExperimentResult
 SweepRunner::runCached(const ExperimentConfig &cfg) const
 {
+    // A sweep rejects one invalid config with a diagnostic instead of
+    // taking down the other N-1 (runExperiment would fatal).
+    if (const SpecResult<void> valid = cfg.validate(); !valid) {
+        ExperimentResult rejected;
+        rejected.workload = cfg.workload;
+        if (!cfg.tenants.empty()) {
+            rejected.workload.clear();
+            for (const TenantSpec &tenant : cfg.tenants) {
+                if (!rejected.workload.empty())
+                    rejected.workload += '+';
+                rejected.workload += tenant.workload;
+            }
+        }
+        rejected.policy = cfg.policy;
+        rejected.error = valid.error().render();
+        std::fprintf(stderr, "sweep: rejected %s/%s: %s\n",
+                     cfg.workload.c_str(), cfg.policy.c_str(),
+                     rejected.error.c_str());
+        return rejected;
+    }
     // All-local runs are the shared baselines every figure divides by;
     // funnel them through the process-wide cache.
     if (cfg.allLocal)

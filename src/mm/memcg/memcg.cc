@@ -26,6 +26,20 @@ MemCgroup::memoryStat() const
     out << "reclaim_protected " << stats.reclaimProtected << '\n';
     out << "reclaim_low " << stats.reclaimLow << '\n';
     out << "migrate_throttled " << stats.migrateThrottled << '\n';
+    out << "requests_total " << stats.requestsTotal << '\n';
+    out << "requests_slo_met " << stats.requestsSloMet << '\n';
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%g", sloP99Us);
+        out << "slo_p99_us " << buf << '\n';
+        const double attainment =
+            stats.requestsTotal
+                ? static_cast<double>(stats.requestsSloMet) /
+                      static_cast<double>(stats.requestsTotal)
+                : 1.0;
+        std::snprintf(buf, sizeof(buf), "%g", attainment);
+        out << "slo_attainment " << buf << '\n';
+    }
     return out.str();
 }
 
@@ -90,6 +104,22 @@ MemcgController::create(const std::string &name)
                 !std::isfinite(parsed) || parsed < 0.0)
                 return false;
             setMigrationBudget(id, parsed);
+            return true;
+        });
+    sysctl_.registerKnob(
+        prefix + "slo_p99_us",
+        [cg] {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%g", cg->sloP99Us);
+            return std::string(buf);
+        },
+        [cg](const std::string &text) {
+            char *end = nullptr;
+            const double parsed = std::strtod(text.c_str(), &end);
+            if (end == text.c_str() || *end != '\0' ||
+                !std::isfinite(parsed) || parsed < 0.0)
+                return false;
+            cg->sloP99Us = parsed;
             return true;
         });
     sysctl_.registerReadOnly(prefix + "stat",
@@ -197,6 +227,15 @@ MemcgController::chargeMigration(Asid asid, std::uint64_t bytes)
         return false;
     cg.tokens_ -= static_cast<double>(bytes);
     return true;
+}
+
+void
+MemcgController::noteRequests(CgroupId id, std::uint64_t total,
+                              std::uint64_t slo_met)
+{
+    MemCgroup &cg = cgroup(id);
+    cg.stats.requestsTotal += total;
+    cg.stats.requestsSloMet += slo_met;
 }
 
 void

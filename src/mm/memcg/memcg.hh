@@ -84,6 +84,10 @@ struct MemcgStats {
     std::uint64_t reclaimProtected = 0; //!< pages skipped by the floor
     std::uint64_t reclaimLow = 0;       //!< pages reclaimed under floor
     std::uint64_t migrateThrottled = 0; //!< migrations budget-deferred
+    /** Open-loop request accounting (harness noteRequests; both stay 0
+     *  for closed-loop tenants). */
+    std::uint64_t requestsTotal = 0;    //!< offered in the window
+    std::uint64_t requestsSloMet = 0;   //!< completed within the SLO
 };
 
 /**
@@ -110,6 +114,10 @@ class MemCgroup
     MemcgPlacement placement = MemcgPlacement::None;
     /** Migration budget in MB/s; 0 = unlimited (no bucket). */
     double migrationBudgetMBps = 0.0;
+    /** p99 request-latency SLO in microseconds; 0 = none. Purely
+     *  declarative: the harness scores open-loop completions against
+     *  it and reports attainment in memory.stat. */
+    double sloP99Us = 0.0;
 
     std::uint64_t usageOnNode(NodeId nid) const
     {
@@ -234,6 +242,13 @@ class MemcgController
     /** Budget setter shared by the sysctl and the harness: settles the
      *  bucket at the old rate up to now before applying the new one. */
     void setMigrationBudget(CgroupId id, double mbps);
+
+    // ---- request accounting -----------------------------------------
+
+    /** Record an open-loop run's offered/SLO-met request counts so
+     *  memory.stat can report per-tenant SLO attainment. */
+    void noteRequests(CgroupId id, std::uint64_t total,
+                      std::uint64_t slo_met);
 
     // ---- placement ---------------------------------------------------
 

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * A minimal expected<T, E>: a value or an error, by value.
+ *
+ * The simulator's configuration surface historically reported bad input
+ * with tpp_fatal(), which is the right call for a bench binary's argv
+ * but kills a whole 500-run sweep when one generated config is off by
+ * one. Parsers and validators return Expected instead; the layer that
+ * owns the process decides whether an error is fatal (bench main()s),
+ * skips the one config (SweepRunner), or propagates (tests).
+ *
+ * Deliberately smaller than std::expected (C++23): no monadic
+ * combinators, no exceptions — accessing the wrong side is a panic,
+ * i.e. a bug in the caller, not a recoverable condition.
+ */
+
+#ifndef TPP_SIM_EXPECTED_HH
+#define TPP_SIM_EXPECTED_HH
+
+#include <utility>
+#include <variant>
+
+#include "sim/logging.hh"
+
+namespace tpp {
+
+/** Tag wrapper marking a constructor argument as the error side. */
+template <typename E>
+struct Unexpected {
+    E error;
+};
+
+/** Deduction helper: `return makeUnexpected(SpecError{...});`. */
+template <typename E>
+Unexpected<E>
+makeUnexpected(E error)
+{
+    return Unexpected<E>{std::move(error)};
+}
+
+/**
+ * Either a T (success) or an E (failure). Converts to bool like a
+ * pointer: true means a value is present.
+ */
+template <typename T, typename E>
+class Expected
+{
+  public:
+    Expected(T value) : storage_(std::in_place_index<0>, std::move(value))
+    {
+    }
+
+    Expected(Unexpected<E> error)
+        : storage_(std::in_place_index<1>, std::move(error.error))
+    {
+    }
+
+    bool hasValue() const { return storage_.index() == 0; }
+    explicit operator bool() const { return hasValue(); }
+
+    T &
+    value()
+    {
+        tpp_assert(hasValue(), "Expected::value() on an error");
+        return std::get<0>(storage_);
+    }
+
+    const T &
+    value() const
+    {
+        tpp_assert(hasValue(), "Expected::value() on an error");
+        return std::get<0>(storage_);
+    }
+
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+
+    E &
+    error()
+    {
+        tpp_assert(!hasValue(), "Expected::error() on a value");
+        return std::get<1>(storage_);
+    }
+
+    const E &
+    error() const
+    {
+        tpp_assert(!hasValue(), "Expected::error() on a value");
+        return std::get<1>(storage_);
+    }
+
+    /** The value, or `fallback` when this holds an error. */
+    T
+    valueOr(T fallback) const
+    {
+        return hasValue() ? std::get<0>(storage_) : std::move(fallback);
+    }
+
+  private:
+    std::variant<T, E> storage_;
+};
+
+/**
+ * Expected<void, E>: success carries nothing. Used by validators.
+ */
+template <typename E>
+class Expected<void, E>
+{
+  public:
+    Expected() = default;
+
+    Expected(Unexpected<E> error) : error_(std::move(error.error)), ok_(false)
+    {
+    }
+
+    bool hasValue() const { return ok_; }
+    explicit operator bool() const { return ok_; }
+
+    E &
+    error()
+    {
+        tpp_assert(!ok_, "Expected::error() on a value");
+        return error_;
+    }
+
+    const E &
+    error() const
+    {
+        tpp_assert(!ok_, "Expected::error() on a value");
+        return error_;
+    }
+
+  private:
+    E error_{};
+    bool ok_ = true;
+};
+
+} // namespace tpp
+
+#endif // TPP_SIM_EXPECTED_HH

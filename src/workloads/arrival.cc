@@ -1,0 +1,175 @@
+#include "workloads/arrival.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tpp {
+
+namespace {
+
+/** Exponential gap at `rate_per_sec`, floored to one tick. */
+Tick
+exponentialGap(Rng &rng, double rate_per_sec)
+{
+    // nextDouble() is in [0, 1); 1-u is in (0, 1], so the log is finite.
+    const double u = rng.nextDouble();
+    const double seconds = -std::log(1.0 - u) / rate_per_sec;
+    const double ticks = seconds * static_cast<double>(kSecond);
+    if (ticks <= 1.0)
+        return 1;
+    return static_cast<Tick>(ticks);
+}
+
+class PoissonArrivals : public ArrivalProcess
+{
+  public:
+    PoissonArrivals(double qps, std::uint64_t seed)
+        : rng_(seed), qps_(qps)
+    {
+    }
+
+    std::string name() const override { return "poisson"; }
+
+    Tick
+    nextGap(Tick) override
+    {
+        return exponentialGap(rng_, qps_);
+    }
+
+  private:
+    Rng rng_;
+    double qps_;
+};
+
+/**
+ * Thinning over a bounded rate function: candidates at the peak rate,
+ * each kept with probability rate(t)/peak. The accepted stream is an
+ * exact non-homogeneous Poisson process with the given rate.
+ */
+class ThinnedArrivals : public ArrivalProcess
+{
+  public:
+    ThinnedArrivals(double peak_rate, std::uint64_t seed)
+        : rng_(seed), peak_(peak_rate)
+    {
+    }
+
+    Tick
+    nextGap(Tick now) override
+    {
+        Tick gap = 0;
+        for (;;) {
+            gap += exponentialGap(rng_, peak_);
+            const double r = rate(now + gap);
+            if (rng_.nextDouble() * peak_ < r)
+                return std::max<Tick>(1, gap);
+        }
+    }
+
+  protected:
+    virtual double rate(Tick at) const = 0;
+
+    double peak_rate() const { return peak_; }
+
+  private:
+    Rng rng_;
+    double peak_;
+};
+
+class BurstyArrivals : public ThinnedArrivals
+{
+  public:
+    BurstyArrivals(const OpenLoopSpec &spec, std::uint64_t seed)
+        : ThinnedArrivals(spec.qps * spec.burstFactor, seed),
+          onRate_(spec.qps * spec.burstFactor),
+          period_(std::max<Tick>(1, spec.burstPeriod)),
+          onTicks_(static_cast<Tick>(
+              static_cast<double>(spec.burstPeriod) *
+              spec.burstOnFraction))
+    {
+        // Quiet-window rate chosen so the long-run mean stays qps:
+        //   on*f + off*(1-f) = 1  =>  off = (1 - factor*f) / (1 - f).
+        const double f = spec.burstOnFraction;
+        const double off_scale =
+            f < 1.0 ? std::max(0.0, (1.0 - spec.burstFactor * f) /
+                                        (1.0 - f))
+                    : 1.0;
+        offRate_ = spec.qps * off_scale;
+    }
+
+    std::string name() const override { return "bursty"; }
+
+  protected:
+    double
+    rate(Tick at) const override
+    {
+        return (at % period_) < onTicks_ ? onRate_ : offRate_;
+    }
+
+  private:
+    double onRate_;
+    double offRate_;
+    Tick period_;
+    Tick onTicks_;
+};
+
+class DiurnalArrivals : public ThinnedArrivals
+{
+  public:
+    DiurnalArrivals(const OpenLoopSpec &spec, std::uint64_t seed)
+        : ThinnedArrivals(spec.qps * (1.0 + spec.diurnalAmplitude),
+                          seed),
+          mean_(spec.qps), amplitude_(spec.diurnalAmplitude),
+          period_(std::max<Tick>(1, spec.diurnalPeriod))
+    {
+    }
+
+    std::string name() const override { return "diurnal"; }
+
+  protected:
+    double
+    rate(Tick at) const override
+    {
+        const double phase = 2.0 * M_PI *
+                             static_cast<double>(at % period_) /
+                             static_cast<double>(period_);
+        return mean_ * (1.0 + amplitude_ * std::sin(phase));
+    }
+
+  private:
+    double mean_;
+    double amplitude_;
+    Tick period_;
+};
+
+} // namespace
+
+bool
+ArrivalProcess::known(const std::string &kind)
+{
+    return kind == "poisson" || kind == "bursty" || kind == "diurnal";
+}
+
+const char *
+ArrivalProcess::knownNames()
+{
+    return "poisson, bursty, diurnal";
+}
+
+std::unique_ptr<ArrivalProcess>
+ArrivalProcess::make(const OpenLoopSpec &spec, std::uint64_t seed)
+{
+    tpp_assert(spec.enabled(), "arrival process needs qps > 0");
+    if (spec.arrival == "poisson" || spec.arrival.empty())
+        return std::make_unique<PoissonArrivals>(spec.qps, seed);
+    if (spec.arrival == "bursty")
+        return std::make_unique<BurstyArrivals>(spec, seed);
+    if (spec.arrival == "diurnal")
+        return std::make_unique<DiurnalArrivals>(spec, seed);
+    tpp_panic("unknown arrival shape '%s' (want %s)",
+              spec.arrival.c_str(), knownNames());
+}
+
+} // namespace tpp

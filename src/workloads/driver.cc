@@ -1,9 +1,37 @@
 #include "workloads/driver.hh"
 
+#include <algorithm>
+
 #include "mm/kernel.hh"
 #include "sim/logging.hh"
 
 namespace tpp {
+
+namespace {
+
+/**
+ * Open-loop queue bound. Arrivals beyond this are shed (and counted as
+ * SLO misses): an overloaded run's tail is unbounded either way, and
+ * the cap keeps a 20-second overload from holding gigabytes of
+ * timestamps.
+ */
+constexpr std::size_t kMaxPendingRequests = 1u << 20;
+
+} // namespace
+
+double
+ThinkTimeModel::perOpNs(Tick now) const
+{
+    // Offered-load ramp: lighter load means more think time per op.
+    double load = 1.0;
+    if (rampSeconds_ > 0.0) {
+        const double elapsed =
+            static_cast<double>(now) / static_cast<double>(kSecond);
+        const double progress = std::min(1.0, elapsed / rampSeconds_);
+        load = rampStart_ + (1.0 - rampStart_) * progress;
+    }
+    return baseNs_ / load;
+}
 
 WorkloadDriver::WorkloadDriver(Kernel &kernel, Workload &workload,
                                DriverConfig cfg)
@@ -11,6 +39,8 @@ WorkloadDriver::WorkloadDriver(Kernel &kernel, Workload &workload,
 {
     if (cfg_.measureFrom > cfg_.runUntil)
         tpp_fatal("driver measurement window starts after the run ends");
+    if (cfg_.openLoop.enabled())
+        arrivals_ = ArrivalProcess::make(cfg_.openLoop, cfg_.openLoopSeed);
 }
 
 void
@@ -19,7 +49,10 @@ WorkloadDriver::start()
     workload_.init(kernel_);
     EventQueue &eq = kernel_.eventQueue();
     lastSampleTick_ = eq.now();
-    eq.scheduleAfter(0, [this] { batchTick(); });
+    if (arrivals_)
+        eq.scheduleAfter(0, [this] { openLoopTick(); });
+    else
+        eq.scheduleAfter(0, [this] { batchTick(); });
     eq.scheduleAfter(cfg_.sampleEvery, [this] { sampleTick(); });
     eq.schedule(cfg_.measureFrom, [this] { beginMeasurement(); });
 }
@@ -59,10 +92,108 @@ WorkloadDriver::batchTick()
 }
 
 void
+WorkloadDriver::openLoopTick()
+{
+    EventQueue &eq = kernel_.eventQueue();
+    const Tick now = eq.now();
+    if (now >= cfg_.runUntil || workload_.done())
+        return;
+
+    // Finish any warm-up closed-loop before admitting traffic; an
+    // open-loop stream against an unpopulated working set would only
+    // measure fault latency.
+    if (!workload_.warmedUp()) {
+        const BatchResult result = workload_.runBatch(kernel_);
+        if (!warmupEnded_ && workload_.warmedUp()) {
+            warmupEnded_ = true;
+            warmupEndTick_ = eq.now();
+        }
+        const Tick duration =
+            std::max<Tick>(1, static_cast<Tick>(result.durationNs));
+        lastBatchEnd_ = now + duration;
+        eq.scheduleAfter(duration, [this] { openLoopTick(); });
+        return;
+    }
+
+    if (!arrivalsStarted_) {
+        arrivalsStarted_ = true;
+        nextArrivalAt_ = now + arrivals_->nextGap(now);
+    }
+
+    // Admit every arrival due by now. The stream does not wait for the
+    // service: when batches run long the queue grows, and that queueing
+    // delay is exactly what the latency tail measures.
+    while (nextArrivalAt_ <= now) {
+        if (pending_.size() < kMaxPendingRequests) {
+            pending_.push_back(nextArrivalAt_);
+        } else {
+            droppedTotal_++;
+            if (measuring_)
+                windowDropped_++;
+        }
+        nextArrivalAt_ += arrivals_->nextGap(nextArrivalAt_);
+    }
+
+    if (measuring_) {
+        queueDepthIntegral_ += static_cast<double>(pending_.size()) *
+                               static_cast<double>(now - queueDepthFrom_);
+        queueDepthFrom_ = now;
+        maxQueueDepth_ = std::max<std::uint64_t>(maxQueueDepth_,
+                                                 pending_.size());
+    }
+
+    if (pending_.empty()) {
+        // Idle until the next arrival.
+        if (nextArrivalAt_ >= cfg_.runUntil)
+            return;
+        eq.schedule(nextArrivalAt_, [this] { openLoopTick(); });
+        return;
+    }
+
+    const std::uint64_t n = std::min<std::uint64_t>(
+        pending_.size(), std::max<std::uint64_t>(1, cfg_.serviceBatchOps));
+    const BatchResult result = workload_.runOps(kernel_, n);
+
+    totalOps_ += result.ops;
+    if (measuring_) {
+        measuredOps_ += result.ops;
+        windowAccessLatencySum_ += result.memLatencyNs;
+        windowAccessCount_ += result.accesses;
+    }
+
+    const Tick duration =
+        std::max<Tick>(1, static_cast<Tick>(result.durationNs));
+    const std::uint64_t served =
+        std::min<std::uint64_t>(result.ops, pending_.size());
+    const double slo_ns = cfg_.openLoop.sloP99Us * 1000.0;
+    for (std::uint64_t i = 0; i < served; ++i) {
+        const Tick arrived = pending_.front();
+        pending_.pop_front();
+        // Completions spread linearly across the batch.
+        const Tick completed =
+            now + static_cast<Tick>(
+                      static_cast<double>(duration) *
+                      static_cast<double>(i + 1) /
+                      static_cast<double>(served));
+        const double latency_ns =
+            static_cast<double>(completed - std::min(arrived, completed));
+        if (measuring_) {
+            windowLatency_.record(latency_ns);
+            if (slo_ns <= 0.0 || latency_ns <= slo_ns)
+                windowSloMet_++;
+        }
+    }
+
+    lastBatchEnd_ = now + duration;
+    eq.scheduleAfter(duration, [this] { openLoopTick(); });
+}
+
+void
 WorkloadDriver::beginMeasurement()
 {
     measuring_ = true;
     measureStartActual_ = kernel_.eventQueue().now();
+    queueDepthFrom_ = measureStartActual_;
     trafficAtMeasureStart_.clear();
     for (std::size_t i = 0; i < kernel_.mem().numNodes(); ++i) {
         trafficAtMeasureStart_.push_back(
@@ -110,6 +241,7 @@ WorkloadDriver::sampleTick()
             static_cast<double>(totalOps_ - lastOps_) / dt_sec;
     }
     sample.localFree = kernel_.mem().node(local).freePages();
+    sample.queueDepth = pending_.size();
     for (std::size_t p = 0; p < kernel_.numProcesses(); ++p) {
         const AddressSpace &as =
             kernel_.addressSpace(static_cast<Asid>(p));
@@ -149,6 +281,36 @@ WorkloadDriver::meanAccessLatencyNs() const
         return 0.0;
     return windowAccessLatencySum_ /
            static_cast<double>(windowAccessCount_);
+}
+
+double
+WorkloadDriver::meanQueueDepth() const
+{
+    if (queueDepthFrom_ <= measureStartActual_)
+        return 0.0;
+    return queueDepthIntegral_ /
+           static_cast<double>(queueDepthFrom_ - measureStartActual_);
+}
+
+double
+WorkloadDriver::goodputQps() const
+{
+    if (lastBatchEnd_ <= measureStartActual_ || windowSloMet_ == 0)
+        return 0.0;
+    const double seconds =
+        static_cast<double>(lastBatchEnd_ - measureStartActual_) /
+        static_cast<double>(kSecond);
+    return static_cast<double>(windowSloMet_) / seconds;
+}
+
+double
+WorkloadDriver::sloAttainment() const
+{
+    const std::uint64_t offered = windowLatency_.count() + windowDropped_;
+    if (offered == 0)
+        return 1.0;
+    return static_cast<double>(windowSloMet_) /
+           static_cast<double>(offered);
 }
 
 double

@@ -12,15 +12,49 @@
 #define TPP_WORKLOADS_DRIVER_HH
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <vector>
 
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "workloads/arrival.hh"
+#include "workloads/latency.hh"
 #include "workloads/workload.hh"
 
 namespace tpp {
 
 class Kernel;
+
+/**
+ * Per-operation think-time accounting, shared by every workload.
+ *
+ * Each workload used to carry its own copy of "CPU time per op,
+ * optionally scaled by an offered-load ramp"; the duplicated arithmetic
+ * lives here now. A ramp of 0 seconds divides by exactly 1.0, so
+ * workloads without a ramp see their base think time bit-for-bit.
+ */
+class ThinkTimeModel
+{
+  public:
+    ThinkTimeModel() = default;
+    explicit ThinkTimeModel(double base_ns, double ramp_seconds = 0.0,
+                            double ramp_start = 1.0)
+        : baseNs_(base_ns), rampSeconds_(ramp_seconds),
+          rampStart_(ramp_start)
+    {
+    }
+
+    /** Think time per operation at simulated time `now`. */
+    double perOpNs(Tick now) const;
+
+    double baseNs() const { return baseNs_; }
+
+  private:
+    double baseNs_ = 0.0;
+    double rampSeconds_ = 0.0;
+    double rampStart_ = 1.0;
+};
 
 /** Driver configuration. */
 struct DriverConfig {
@@ -30,6 +64,12 @@ struct DriverConfig {
     Tick measureFrom = 2 * kSecond;
     /** Cadence of the interval sampler. */
     Tick sampleEvery = 100 * kMillisecond;
+    /** Open-loop traffic description; qps == 0 keeps the closed loop. */
+    OpenLoopSpec openLoop;
+    /** Seed for the arrival process RNG. */
+    std::uint64_t openLoopSeed = 1;
+    /** Max queued requests served per service batch (open loop). */
+    std::uint64_t serviceBatchOps = 64;
 };
 
 /** One sampler observation. */
@@ -46,6 +86,8 @@ struct IntervalSample {
     std::uint64_t localFree = 0;
     /** Interval operation throughput in ops per second. */
     double throughput = 0.0;
+    /** Requests waiting in the open-loop queue (0 when closed-loop). */
+    std::uint64_t queueDepth = 0;
     /** Resident pages by type across all processes (Fig 9/10). */
     std::uint64_t anonResident = 0;
     std::uint64_t fileResident = 0;
@@ -88,8 +130,38 @@ class WorkloadDriver
     bool sawWarmupEnd() const { return warmupEnded_; }
     Tick warmupEndTick() const { return warmupEndTick_; }
 
+    // ---- open-loop results --------------------------------------------
+
+    /** True when the driver ran an open-loop request stream. */
+    bool openLoop() const { return cfg_.openLoop.enabled(); }
+
+    /** Per-request latencies observed inside the window. */
+    const LatencyHistogram &requestLatency() const { return windowLatency_; }
+
+    /** Requests completed inside the window. */
+    std::uint64_t windowRequests() const { return windowLatency_.count(); }
+
+    /** Window requests that met the p99 SLO (all, when no SLO is set). */
+    std::uint64_t windowSloMet() const { return windowSloMet_; }
+
+    /** Arrivals shed inside the window because the queue was full. */
+    std::uint64_t windowDropped() const { return windowDropped_; }
+
+    /** Time-weighted mean queue depth over the window. */
+    double meanQueueDepth() const;
+
+    /** Peak queue depth observed inside the window. */
+    std::uint64_t maxQueueDepth() const { return maxQueueDepth_; }
+
+    /** SLO-meeting completions per second inside the window. */
+    double goodputQps() const;
+
+    /** Fraction of window arrivals that met the SLO (drops miss). */
+    double sloAttainment() const;
+
   private:
     void batchTick();
+    void openLoopTick();
     void sampleTick();
     void beginMeasurement();
 
@@ -106,6 +178,19 @@ class WorkloadDriver
 
     bool warmupEnded_ = false;
     Tick warmupEndTick_ = 0;
+
+    // Open-loop state.
+    std::unique_ptr<ArrivalProcess> arrivals_;
+    std::deque<Tick> pending_;
+    bool arrivalsStarted_ = false;
+    Tick nextArrivalAt_ = 0;
+    LatencyHistogram windowLatency_;
+    std::uint64_t windowSloMet_ = 0;
+    std::uint64_t windowDropped_ = 0;
+    std::uint64_t droppedTotal_ = 0;
+    double queueDepthIntegral_ = 0.0;
+    Tick queueDepthFrom_ = 0;
+    std::uint64_t maxQueueDepth_ = 0;
 
     std::vector<IntervalSample> samples_;
     // Sampler deltas.

@@ -1,0 +1,114 @@
+#include "workloads/latency.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tpp {
+
+std::size_t
+LatencyHistogram::bucketFor(std::uint64_t ns)
+{
+    if (ns < kSubBuckets)
+        return static_cast<std::size_t>(ns);
+    // Highest set bit; ns >= 32 so msb >= kSubBucketBits.
+    const std::uint32_t msb =
+        63u - static_cast<std::uint32_t>(__builtin_clzll(ns));
+    const std::uint32_t major = msb - kSubBucketBits + 1;
+    const std::uint64_t sub =
+        (ns >> (msb - kSubBucketBits)) - kSubBuckets;
+    return static_cast<std::size_t>(major) * kSubBuckets +
+           static_cast<std::size_t>(sub);
+}
+
+void
+LatencyHistogram::bucketBounds(std::size_t index, double *lo, double *hi)
+{
+    if (index < kSubBuckets) {
+        *lo = static_cast<double>(index);
+        *hi = static_cast<double>(index + 1);
+        return;
+    }
+    const std::size_t major = index / kSubBuckets;
+    const std::size_t sub = index % kSubBuckets;
+    const double width =
+        std::ldexp(1.0, static_cast<int>(major) - 1);
+    *lo = static_cast<double>(kSubBuckets + sub) * width;
+    *hi = *lo + width;
+}
+
+void
+LatencyHistogram::record(double ns)
+{
+    const double clamped = std::max(0.0, ns);
+    const std::uint64_t quantized =
+        clamped >= 9.2e18 ? ~0ULL : static_cast<std::uint64_t>(clamped);
+    buckets_[bucketFor(quantized)]++;
+    if (count_ == 0) {
+        min_ = clamped;
+        max_ = clamped;
+    } else {
+        min_ = std::min(min_, clamped);
+        max_ = std::max(max_, clamped);
+    }
+    count_++;
+    sum_ += clamped;
+}
+
+double
+LatencyHistogram::percentileNs(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double clamped_p = std::clamp(p, 0.0, 100.0);
+    const double target = clamped_p / 100.0 * static_cast<double>(count_);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        const double before = static_cast<double>(cumulative);
+        cumulative += buckets_[i];
+        if (static_cast<double>(cumulative) >= target) {
+            double lo = 0.0, hi = 0.0;
+            bucketBounds(i, &lo, &hi);
+            const double fraction =
+                buckets_[i] ? (target - before) /
+                                  static_cast<double>(buckets_[i])
+                            : 0.0;
+            const double value =
+                lo + std::clamp(fraction, 0.0, 1.0) * (hi - lo);
+            // Never report beyond the true extremes.
+            return std::clamp(value, min_, max_);
+        }
+    }
+    return max_;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (std::size_t i = 0; i < kNumBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+LatencyHistogram::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+} // namespace tpp

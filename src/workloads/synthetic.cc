@@ -9,7 +9,10 @@
 namespace tpp {
 
 SyntheticWorkload::SyntheticWorkload(WorkloadProfile profile)
-    : profile_(std::move(profile)), rng_(profile_.seed)
+    : profile_(std::move(profile)),
+      think_(profile_.thinkTimePerOpNs, profile_.loadRampSeconds,
+             profile_.loadRampStart),
+      rng_(profile_.seed)
 {
     if (profile_.regions.empty())
         tpp_fatal("synthetic workload needs at least one region");
@@ -248,6 +251,12 @@ SyntheticWorkload::maintainChurn(Kernel &kernel, Tick now)
 BatchResult
 SyntheticWorkload::runBatch(Kernel &kernel)
 {
+    return runOps(kernel, profile_.opsPerBatch);
+}
+
+BatchResult
+SyntheticWorkload::runOps(Kernel &kernel, std::uint64_t ops)
+{
     BatchResult result;
     const Tick now = kernel.eventQueue().now();
 
@@ -263,19 +272,9 @@ SyntheticWorkload::runBatch(Kernel &kernel)
     duration += maintainChurn(kernel, now);
     duration += maintainTransients(kernel, now, result);
 
-    // Offered-load ramp: lighter load means more think time per op.
-    double load = 1.0;
-    if (profile_.loadRampSeconds > 0.0) {
-        const double elapsed =
-            static_cast<double>(now) / static_cast<double>(kSecond);
-        const double progress =
-            std::min(1.0, elapsed / profile_.loadRampSeconds);
-        load = profile_.loadRampStart +
-               (1.0 - profile_.loadRampStart) * progress;
-    }
-    const double think = profile_.thinkTimePerOpNs / load;
+    const double think = think_.perOpNs(now);
 
-    for (std::uint64_t op = 0; op < profile_.opsPerBatch; ++op) {
+    for (std::uint64_t op = 0; op < ops; ++op) {
         duration += think;
         for (std::uint32_t a = 0; a < profile_.accessesPerOp; ++a) {
             // Pick a region by access weight.
@@ -294,7 +293,7 @@ SyntheticWorkload::runBatch(Kernel &kernel)
             duration += issueAccess(kernel, vpn, kind, result);
         }
     }
-    result.ops = profile_.opsPerBatch;
+    result.ops = ops;
     result.durationNs = std::max(duration, 1.0);
     return result;
 }

@@ -24,6 +24,7 @@
 #include "sim/distributions.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
+#include "workloads/driver.hh"
 #include "workloads/workload.hh"
 
 namespace tpp {
@@ -128,6 +129,7 @@ class SyntheticWorkload : public Workload
 
     void init(Kernel &kernel) override;
     BatchResult runBatch(Kernel &kernel) override;
+    BatchResult runOps(Kernel &kernel, std::uint64_t ops) override;
 
     /** @return true once the sequential warm-up phase has finished. */
     bool
@@ -168,6 +170,7 @@ class SyntheticWorkload : public Workload
     double maintainChurn(Kernel &kernel, Tick now);
 
     WorkloadProfile profile_;
+    ThinkTimeModel think_;
     Rng rng_;
     Asid asid_ = 0;
     bool inited_ = false;

@@ -9,7 +9,7 @@ TraceWorkload::TraceWorkload(std::uint64_t region_pages,
                              std::vector<TraceEntry> trace, PageType type,
                              std::uint64_t batch, double think_ns)
     : regionPages_(region_pages), trace_(std::move(trace)), type_(type),
-      batch_(batch), thinkNs_(think_ns)
+      batch_(batch), think_(think_ns)
 {
     if (regionPages_ == 0)
         tpp_fatal("trace workload needs a non-empty region");
@@ -29,16 +29,23 @@ TraceWorkload::init(Kernel &kernel)
 BatchResult
 TraceWorkload::runBatch(Kernel &kernel)
 {
+    return runOps(kernel, batch_);
+}
+
+BatchResult
+TraceWorkload::runOps(Kernel &kernel, std::uint64_t ops)
+{
     BatchResult result;
+    const double think = think_.perOpNs(kernel.eventQueue().now());
     double duration = 0.0;
     std::uint64_t replayed = 0;
-    while (cursor_ < trace_.size() && replayed < batch_) {
+    while (cursor_ < trace_.size() && replayed < ops) {
         const TraceEntry &e = trace_[cursor_++];
         const AccessResult res =
             kernel.access(asid_, base_ + e.pageIndex, e.kind, taskNode_);
         result.accesses++;
         result.memLatencyNs += res.latencyNs;
-        duration += thinkNs_ + res.latencyNs;
+        duration += think + res.latencyNs;
         replayed++;
         if (observer_) {
             observer_(AccessRecord{asid_, base_ + e.pageIndex, e.kind,

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/types.hh"
+#include "workloads/driver.hh"
 #include "workloads/workload.hh"
 
 namespace tpp {
@@ -43,6 +44,7 @@ class TraceWorkload : public Workload
 
     void init(Kernel &kernel) override;
     BatchResult runBatch(Kernel &kernel) override;
+    BatchResult runOps(Kernel &kernel, std::uint64_t ops) override;
     bool done() const override { return cursor_ >= trace_.size(); }
 
     Asid asid() const { return asid_; }
@@ -53,7 +55,7 @@ class TraceWorkload : public Workload
     std::vector<TraceEntry> trace_;
     PageType type_;
     std::uint64_t batch_;
-    double thinkNs_;
+    ThinkTimeModel think_;
 
     Asid asid_ = 0;
     Vpn base_ = 0;

@@ -65,6 +65,19 @@ class Workload
     /** Execute one batch of operations. */
     virtual BatchResult runBatch(Kernel &kernel) = 0;
 
+    /**
+     * Execute exactly `ops` application operations (open-loop service).
+     * The default falls back to runBatch() for workloads that cannot
+     * size a batch on demand; real workloads override it so the driver
+     * can serve precisely the requests that have arrived.
+     */
+    virtual BatchResult
+    runOps(Kernel &kernel, std::uint64_t ops)
+    {
+        (void)ops;
+        return runBatch(kernel);
+    }
+
     /** @return true when the workload has nothing left to run. */
     virtual bool done() const { return false; }
 

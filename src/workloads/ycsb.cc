@@ -47,7 +47,8 @@ YcsbConfig::workloadD(std::uint64_t record_pages)
     return cfg;
 }
 
-YcsbWorkload::YcsbWorkload(YcsbConfig cfg) : cfg_(cfg), rng_(cfg.seed)
+YcsbWorkload::YcsbWorkload(YcsbConfig cfg)
+    : cfg_(cfg), think_(cfg.thinkTimePerOpNs), rng_(cfg.seed)
 {
     if (cfg_.recordPages == 0)
         tpp_fatal("ycsb: empty keyspace");
@@ -97,10 +98,17 @@ YcsbWorkload::sampleKey()
 BatchResult
 YcsbWorkload::runBatch(Kernel &kernel)
 {
+    return runOps(kernel, cfg_.opsPerBatch);
+}
+
+BatchResult
+YcsbWorkload::runOps(Kernel &kernel, std::uint64_t ops)
+{
     BatchResult result;
+    const double think = think_.perOpNs(kernel.eventQueue().now());
     double duration = 0.0;
-    for (std::uint64_t op = 0; op < cfg_.opsPerBatch; ++op) {
-        duration += cfg_.thinkTimePerOpNs;
+    for (std::uint64_t op = 0; op < ops; ++op) {
+        duration += think;
         const double roll = rng_.nextDouble();
         AccessKind kind = AccessKind::Load;
         Vpn vpn;
@@ -131,7 +139,7 @@ YcsbWorkload::runBatch(Kernel &kernel)
             }
         }
     }
-    result.ops = cfg_.opsPerBatch;
+    result.ops = ops;
     result.durationNs = std::max(duration, 1.0);
     return result;
 }

@@ -18,6 +18,7 @@
 
 #include "sim/distributions.hh"
 #include "sim/rng.hh"
+#include "workloads/driver.hh"
 #include "workloads/workload.hh"
 
 namespace tpp {
@@ -60,6 +61,7 @@ class YcsbWorkload : public Workload
 
     void init(Kernel &kernel) override;
     BatchResult runBatch(Kernel &kernel) override;
+    BatchResult runOps(Kernel &kernel, std::uint64_t ops) override;
 
     Asid asid() const { return asid_; }
     std::uint64_t populatedRecords() const { return populated_; }
@@ -68,6 +70,7 @@ class YcsbWorkload : public Workload
     Vpn sampleKey();
 
     YcsbConfig cfg_;
+    ThinkTimeModel think_;
     Rng rng_;
     Asid asid_ = 0;
     Vpn base_ = 0;

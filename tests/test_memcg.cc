@@ -317,31 +317,49 @@ TEST(TenantSpec, ParsesFullGrammar)
     EXPECT_DOUBLE_EQ(tenants[0].lowFraction, 0.6);
     EXPECT_EQ(tenants[0].wssPages, 65536u);
     EXPECT_EQ(tenants[0].placement, "none");
+    EXPECT_FALSE(tenants[0].openLoop.enabled());
     EXPECT_EQ(tenants[1].workload, "churn");
     EXPECT_DOUBLE_EQ(tenants[1].budgetMBps, 50.0);
     EXPECT_EQ(tenants[1].placement, "cxl_only");
+}
+
+TEST(TenantSpec, ParsesOpenLoopKeys)
+{
+    const auto tenants = parseTenantsSpec(
+        "cache1:qps=50000:arrival=bursty:slo=150;churn");
+    ASSERT_EQ(tenants.size(), 2u);
+    EXPECT_TRUE(tenants[0].openLoop.enabled());
+    EXPECT_DOUBLE_EQ(tenants[0].openLoop.qps, 50000.0);
+    EXPECT_EQ(tenants[0].openLoop.arrival, "bursty");
+    EXPECT_DOUBLE_EQ(tenants[0].openLoop.sloP99Us, 150.0);
+    EXPECT_FALSE(tenants[1].openLoop.enabled());
 }
 
 TEST(TenantSpecDeathTest, RejectsHostileValues)
 {
     setLogVerbose(false);
     EXPECT_DEATH(parseTenantsSpec(""), "names no tenants");
-    EXPECT_DEATH(parseTenantsSpec("web;;churn"), "empty tenant entry");
-    EXPECT_DEATH(parseTenantsSpec(":low=0.5"), "no workload name");
+    EXPECT_DEATH(parseTenantsSpec("web;;churn"), "empty entry");
+    EXPECT_DEATH(parseTenantsSpec(":low=0.5"), "no leading name");
     EXPECT_DEATH(parseTenantsSpec("web:low"), "key=value");
     EXPECT_DEATH(parseTenantsSpec("web:color=red"),
-                 "unknown tenant option");
+                 "unknown key 'color'");
     // The sysctl lessons, applied to the spec parser: no NaN floors,
     // no negative working sets wrapping through strtoull.
     EXPECT_DEATH(parseTenantsSpec("web:low=nan"), "out of \\[0, 1\\]");
     EXPECT_DEATH(parseTenantsSpec("web:low=1.5"), "out of \\[0, 1\\]");
     EXPECT_DEATH(parseTenantsSpec("web:low=-0.1"), "out of \\[0, 1\\]");
-    EXPECT_DEATH(parseTenantsSpec("web:wss=-1"), "bad tenant wss");
-    EXPECT_DEATH(parseTenantsSpec("web:wss=12x"), "bad tenant wss");
-    EXPECT_DEATH(parseTenantsSpec("web:budget=inf"),
-                 "finite and >= 0");
+    EXPECT_DEATH(parseTenantsSpec("web:wss=-1"), "unsigned integer");
+    EXPECT_DEATH(parseTenantsSpec("web:wss=12x"), "unsigned integer");
+    EXPECT_DEATH(parseTenantsSpec("web:budget=inf"), "out of \\[0,");
     EXPECT_DEATH(parseTenantsSpec("web:place=middle"),
                  "none, local_only");
+    // The diagnostic quotes the offending token.
+    EXPECT_DEATH(parseTenantsSpec("web:qps=-5"), "at 'qps=-5'");
+    EXPECT_DEATH(parseTenantsSpec("web:arrival=fractal"),
+                 "poisson, bursty, diurnal");
+    EXPECT_DEATH(parseTenantsSpec("web:low=0.5:low=0.6"),
+                 "duplicate key 'low'");
 }
 
 // ---- multi-tenant harness end to end --------------------------------

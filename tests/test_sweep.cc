@@ -315,6 +315,59 @@ TEST(Sweep, CanonicalKeySeparatesTenantConfigs)
     EXPECT_TRUE(allLocalTwin(copy).tenants.empty());
 }
 
+TEST(Sweep, CanonicalKeySeparatesOpenLoopConfigs)
+{
+    const ExperimentConfig cfg = smallConfig("web", "tpp", "1:4");
+    ExperimentConfig copy = cfg;
+    copy.openLoop.qps = 1e5;
+    EXPECT_NE(canonicalKey(cfg), canonicalKey(copy));
+
+    ExperimentConfig other = copy;
+    other.openLoop.arrival = "bursty";
+    EXPECT_NE(canonicalKey(copy), canonicalKey(other));
+
+    other = copy;
+    other.openLoop.sloP99Us = 500.0;
+    EXPECT_NE(canonicalKey(copy), canonicalKey(other));
+
+    // A tenant's qps feeds the key too.
+    ExperimentConfig tenanted = cfg;
+    TenantSpec tenant;
+    tenant.workload = "web";
+    tenanted.tenants.push_back(tenant);
+    ExperimentConfig tenanted_ol = tenanted;
+    tenanted_ol.tenants[0].openLoop.qps = 1e5;
+    EXPECT_NE(canonicalKey(tenanted), canonicalKey(tenanted_ol));
+
+    // The all-local twin is closed-loop: open-loop shape must not
+    // split the shared baseline cache entry.
+    EXPECT_EQ(canonicalKey(allLocalTwin(cfg)),
+              canonicalKey(allLocalTwin(copy)));
+}
+
+TEST(Sweep, RejectsOneBadConfigAndRunsTheRest)
+{
+    // One config in the batch is malformed (tenant wss oversubscribes
+    // the machine): the sweep must fail *that* config with a
+    // diagnostic and still run the other one.
+    ExperimentConfig good = smallConfig("web", "linux", "1:1");
+    ExperimentConfig bad = smallConfig("web", "linux", "1:1");
+    bad.tenants = parseTenantsSpec("web:wss=4000;dwh:wss=4000");
+
+    SweepOptions opts;
+    opts.jobs = 1;
+    const std::vector<ExperimentResult> results =
+        SweepRunner(opts).run({good, bad});
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_FALSE(results[0].failed());
+    EXPECT_GT(results[0].throughput, 0.0);
+    ASSERT_TRUE(results[1].failed());
+    EXPECT_NE(results[1].error.find("wss"), std::string::npos)
+        << results[1].error;
+    EXPECT_EQ(results[1].throughput, 0.0);
+}
+
 TEST(Export, CsvQuotesHostileFields)
 {
     EXPECT_EQ(csvField("plain"), "plain");
