@@ -20,6 +20,12 @@
  *   --qps Q       open-loop offered load in requests/s (0 = closed loop)
  *   --arrival A   arrival process: poisson | bursty | diurnal
  *   --slo US      p99 latency SLO in microseconds (0 = none)
+ *   --shards N    worker threads ticking shard regions in epoch
+ *                 lockstep (harness/shard.hh); 1 = the single-stack
+ *                 engine and bit-identical legacy output
+ *   --shard-regions R  pin the region decomposition independently of
+ *                 --shards (0 = match --shards); results depend on R
+ *                 only, never on the worker count
  *   --verbose     enable inform()/warn() logging + sweep progress
  *   PAGES         bare positional working-set size (backward compat)
  *
@@ -77,6 +83,10 @@ struct BenchOptions {
     std::vector<std::pair<std::string, std::string>> sysctls;
     /** Open-loop traffic (--qps/--arrival/--slo); qps 0 = closed. */
     OpenLoopSpec openLoop;
+    /** Shard workers (--shards); 1 = legacy single-stack engine. */
+    std::uint32_t shards = 1;
+    /** Region decomposition (--shard-regions); 0 = match shards. */
+    std::uint32_t shardRegions = 0;
 };
 
 /** Exit status for malformed spec-valued flags (vs. 1 for fatals). */
@@ -119,8 +129,9 @@ printUsage(const char *argv0)
                 "       %*s [--csv PATH] [--trace] [--trace-out PATH]\n"
                 "       %*s [--sample-ms N] [--tenants SPEC] [--verbose]\n"
                 "       %*s [--sysctl NAME=VALUE] [--qps QPS]\n"
-                "       %*s [--arrival poisson|bursty|diurnal] [--slo US]\n",
-                argv0, pad, "", pad, "", pad, "", pad, "");
+                "       %*s [--arrival poisson|bursty|diurnal] [--slo US]\n"
+                "       %*s [--shards N] [--shard-regions R]\n",
+                argv0, pad, "", pad, "", pad, "", pad, "", pad, "");
 }
 
 /**
@@ -178,6 +189,12 @@ parseBenchArgs(int argc, char **argv)
         } else if (arg == "--slo") {
             opt.openLoop.sloP99Us =
                 specValueOrDie(parseSpecDouble(next(), 0.0, 1e9));
+        } else if (arg == "--shards") {
+            opt.shards = static_cast<std::uint32_t>(
+                parseCount("--shards", next()));
+        } else if (arg == "--shard-regions") {
+            opt.shardRegions = static_cast<std::uint32_t>(
+                parseCount("--shard-regions", next()));
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -220,6 +237,17 @@ makeConfig(const BenchOptions &opt)
         } else {
             cfg.openLoop = opt.openLoop;
         }
+    }
+    cfg.shards = opt.shards;
+    cfg.shardRegions = opt.shardRegions;
+    // Reject bad shard geometry (and any other bad spec the flags
+    // assembled) here, with the spec-flag exit status, instead of
+    // fataling mid-run: scripts can tell "bad invocation" from a
+    // simulator failure.
+    if (SpecResult<void> valid = cfg.validate(); !valid) {
+        std::fprintf(stderr, "error: %s\n",
+                     valid.error().render().c_str());
+        std::exit(kBadSpecExit);
     }
     return cfg;
 }

@@ -4,10 +4,23 @@
  * path, fault path, allocator, LRU surgery, migration, reclaim scan,
  * and the simulation primitives they sit on. These bound the simulator's
  * own overheads and document the relative costs the policies pay.
+ *
+ * The BM_E2E* benchmarks run whole fault+reclaim / promote passes over
+ * a configurable footprint (TPP_E2E_PAGES, default 2^18 pages) and
+ * report pages/sec rate counters; together with the pages_per_sec
+ * counters on the fault, reclaim-scan and LRU-surgery benchmarks they
+ * feed the CI perf gate:
+ *
+ *     micro_mm_ops --benchmark_format=json > out.json
+ *     tools/check_perf.py out.json bench/perf_baseline.json
+ *
+ * (fail on >25% regression, warn on >10%; see README "Performance &
+ * perf gate").
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
 
 #include "core/tpp_policy.hh"
@@ -104,6 +117,9 @@ BM_MinorFault(benchmark::State &state)
         benchmark::DoNotOptimize(
             m.kernel.access(m.asid, base + v++, AccessKind::Store, 0));
     }
+    state.counters["pages_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_MinorFault);
 
@@ -132,6 +148,9 @@ BM_LruActivateDeactivate(benchmark::State &state)
         lru.activate(pfn);
         lru.deactivate(pfn);
     }
+    state.counters["lru_ops_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 2.0,
+        benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_LruActivateDeactivate);
 
@@ -167,6 +186,9 @@ BM_ReclaimScan(benchmark::State &state)
         state.ResumeTiming();
         benchmark::DoNotOptimize(m.kernel.directReclaim(0, 64));
     }
+    state.counters["pages_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 64.0,
+        benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ReclaimScan)->Unit(benchmark::kMicrosecond);
 
@@ -182,6 +204,108 @@ BM_NumaSample(benchmark::State &state)
         benchmark::DoNotOptimize(m.kernel.sampleNode(local, 64));
 }
 BENCHMARK(BM_NumaSample);
+
+// ---------------------------------------------------------------------
+// End-to-end throughput: whole passes over a large footprint under TPP,
+// exercising fault, watermark reclaim/demotion, NUMA sampling and
+// promotion together — the paths the SoA frame table and the sharded
+// engine were built for. The footprint defaults to 2^18 pages (1 GiB)
+// so CI stays fast; set TPP_E2E_PAGES (e.g. 33554432 for a 32M-page,
+// 128 GiB machine) to reproduce the large-footprint numbers quoted in
+// README "Performance & perf gate".
+// ---------------------------------------------------------------------
+
+/** Footprint for the BM_E2E* passes, in pages. */
+std::uint64_t
+e2ePages()
+{
+    if (const char *env = std::getenv("TPP_E2E_PAGES")) {
+        char *end = nullptr;
+        const unsigned long long pages = std::strtoull(env, &end, 0);
+        if (end != env && *end == '\0' && pages > 0)
+            return pages;
+    }
+    return 1ULL << 18;
+}
+
+/** A 2:1 tiered machine with 3% headroom over `wss`, running TPP. */
+struct E2EMachine {
+    std::uint64_t wss;
+    EventQueue eq;
+    MemorySystem mem;
+    Kernel kernel;
+    Asid asid;
+    Vpn base;
+
+    explicit E2EMachine(std::uint64_t wss_pages)
+        : wss(wss_pages),
+          mem(TopologyBuilder::cxlSystem(
+              static_cast<std::uint64_t>(
+                  static_cast<double>(wss_pages) * 1.03 * (2.0 / 3.0)),
+              static_cast<std::uint64_t>(
+                  static_cast<double>(wss_pages) * 1.03) -
+                  static_cast<std::uint64_t>(static_cast<double>(
+                      wss_pages) * 1.03 * (2.0 / 3.0)))),
+          kernel(mem, eq, std::make_unique<TppPolicy>()),
+          asid(kernel.createProcess()),
+          base(kernel.mmap(asid, wss_pages, PageType::Anon, "bench"))
+    {
+        setLogVerbose(false);
+        kernel.start();
+    }
+
+    /** Touch every page once, stepping the clock so daemons run. */
+    void
+    sweep(AccessKind kind)
+    {
+        for (Vpn v = 0; v < wss; ++v) {
+            kernel.access(asid, base + v, kind, 0);
+            eq.run(eq.now() + 200);
+        }
+    }
+};
+
+void
+BM_E2EFaultReclaim(benchmark::State &state)
+{
+    // Cold pass: every access faults, and the local tier fills at 2/3
+    // of the footprint, so the back third of the sweep runs against
+    // active watermark reclaim and demotion.
+    const std::uint64_t pages = e2ePages();
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto m = std::make_unique<E2EMachine>(pages);
+        state.ResumeTiming();
+        m->sweep(AccessKind::Store);
+    }
+    state.counters["pages_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(pages),
+        benchmark::Counter::kIsRate);
+    state.counters["footprint_pages"] = benchmark::Counter(
+        static_cast<double>(pages));
+}
+BENCHMARK(BM_E2EFaultReclaim)->Unit(benchmark::kMillisecond);
+
+void
+BM_E2EPromoteChurn(benchmark::State &state)
+{
+    // Steady state: the machine is warm, so each pass re-touches every
+    // resident page — NUMA hint faults, promotions of CXL pages the
+    // sweep keeps hitting, and the demotions they displace.
+    const std::uint64_t pages = e2ePages();
+    E2EMachine m(pages);
+    m.sweep(AccessKind::Store);
+    for (auto _ : state)
+        m.sweep(AccessKind::Load);
+    state.counters["pages_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(pages),
+        benchmark::Counter::kIsRate);
+    state.counters["footprint_pages"] = benchmark::Counter(
+        static_cast<double>(pages));
+}
+BENCHMARK(BM_E2EPromoteChurn)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

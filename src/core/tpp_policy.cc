@@ -178,7 +178,7 @@ TppPolicy::onHintFault(Pfn pfn, NodeId task_nid)
 {
     Kernel &k = *kernel_;
     PageFrame &frame = k.mem().frame(pfn);
-    frame.lastHintFault = k.eventQueue().now();
+    k.mem().frameCold(pfn).lastHintFault = k.eventQueue().now();
 
     if (effectiveMode_ == NumaMode::Classic) {
         // Classic AutoNUMA: promote any remote page towards the
@@ -212,7 +212,8 @@ TppPolicy::onHintFault(Pfn pfn, NodeId task_nid)
         k.vmstat().inc(Vm::PgPromoteFailRateLimit);
         k.trace().emitPage(TraceEvent::PromoteFailRateLimit,
                            k.eventQueue().now(), frame.nid, frame.type,
-                           pfn, frame.ownerAsid, frame.ownerVpn);
+                           pfn, k.mem().frameCold(pfn).ownerAsid,
+                           k.mem().frameCold(pfn).ownerVpn);
         return 0.0;
     }
     k.notePromoteCandidate(frame);

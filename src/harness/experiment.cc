@@ -6,8 +6,10 @@
 #include <cstdlib>
 #include <unordered_map>
 
+#include "harness/shard.hh"
 #include "harness/sweep.hh"
 #include "hotness/hotness_policy.hh"
+#include "mem/node.hh"
 #include "mm/kernel.hh"
 #include "mm/policy_registry.hh"
 #include "sim/logging.hh"
@@ -120,6 +122,74 @@ ExperimentConfig::validate() const
         return specError("config measureFrom is after runUntil");
     if (sampleEvery == 0)
         return specError("config sampleEvery must be > 0");
+
+    if (shards == 0)
+        return specError("config shards must be >= 1", "0");
+    const std::uint32_t regions = effectiveShardRegions();
+    const std::uint64_t machine_pages = static_cast<std::uint64_t>(
+        static_cast<double>(wssPages) * capacityHeadroom);
+    if (regions > machine_pages) {
+        return specError("config shards exceed the machine's frame count "
+                         "(local + cxl = " +
+                             std::to_string(machine_pages) + " pages)",
+                         std::to_string(regions));
+    }
+    if (regions > 1) {
+        // Every region must be able to hold its own reclaim ladder: a
+        // region whose local tier is no larger than its high watermark
+        // would spend the whole run in direct reclaim (or fail to build
+        // at all). The proxy below repeats the machine-build math on
+        // the smallest region's share.
+        const std::uint64_t region_wss = wssPages / regions;
+        const std::uint64_t region_total = static_cast<std::uint64_t>(
+            static_cast<double>(region_wss) * capacityHeadroom);
+        const std::uint64_t region_local =
+            allLocal ? region_total
+                     : static_cast<std::uint64_t>(
+                           static_cast<double>(region_total) *
+                           localFraction);
+        const Watermarks wm = Watermarks::forCapacity(
+            std::max<std::uint64_t>(region_local, 1));
+        if (region_local <= wm.high) {
+            return specError(
+                "config shards slice regions smaller than one watermark "
+                "gap (region local tier " +
+                    std::to_string(region_local) +
+                    " pages <= high watermark " + std::to_string(wm.high) +
+                    ")",
+                std::to_string(regions));
+        }
+        if (!tenants.empty()) {
+            return specError("config shards and tenants are mutually "
+                             "exclusive (shard the single-workload path)",
+                             std::to_string(regions));
+        }
+        if (openLoop.enabled()) {
+            return specError("config shards and open-loop traffic are "
+                             "mutually exclusive",
+                             std::to_string(regions));
+        }
+        if (withChameleon) {
+            return specError("config shards and the Chameleon profiler "
+                             "are mutually exclusive",
+                             std::to_string(regions));
+        }
+        if (measureHotness) {
+            return specError("config shards and measureHotness are "
+                             "mutually exclusive",
+                             std::to_string(regions));
+        }
+        if (traceEnabled) {
+            return specError("config shards and tracing are mutually "
+                             "exclusive",
+                             std::to_string(regions));
+        }
+        if (sampleSeries) {
+            return specError("config shards and sampleSeries are "
+                             "mutually exclusive",
+                             std::to_string(regions));
+        }
+    }
 
     const auto check_open_loop =
         [](const OpenLoopSpec &ol,
@@ -552,6 +622,8 @@ runExperiment(const ExperimentConfig &cfg)
 {
     if (const SpecResult<void> valid = cfg.validate(); !valid)
         tpp_fatal("%s", valid.error().render().c_str());
+    if (cfg.effectiveShardRegions() > 1)
+        return runShardedExperiment(cfg);
     if (!cfg.tenants.empty())
         return runTenantExperiment(cfg);
 

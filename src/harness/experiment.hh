@@ -199,14 +199,56 @@ struct ExperimentConfig : PolicyParams {
      * each tenant its own spec there instead.
      */
     OpenLoopSpec openLoop;
+    /**
+     * Address-space sharding (harness/shard.hh): worker threads ticking
+     * shard regions in epoch lockstep. 1 (the default) keeps today's
+     * single-stack engine and bit-identical results. Because regions
+     * are fully isolated between epoch barriers, the thread count only
+     * changes *when* a region computes, never *what*: for a fixed
+     * region decomposition, every shard count produces identical
+     * results (tests/test_shard.cc pins this).
+     */
+    std::uint32_t shards = 1;
+    /**
+     * Number of shard regions the VPN space is partitioned into; 0 (the
+     * default) matches `shards`. Pin this while varying `shards` to
+     * change parallelism without changing the simulated machine.
+     */
+    std::uint32_t shardRegions = 0;
+
+    /** @return the region count the run will actually decompose into. */
+    std::uint32_t
+    effectiveShardRegions() const
+    {
+        return shardRegions ? shardRegions : shards;
+    }
 
     /**
      * Check the config before building a machine for it: capacity and
      * fraction ranges, measurement-window ordering, tenant working-set
-     * budgets and open-loop parameters. runExperiment() fatals on a
-     * failed validation; SweepRunner rejects just the offending config.
+     * budgets, open-loop parameters and shard-region geometry.
+     * runExperiment() fatals on a failed validation; SweepRunner
+     * rejects just the offending config.
      */
     SpecResult<void> validate() const;
+};
+
+/**
+ * Accounting of one sharded run (harness/shard.hh): region/worker
+ * geometry plus what the epoch-boundary synchroniser observed and did.
+ * All-zero (regions == 0) for unsharded runs.
+ */
+struct ShardStats {
+    std::uint32_t regions = 0;  //!< address-space regions simulated
+    std::uint32_t workers = 0;  //!< threads that ticked them
+    std::uint64_t epochs = 0;   //!< epoch barriers crossed
+    /** Region-epochs that ended below the local low watermark. */
+    std::uint64_t regionLowWatermarkEpochs = 0;
+    /** Epochs where at least one region was below its low watermark. */
+    std::uint64_t pressureEpochs = 0;
+    /** MB/s of migration-admission budget moved between regions by the
+     *  epoch synchroniser (cfg.migration.rateLimitMBps > 0). */
+    double rebalancedMBps = 0.0;
 };
 
 /** Everything a figure/table needs from one run. */
@@ -244,6 +286,8 @@ struct ExperimentResult {
     /** Open-loop tail-latency summary (cfg.openLoop / tenant qps);
      *  merged across tenants on the multi-tenant path. */
     OpenLoopResult openLoop;
+    /** Shard-engine accounting (zero for unsharded runs). */
+    ShardStats shard;
     /**
      * Non-empty when the run was rejected without being simulated
      * (SweepRunner::run on a config whose validate() failed). All

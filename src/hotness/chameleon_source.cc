@@ -60,9 +60,9 @@ ChameleonSource::temperature(Pfn pfn) const
 {
     if (!cxlResident(pfn))
         return 0.0;
-    const PageFrame &frame = kernel_->mem().frame(pfn);
+    const PageFrameCold &cold = kernel_->mem().frameCold(pfn);
     const std::uint64_t word =
-        chameleon_->activityWord(frame.ownerAsid, frame.ownerVpn);
+        chameleon_->activityWord(cold.ownerAsid, cold.ownerVpn);
     return score(word, chameleon_->config().bitsPerInterval);
 }
 

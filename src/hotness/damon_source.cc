@@ -41,8 +41,8 @@ DamonSource::temperature(Pfn pfn) const
 {
     if (!cxlResident(pfn))
         return 0.0;
-    const PageFrame &frame = kernel_->mem().frame(pfn);
-    const DamonRegion *region = regionOf(frame.ownerAsid, frame.ownerVpn);
+    const PageFrameCold &cold = kernel_->mem().frameCold(pfn);
+    const DamonRegion *region = regionOf(cold.ownerAsid, cold.ownerVpn);
     return region ? static_cast<double>(region->nrAccesses) : 0.0;
 }
 

@@ -59,7 +59,7 @@ HotnessPolicy::onHintFault(Pfn pfn, NodeId task_nid)
     // happens in batch at the epoch boundary.
     Kernel &k = *kernel_;
     PageFrame &frame = k.mem().frame(pfn);
-    frame.lastHintFault = k.eventQueue().now();
+    k.mem().frameCold(pfn).lastHintFault = k.eventQueue().now();
     if (k.mem().node(frame.nid).cpuLess())
         source_->noteHintFault(pfn, task_nid);
     return 0.0;
@@ -84,7 +84,9 @@ HotnessPolicy::epochTick()
             k.vmstat().inc(Vm::PgPromoteFailRateLimit);
             k.trace().emitPage(TraceEvent::PromoteFailRateLimit,
                                k.eventQueue().now(), frame.nid, frame.type,
-                               page.pfn, frame.ownerAsid, frame.ownerVpn);
+                               page.pfn,
+                               k.mem().frameCold(page.pfn).ownerAsid,
+                               k.mem().frameCold(page.pfn).ownerVpn);
             continue;
         }
         k.notePromoteCandidate(frame);

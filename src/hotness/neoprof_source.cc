@@ -52,10 +52,11 @@ NeoProfSource::evictOne()
     const Pfn victim = lru_.back();
     kernel_->vmstat().inc(Vm::HotnessCounterEvict);
     const PageFrame &frame = kernel_->mem().frame(victim);
+    const PageFrameCold &cold = kernel_->mem().frameCold(victim);
     kernel_->trace().emitPage(TraceEvent::HotnessEvict,
                               kernel_->eventQueue().now(), frame.nid,
-                              frame.type, victim, frame.ownerAsid,
-                              frame.ownerVpn);
+                              frame.type, victim, cold.ownerAsid,
+                              cold.ownerVpn);
     erase(victim);
 }
 

@@ -31,11 +31,19 @@ MemorySystem::MemorySystem(const MemoryConfig &cfg)
             tpp_fatal("distance matrix must be %zu x %zu", n, n);
     }
 
-    // Carve the frame space into per-node ranges.
+    // Carve the frame space into per-node ranges. The arenas are
+    // calloc-backed and every field of both frame structs is designed so
+    // all-zero means "free, never allocated" — construction is O(1) in
+    // touched pages no matter how big the machine is. pfn/nid are
+    // stamped lazily by MemoryNode::takeFree on first handout.
     std::uint64_t total = 0;
     for (const auto &nc : cfg.nodes)
         total += nc.capacityPages;
-    frames_.resize(total);
+    if (total > static_cast<std::uint64_t>(kInvalidPfn))
+        tpp_fatal("MemorySystem: %llu frames exceeds the pfn space",
+                  static_cast<unsigned long long>(total));
+    frames_ = ZeroedArena<PageFrame>(total);
+    cold_ = ZeroedArena<PageFrameCold>(total);
 
     Pfn next = 0;
     nodes_.reserve(n);
@@ -43,12 +51,7 @@ MemorySystem::MemorySystem(const MemoryConfig &cfg)
         const auto &nc = cfg.nodes[i];
         nodes_.emplace_back(static_cast<NodeId>(i), next, nc.capacityPages,
                             nc.profile);
-        for (std::uint64_t p = 0; p < nc.capacityPages; ++p) {
-            PageFrame &f = frames_[next + p];
-            f.pfn = next + static_cast<Pfn>(p);
-            f.nid = static_cast<NodeId>(i);
-            f.flags = PageFrame::FlagFree;
-        }
+        nodes_.back().attachFrames(frames_.data());
         next += static_cast<Pfn>(nc.capacityPages);
         if (nc.profile.cpuLess)
             cxlNodes_.push_back(static_cast<NodeId>(i));
@@ -74,38 +77,6 @@ MemorySystem::MemorySystem(const MemoryConfig &cfg)
                 demotionOrder_[i].push_back(nid);
         }
     }
-}
-
-MemoryNode &
-MemorySystem::node(NodeId nid)
-{
-    if (nid >= nodes_.size())
-        tpp_panic("node id %u out of range", nid);
-    return nodes_[nid];
-}
-
-const MemoryNode &
-MemorySystem::node(NodeId nid) const
-{
-    if (nid >= nodes_.size())
-        tpp_panic("node id %u out of range", nid);
-    return nodes_[nid];
-}
-
-PageFrame &
-MemorySystem::frame(Pfn pfn)
-{
-    if (pfn >= frames_.size())
-        tpp_panic("pfn %u out of range", pfn);
-    return frames_[pfn];
-}
-
-const PageFrame &
-MemorySystem::frame(Pfn pfn) const
-{
-    if (pfn >= frames_.size())
-        tpp_panic("pfn %u out of range", pfn);
-    return frames_[pfn];
 }
 
 std::uint32_t

@@ -19,6 +19,8 @@
 #include "mem/node.hh"
 #include "mem/page.hh"
 #include "mem/swap_device.hh"
+#include "sim/arena.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace tpp {
@@ -51,11 +53,65 @@ class MemorySystem
 
     std::size_t numNodes() const { return nodes_.size(); }
 
-    MemoryNode &node(NodeId nid);
-    const MemoryNode &node(NodeId nid) const;
+    // The frame/node accessors are on every mm hot path (LRU surgery,
+    // scan loops visit them tens of times per fault), so they are
+    // defined inline: a predictable bounds check and an indexed load.
+    MemoryNode &
+    node(NodeId nid)
+    {
+        if (nid >= nodes_.size())
+            tpp_panic("node id %u out of range", nid);
+        return nodes_[nid];
+    }
 
-    PageFrame &frame(Pfn pfn);
-    const PageFrame &frame(Pfn pfn) const;
+    const MemoryNode &
+    node(NodeId nid) const
+    {
+        if (nid >= nodes_.size())
+            tpp_panic("node id %u out of range", nid);
+        return nodes_[nid];
+    }
+
+    PageFrame &
+    frame(Pfn pfn)
+    {
+        if (pfn >= frames_.size())
+            tpp_panic("pfn %u out of range", pfn);
+        return frames_[pfn];
+    }
+
+    const PageFrame &
+    frame(Pfn pfn) const
+    {
+        if (pfn >= frames_.size())
+            tpp_panic("pfn %u out of range", pfn);
+        return frames_[pfn];
+    }
+
+    /** Cold half of the frame table: rmap + telemetry for `pfn`. */
+    PageFrameCold &
+    frameCold(Pfn pfn)
+    {
+        if (pfn >= cold_.size())
+            tpp_panic("pfn %u out of range", pfn);
+        return cold_[pfn];
+    }
+
+    const PageFrameCold &
+    frameCold(Pfn pfn) const
+    {
+        if (pfn >= cold_.size())
+            tpp_panic("pfn %u out of range", pfn);
+        return cold_[pfn];
+    }
+
+    /**
+     * Raw hot-array base for bulk scans (frame-table cursors, LRU link
+     * chasing) that have already validated their pfn range. Stable for
+     * the life of the MemorySystem: the arena never reallocates.
+     */
+    PageFrame *frameData() { return frames_.data(); }
+    const PageFrame *frameData() const { return frames_.data(); }
 
     std::uint64_t totalFrames() const { return frames_.size(); }
 
@@ -90,7 +146,8 @@ class MemorySystem
 
   private:
     std::vector<MemoryNode> nodes_;
-    std::vector<PageFrame> frames_;
+    ZeroedArena<PageFrame> frames_;
+    ZeroedArena<PageFrameCold> cold_;
     std::vector<std::vector<std::uint32_t>> distances_;
     std::vector<NodeId> cpuNodes_;
     std::vector<NodeId> cxlNodes_;

@@ -50,20 +50,30 @@ MemoryNode::MemoryNode(NodeId id, Pfn first_pfn,
 {
     if (capacity_pages == 0)
         tpp_fatal("memory node %u configured with zero capacity", id);
-    freeList_.reserve(capacity_);
-    // Push in reverse so the lowest pfn is handed out first; helps tests
-    // reason about layout.
-    for (std::uint64_t i = capacity_; i-- > 0;)
-        freeList_.push_back(firstPfn_ + static_cast<Pfn>(i));
 }
 
 Pfn
 MemoryNode::takeFree()
 {
-    if (freeList_.empty())
+    // Recycled frames first (LIFO), then the bump cursor ascending from
+    // firstPfn — exactly the order the old pre-materialised free list
+    // produced, so allocation-order-sensitive goldens are unaffected.
+    Pfn pfn;
+    if (!recycled_.empty()) {
+        pfn = recycled_.back();
+        recycled_.pop_back();
+    } else if (bump_ < capacity_) {
+        pfn = firstPfn_ + static_cast<Pfn>(bump_++);
+    } else {
         return kInvalidPfn;
-    Pfn pfn = freeList_.back();
-    freeList_.pop_back();
+    }
+    if (frames_) {
+        // Lazy init: the calloc'ed frame starts all-zero; stamp its
+        // identity the first time it is handed out (idempotent after).
+        PageFrame &f = frames_[pfn];
+        f.pfn = pfn;
+        f.nid = id_;
+    }
     return pfn;
 }
 
@@ -72,9 +82,9 @@ MemoryNode::putFree(Pfn pfn)
 {
     if (!ownsPfn(pfn))
         tpp_panic("putFree: pfn %u does not belong to node %u", pfn, id_);
-    if (freeList_.size() >= capacity_)
+    if (recycled_.size() >= bump_)
         tpp_panic("putFree: node %u free list overflow", id_);
-    freeList_.push_back(pfn);
+    recycled_.push_back(pfn);
 }
 
 void

@@ -63,6 +63,13 @@ struct NodeProfile {
  * The node owns the frame numbers [firstPfn, firstPfn + capacity). The
  * actual PageFrame structs live in the MemorySystem frame table; the
  * node tracks which of its frames are free.
+ *
+ * The free "list" is a bump cursor over the never-yet-allocated tail of
+ * the range plus a LIFO stack of recycled frames, so a fresh node costs
+ * O(1) to set up instead of materialising a capacity-sized vector. The
+ * handout order is identical to the historical behaviour (ascending
+ * from firstPfn initially, most-recently-freed first after that), which
+ * golden-fingerprint tests rely on.
  */
 class MemoryNode
 {
@@ -76,8 +83,21 @@ class MemoryNode
 
     Pfn firstPfn() const { return firstPfn_; }
     std::uint64_t capacity() const { return capacity_; }
-    std::uint64_t freePages() const { return freeList_.size(); }
-    std::uint64_t usedPages() const { return capacity_ - freeList_.size(); }
+
+    std::uint64_t
+    freePages() const
+    {
+        return capacity_ - bump_ + recycled_.size();
+    }
+
+    std::uint64_t usedPages() const { return bump_ - recycled_.size(); }
+
+    /**
+     * Point the node at the global frame table so takeFree can stamp
+     * pfn/nid lazily on first handout (the calloc'ed table starts
+     * all-zero). Called once by MemorySystem during construction.
+     */
+    void attachFrames(PageFrame *frames) { frames_ = frames; }
 
     bool
     ownsPfn(Pfn pfn) const
@@ -124,7 +144,13 @@ class MemoryNode
     std::uint64_t capacity_;
     NodeProfile profile_;
     Watermarks watermarks_;
-    std::vector<Pfn> freeList_;
+    /** Count of frames ever handed out: [firstPfn, firstPfn+bump_). */
+    std::uint64_t bump_ = 0;
+    /** Freed frames, popped LIFO before the bump cursor advances. */
+    std::vector<Pfn> recycled_;
+    /** Global frame table, for lazy pfn/nid stamping. May be null in
+     *  unit tests that exercise the inventory alone. */
+    PageFrame *frames_ = nullptr;
 
     // Bandwidth EWMA state.
     mutable Tick trafficWindowStart_ = 0;

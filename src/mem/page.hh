@@ -1,11 +1,21 @@
 /**
  * @file
- * Physical page-frame metadata.
+ * Physical page-frame metadata, split hot/cold struct-of-arrays style.
  *
- * One PageFrame exists per simulated physical page, held in the global
- * FrameTable owned by MemorySystem. LRU membership is intrusive (prev /
- * next frame numbers) so list surgery is allocation-free, as in the
- * kernel's struct page.
+ * One PageFrame (hot) and one PageFrameCold exist per simulated
+ * physical page, held in two parallel arenas owned by MemorySystem.
+ * The hot struct is exactly 16 bytes — four frames per cache line — and
+ * carries only what the LRU scan and reclaim hot paths touch: intrusive
+ * list links (prev / next frame numbers, so list surgery is
+ * allocation-free, as in the kernel's struct page), flags, node id and
+ * page type. Telemetry and reverse-map fields that only matter once a
+ * page is actually chosen for migration or eviction live in the cold
+ * array.
+ *
+ * Both structs are designed so the all-zero bit pattern is the valid
+ * "free, never allocated" state (see ZeroedArena): flags == 0 means
+ * free, and pfn/nid are initialised lazily the first time a node hands
+ * the frame out.
  */
 
 #ifndef TPP_MEM_PAGE_HH
@@ -55,13 +65,16 @@ lruPageType(LruListId id)
 }
 
 /**
- * Per-frame metadata mirroring the kernel's struct page fields that the
- * paper's mechanisms read or write.
+ * Hot per-frame metadata: everything the LRU/reclaim scan loops read.
+ * Kept to exactly 16 bytes so a frame-table walk streams four frames
+ * per cache line.
  */
 struct PageFrame {
     /** Frame flag bits (subset of the kernel's page flags). */
     enum Flag : std::uint8_t {
-        FlagFree = 1 << 0,        //!< on a node free list
+        /** Set while the frame is handed out; zero flags == free, so a
+         *  calloc'ed frame table starts with every frame free. */
+        FlagAllocated = 1 << 0,
         FlagReferenced = 1 << 1,  //!< PTE accessed bit seen since last scan
         FlagDirty = 1 << 2,       //!< must be written back / swapped out
         FlagDemoted = 1 << 3,     //!< PG_demoted: TPP ping-pong tracking
@@ -70,53 +83,82 @@ struct PageFrame {
         /** Transactional copy in flight (Nomad-style two-phase
          *  migration): an access while set aborts the migration. */
         FlagUnderMigration = 1 << 6,
+        /**
+         * Mirror of the PTE's prot_none bit. The NUMA-hint scan skips
+         * already-armed frames on this 16-byte record alone instead of
+         * chasing the reverse map into the page table; every site that
+         * flips Pte::BitProtNone keeps the mirror in sync.
+         */
+        FlagHintPending = 1 << 7,
     };
 
-    Pfn pfn = kInvalidPfn;
-    NodeId nid = kInvalidNode;
+    Pfn pfn = 0;
+    Pfn lruPrev = 0;
+    Pfn lruNext = 0;
+    NodeId nid = 0;
     PageType type = PageType::Anon;
-
-    /**
-     * Reverse map. The simulator models one mapping per frame (no shared
-     * pages), which is all TPP's decision logic needs.
-     */
-    Asid ownerAsid = 0;
-    Vpn ownerVpn = 0;
-
-    std::uint8_t flags = FlagFree;
+    std::uint8_t flags = 0;
     LruListId lru = LruListId::None;
-    Pfn lruPrev = kInvalidPfn;
-    Pfn lruNext = kInvalidPfn;
 
-    /** Tick of the NUMA hint fault that last examined this frame. */
-    Tick lastHintFault = 0;
-    /** Hint faults observed recently; policies use it for hysteresis. */
-    std::uint8_t hintRefCount = 0;
-    /** Allocation timestamp, for lifetime statistics. */
-    Tick allocatedAt = 0;
-
-    bool isFree() const { return flags & FlagFree; }
+    bool isFree() const { return !(flags & FlagAllocated); }
     bool referenced() const { return flags & FlagReferenced; }
     bool dirty() const { return flags & FlagDirty; }
     bool demoted() const { return flags & FlagDemoted; }
     bool isolated() const { return flags & FlagIsolated; }
     bool underMigration() const { return flags & FlagUnderMigration; }
+    bool hintPending() const { return flags & FlagHintPending; }
 
     void setFlag(Flag f) { flags |= f; }
     void clearFlag(Flag f) { flags &= static_cast<std::uint8_t>(~f); }
 
-    /** Reset all policy state when the frame returns to the free list. */
+    /** Mark the frame handed out (allocation / migration landing). */
+    void markAllocated() { flags |= FlagAllocated; }
+
+    /**
+     * Reset all hot policy state when the frame returns to the free
+     * list. pfn/nid survive — they are a physical property of the
+     * frame once initialised. The cold half is reset separately.
+     */
     void
     resetForFree()
     {
-        flags = FlagFree;
+        flags = 0;
         lru = LruListId::None;
-        lruPrev = lruNext = kInvalidPfn;
-        ownerAsid = 0;
+        lruPrev = lruNext = 0;
+    }
+};
+
+static_assert(sizeof(PageFrame) == 16,
+              "PageFrame is the frame-scan hot path: keep it 16 bytes");
+
+/**
+ * Cold per-frame metadata: reverse map and telemetry, touched only
+ * when a page faults, migrates, or is sampled for hotness — never by
+ * the bulk LRU walk.
+ */
+struct PageFrameCold {
+    /**
+     * Reverse map. The simulator models one mapping per frame (no
+     * shared pages), which is all TPP's decision logic needs.
+     */
+    Vpn ownerVpn = 0;
+    /** Tick of the NUMA hint fault that last examined this frame. */
+    Tick lastHintFault = 0;
+    /** Allocation timestamp, for lifetime statistics. */
+    Tick allocatedAt = 0;
+    Asid ownerAsid = 0;
+    /** Hint faults observed recently; policies use it for hysteresis. */
+    std::uint8_t hintRefCount = 0;
+
+    /** Reset when the frame returns to the free list. */
+    void
+    resetForFree()
+    {
         ownerVpn = 0;
         lastHintFault = 0;
-        hintRefCount = 0;
         allocatedAt = 0;
+        ownerAsid = 0;
+        hintRefCount = 0;
     }
 };
 

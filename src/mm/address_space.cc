@@ -4,6 +4,41 @@
 
 namespace tpp {
 
+void
+AddressSpace::ensureChunks(std::uint64_t limit)
+{
+    const std::uint64_t needed = (limit + kChunkPages - 1) >> kChunkBits;
+    while (chunks_.size() < needed)
+        chunks_.emplace_back(kChunkPages);
+}
+
+const Vma *
+AddressSpace::vmaOf(Vpn vpn) const
+{
+    if (lastVma_ < vmas_.size() && vmas_[lastVma_].contains(vpn))
+        return &vmas_[lastVma_];
+    for (std::size_t i = 0; i < vmas_.size(); ++i) {
+        if (vmas_[i].contains(vpn)) {
+            lastVma_ = i;
+            return &vmas_[i];
+        }
+    }
+    return nullptr;
+}
+
+void
+AddressSpace::stampFromVma(Vpn vpn, Pte &entry)
+{
+    const Vma *vma = vmaOf(vpn);
+    if (!vma)
+        tpp_panic("materialize of unmapped vpn %llu in asid %u",
+                  static_cast<unsigned long long>(vpn), asid_);
+    entry.type = vma->type;
+    entry.set(Pte::BitMapped);
+    if (vma->diskBacked)
+        entry.set(Pte::BitDiskBacked);
+}
+
 Vpn
 AddressSpace::mmap(std::uint64_t pages, PageType type, std::string label,
                    bool disk_backed)
@@ -18,27 +53,23 @@ AddressSpace::mmap(std::uint64_t pages, PageType type, std::string label,
         start = pool->second.back();
         pool->second.pop_back();
     } else {
-        start = table_.size();
-        table_.resize(table_.size() + pages);
+        start = tableSize_;
+        tableSize_ += pages;
+        ensureChunks(tableSize_);
     }
-    for (std::uint64_t i = 0; i < pages; ++i) {
-        Pte &entry = table_[start + i];
-        entry.type = type;
-        entry.set(Pte::BitMapped);
-        if (disk_backed)
-            entry.set(Pte::BitDiskBacked);
-    }
-    vmas_.push_back(Vma{start, pages, type, std::move(label)});
+    // No per-PTE work: region attributes live on the VMA and are
+    // stamped into each PTE lazily at first fault.
+    vmas_.push_back(Vma{start, pages, type, disk_backed, std::move(label)});
     return start;
 }
 
 void
 AddressSpace::munmap(Vpn start, std::uint64_t pages)
 {
-    if (start + pages > table_.size())
+    if (start + pages > tableSize_)
         tpp_panic("munmap beyond table end");
     for (std::uint64_t i = 0; i < pages; ++i) {
-        Pte &entry = table_[start + i];
+        Pte &entry = pte(start + i);
         if (entry.present())
             tpp_panic("munmap of a still-present PTE (kernel must unmap "
                       "frames first)");
@@ -50,6 +81,7 @@ AddressSpace::munmap(Vpn start, std::uint64_t pages)
     for (auto it = vmas_.begin(); it != vmas_.end(); ++it) {
         if (it->start == start && it->pages == pages) {
             vmas_.erase(it);
+            lastVma_ = 0;
             freeRanges_[pages].push_back(start);
             return;
         }

@@ -1,11 +1,17 @@
 /**
  * @file
- * Per-process virtual memory: VMA regions and a flat page table.
+ * Per-process virtual memory: VMA regions and a chunked page table.
  *
- * Virtual page numbers are handed out by a bump allocator, so the page
- * table can be a dense vector and the hot access path is a single array
- * index. Each PTE carries the present bit, the NUMA-hint (prot_none)
- * bit used for hint-fault sampling, and the swap slot when paged out.
+ * Virtual page numbers are handed out by a bump allocator. The page
+ * table is an array of fixed-size chunks, each calloc-backed, so mmap
+ * of an N-page region is O(N / chunk) — it never touches individual
+ * PTEs and never copies the table to grow it. The all-zero bit pattern
+ * is a valid "unmapped, never touched" PTE; per-PTE region attributes
+ * (type, disk backing, the mapped bit) are stamped lazily from the
+ * owning VMA the first time the page faults.
+ *
+ * Each PTE carries the present bit, the NUMA-hint (prot_none) bit used
+ * for hint-fault sampling, and the swap slot when paged out.
  */
 
 #ifndef TPP_MM_ADDRESS_SPACE_HH
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "mem/swap_device.hh"
+#include "sim/arena.hh"
 #include "sim/types.hh"
 
 namespace tpp {
@@ -27,12 +34,13 @@ struct Pte {
         BitPresent = 1 << 0,  //!< maps a physical frame
         BitProtNone = 1 << 1, //!< NUMA-hint sampled: next access faults
         BitSwapped = 1 << 2,  //!< contents live on the swap device
-        BitMapped = 1 << 3,   //!< vpn belongs to a live VMA
+        BitMapped = 1 << 3,   //!< VMA attributes stamped into this PTE
         BitDiskBacked = 1 << 4, //!< file page refilled from disk if dropped
         BitTouched = 1 << 5,  //!< has been populated at least once
     };
 
-    Pfn pfn = kInvalidPfn;
+    /** Only meaningful while BitPresent is set. */
+    Pfn pfn = 0;
     SwapSlot swapSlot = 0;
     /**
      * Shadow entry: when the page was last evicted (reclaimed). The
@@ -60,9 +68,12 @@ struct Vma {
     Vpn start = 0;
     std::uint64_t pages = 0;
     PageType type = PageType::Anon;
+    bool diskBacked = false;
     std::string label; //!< for reports ("heap", "tmpfs", ...)
 
     Vpn end() const { return start + pages; }
+
+    bool contains(Vpn vpn) const { return vpn >= start && vpn < end(); }
 };
 
 /**
@@ -71,6 +82,10 @@ struct Vma {
 class AddressSpace
 {
   public:
+    /** PTEs per page-table chunk. */
+    static constexpr std::uint64_t kChunkBits = 16;
+    static constexpr std::uint64_t kChunkPages = 1ULL << kChunkBits;
+
     explicit AddressSpace(Asid asid) : asid_(asid) {}
 
     Asid asid() const { return asid_; }
@@ -97,15 +112,48 @@ class AddressSpace
     bool
     isMapped(Vpn vpn) const
     {
-        return vpn < table_.size() && table_[vpn].mapped();
+        if (vpn >= tableSize_)
+            return false;
+        // Faulted pages carry BitMapped; never-faulted pages fall back
+        // to the VMA list (last-hit cached, so region walks stay cheap).
+        return pteRef(vpn).mapped() || vmaOf(vpn) != nullptr;
     }
 
     /** Direct PTE access; vpn must be < tableSize(). */
-    Pte &pte(Vpn vpn) { return table_[vpn]; }
-    const Pte &pte(Vpn vpn) const { return table_[vpn]; }
+    Pte &pte(Vpn vpn) { return chunks_[vpn >> kChunkBits][vpn & kChunkMask]; }
+
+    const Pte &
+    pte(Vpn vpn) const
+    {
+        return pteRef(vpn);
+    }
+
+    /**
+     * PTE access that stamps the owning VMA's attributes (type, disk
+     * backing) into the entry on first use. The fault path calls this;
+     * read-only observers use pte() and must check mapped()/present().
+     */
+    Pte &
+    materialize(Vpn vpn)
+    {
+        Pte &entry = pte(vpn);
+        if (!entry.mapped())
+            stampFromVma(vpn, entry);
+        return entry;
+    }
+
+    /**
+     * Stamp `entry` (which must be the PTE of `vpn`) with its VMA's
+     * attributes; panics when no VMA covers the vpn. Callers that
+     * already hold the PTE reference use this to skip a second walk.
+     */
+    void stampFromVma(Vpn vpn, Pte &entry);
+
+    /** The VMA containing `vpn`, or nullptr. */
+    const Vma *vmaOf(Vpn vpn) const;
 
     /** Number of vpns ever reserved (dense table size). */
-    std::uint64_t tableSize() const { return table_.size(); }
+    std::uint64_t tableSize() const { return tableSize_; }
 
     const std::vector<Vma> &vmas() const { return vmas_; }
 
@@ -135,9 +183,23 @@ class AddressSpace
     }
 
   private:
+    static constexpr std::uint64_t kChunkMask = kChunkPages - 1;
+
+    const Pte &
+    pteRef(Vpn vpn) const
+    {
+        return chunks_[vpn >> kChunkBits][vpn & kChunkMask];
+    }
+
+    /** Make sure chunks exist to cover vpns [0, limit). */
+    void ensureChunks(std::uint64_t limit);
+
     Asid asid_;
-    std::vector<Pte> table_;
+    std::vector<ZeroedArena<Pte>> chunks_;
+    std::uint64_t tableSize_ = 0;
     std::vector<Vma> vmas_;
+    /** Index of the VMA that satisfied the last lookup. */
+    mutable std::size_t lastVma_ = 0;
     std::uint64_t resident_ = 0;
     std::uint64_t residentByType_[kNumPageTypes] = {0, 0};
     /** Recycled vpn ranges by size, so churny workloads don't grow the

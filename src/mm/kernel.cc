@@ -100,7 +100,8 @@ Kernel::munmap(Asid asid, Vpn start, std::uint64_t pages)
 Pte &
 Kernel::pteOf(const PageFrame &frame)
 {
-    return addressSpace(frame.ownerAsid).pte(frame.ownerVpn);
+    const PageFrameCold &cold = mem_.frameCold(frame.pfn);
+    return addressSpace(cold.ownerAsid).pte(cold.ownerVpn);
 }
 
 void
@@ -117,9 +118,11 @@ Kernel::unmapFrame(PageFrame &frame)
         tpp_panic("unmapFrame: rmap out of sync for pfn %u", frame.pfn);
     pte.clear(Pte::BitPresent);
     pte.clear(Pte::BitProtNone);
+    frame.clearFlag(PageFrame::FlagHintPending);
     pte.pfn = kInvalidPfn;
-    addressSpace(frame.ownerAsid).noteUnmapped(frame.type);
-    memcg_.uncharge(frame.ownerAsid, frame.nid);
+    const Asid owner = mem_.frameCold(frame.pfn).ownerAsid;
+    addressSpace(owner).noteUnmapped(frame.type);
+    memcg_.uncharge(owner, frame.nid);
 }
 
 void
@@ -135,14 +138,20 @@ Kernel::freeFrame(Pfn pfn)
     unmapFrame(frame);
     mem_.node(frame.nid).putFree(pfn);
     frame.resetForFree();
+    mem_.frameCold(pfn).resetForFree();
     vmstat_.inc(Vm::PgFree);
 }
 
 double
-Kernel::faultIn(AddressSpace &as, Vpn vpn, NodeId task_nid,
+Kernel::faultIn(AddressSpace &as, Vpn vpn, Pte &pte, NodeId task_nid,
                 AccessResult &res)
 {
-    Pte &pte = as.pte(vpn);
+    // Stamp the owning VMA's attributes into the PTE on first fault;
+    // mmap no longer walks the region's PTEs. The caller already did
+    // the page-table walk — this only pays the VMA lookup once per
+    // page lifetime.
+    if (!pte.mapped())
+        as.stampFromVma(vpn, pte);
     vmstat_.inc(Vm::PgFault);
 
     NodeId preferred = policy_->allocPreferredNode(pte.type, task_nid);
@@ -202,11 +211,12 @@ Kernel::faultIn(AddressSpace &as, Vpn vpn, NodeId task_nid,
 
     // Map the frame.
     PageFrame &frame = mem_.frame(pfn);
-    frame.clearFlag(PageFrame::FlagFree);
+    PageFrameCold &cold = mem_.frameCold(pfn);
+    frame.markAllocated();
     frame.type = pte.type;
-    frame.ownerAsid = as.asid();
-    frame.ownerVpn = vpn;
-    frame.allocatedAt = eq_.now();
+    cold.ownerAsid = as.asid();
+    cold.ownerVpn = vpn;
+    cold.allocatedAt = eq_.now();
     frame.setFlag(PageFrame::FlagReferenced);
     if (pte.type == PageType::Anon)
         frame.setFlag(PageFrame::FlagDirty);
@@ -238,14 +248,17 @@ Kernel::access(Asid asid, Vpn vpn, AccessKind kind, NodeId task_nid)
 {
     AccessResult res;
     AddressSpace &as = addressSpace(asid);
-    if (!as.isMapped(vpn))
+    // One page-table walk per access. A vpn inside the table but outside
+    // any live VMA still panics — on the fault path, when the VMA lookup
+    // comes up empty.
+    if (vpn >= as.tableSize())
         tpp_panic("access to unmapped vpn %llu in asid %u",
                   static_cast<unsigned long long>(vpn), asid);
     Pte &pte = as.pte(vpn);
 
     double latency = 0.0;
     if (!pte.present()) {
-        latency += faultIn(as, vpn, task_nid, res);
+        latency += faultIn(as, vpn, pte, task_nid, res);
         if (res.oom) {
             res.latencyNs = latency;
             return res;
@@ -261,6 +274,7 @@ Kernel::access(Asid asid, Vpn vpn, AccessKind kind, NodeId task_nid)
         // NUMA hint fault (§4.2): record and let the policy react. The
         // policy may migrate the page, updating pte.pfn in place.
         pte.clear(Pte::BitProtNone);
+        mem_.frame(pte.pfn).clearFlag(PageFrame::FlagHintPending);
         res.hintFault = true;
         vmstat_.inc(Vm::NumaHintFaults);
         const PageFrame &hinted = mem_.frame(pte.pfn);
@@ -304,18 +318,28 @@ Kernel::sampleNode(NodeId nid, std::uint64_t batch)
     std::uint64_t visited = 0;
     const std::uint64_t max_visit = node.capacity();
 
+    // Scan the hot array directly: the cursor stays inside this node's
+    // [first, end) range, and each visit touches one 16-byte record.
+    PageFrame *const frames = mem_.frameData();
     while (sampled < batch && visited < max_visit) {
         if (cursor >= end)
             cursor = first;
-        PageFrame &frame = mem_.frame(cursor);
+        PageFrame &frame = frames[cursor];
         cursor++;
         visited++;
-        if (frame.isFree() || frame.lru == LruListId::None)
+        // Hot-array-only skips: free, off-LRU, or already armed (the
+        // FlagHintPending mirror of the PTE's prot_none bit). Only a
+        // frame that will actually be sampled pays the reverse-map and
+        // page-table walk.
+        if (frame.isFree() || frame.lru == LruListId::None ||
+            frame.hintPending()) {
             continue;
+        }
         Pte &pte = pteOf(frame);
         if (!pte.present() || pte.protNone())
             continue;
         pte.set(Pte::BitProtNone);
+        frame.setFlag(PageFrame::FlagHintPending);
         vmstat_.inc(Vm::NumaPteUpdates);
         sampled++;
     }

@@ -284,7 +284,7 @@ class Kernel
     friend class MigrationEngine;
 
     // kernel.cc
-    double faultIn(AddressSpace &as, Vpn vpn, NodeId task_nid,
+    double faultIn(AddressSpace &as, Vpn vpn, Pte &pte, NodeId task_nid,
                    AccessResult &res);
     void touchFrame(PageFrame &frame);
 

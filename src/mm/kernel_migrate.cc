@@ -41,31 +41,30 @@ Kernel::migratePage(Pfn pfn, NodeId dst, AllocReason reason,
     lrus_[src].remove(pfn);
 
     PageFrame &new_frame = mem_.frame(new_pfn);
-    new_frame.clearFlag(PageFrame::FlagFree);
+    new_frame.markAllocated();
     new_frame.type = frame.type;
-    new_frame.ownerAsid = frame.ownerAsid;
-    new_frame.ownerVpn = frame.ownerVpn;
-    new_frame.allocatedAt = frame.allocatedAt;
-    new_frame.lastHintFault = frame.lastHintFault;
-    new_frame.hintRefCount = frame.hintRefCount;
+    mem_.frameCold(new_pfn) = mem_.frameCold(pfn);
     if (frame.referenced())
         new_frame.setFlag(PageFrame::FlagReferenced);
     if (frame.dirty())
         new_frame.setFlag(PageFrame::FlagDirty);
     if (frame.demoted())
         new_frame.setFlag(PageFrame::FlagDemoted);
+    if (frame.hintPending())
+        new_frame.setFlag(PageFrame::FlagHintPending);
 
     pte.pfn = new_pfn;
 
     mem_.node(src).putFree(pfn);
     frame.resetForFree();
+    mem_.frameCold(pfn).resetForFree();
 
     // App/SwapIn-reason allocations may fall back off the requested
     // node; file the page where its frame actually landed.
     const NodeId landed = new_frame.nid;
     lrus_[landed].addHead(lruListFor(new_frame.type, was_active),
                           new_pfn);
-    memcg_.transfer(new_frame.ownerAsid, src, landed);
+    memcg_.transfer(mem_.frameCold(new_pfn).ownerAsid, src, landed);
 
     // The copy moves one page of data off the source and onto the
     // destination node.
@@ -83,11 +82,12 @@ Kernel::notePromoteCandidate(const PageFrame &frame)
                                              : Vm::PgPromoteCandidateFile);
     if (frame.demoted())
         vmstat_.inc(Vm::PgPromoteCandidateDemoted);
-    memcg_.cgroup(memcg_.cgroupOf(frame.ownerAsid))
+    const PageFrameCold &cold = mem_.frameCold(frame.pfn);
+    memcg_.cgroup(memcg_.cgroupOf(cold.ownerAsid))
         .stats.promoteCandidates++;
     trace_.emitPage(TraceEvent::PromoteCandidate, eq_.now(), frame.nid,
-                    frame.type, frame.pfn, frame.ownerAsid,
-                    frame.ownerVpn, frame.demoted() ? 1 : 0);
+                    frame.type, frame.pfn, cold.ownerAsid,
+                    cold.ownerVpn, frame.demoted() ? 1 : 0);
 }
 
 std::pair<bool, double>

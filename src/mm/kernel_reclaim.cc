@@ -208,14 +208,15 @@ Kernel::shrinkNodePass(NodeId nid, std::uint64_t nr_to_reclaim,
         vmstat_.inc(scan_counter);
 
         PageFrame &frame = mem_.frame(pfn);
+        const Asid owner_asid = mem_.frameCold(pfn).ownerAsid;
         const bool under_floor =
             (honor_protection || count_breach) &&
-            memcg_.protectedOnNode(frame.ownerAsid, nid);
+            memcg_.protectedOnNode(owner_asid, nid);
         if (honor_protection && under_floor) {
             // The owning cgroup is at or below its floor on this node:
             // rotate the page away untouched and remember that
             // protection — not emptiness — is why we made no progress.
-            const CgroupId cgid = memcg_.cgroupOf(frame.ownerAsid);
+            const CgroupId cgid = memcg_.cgroupOf(owner_asid);
             memcg_.cgroup(cgid).stats.reclaimProtected++;
             vmstat_.inc(Vm::MemcgReclaimProtected);
             trace_.emit(TraceEvent::MemcgEvent, eq_.now(), nid,
@@ -236,10 +237,9 @@ Kernel::shrinkNodePass(NodeId nid, std::uint64_t nr_to_reclaim,
             continue;
         }
 
-        // The frame's owner is gone once the page is freed; capture it
-        // first so a pass-2 breach can still be billed to its cgroup.
-        const Asid owner_asid = frame.ownerAsid;
-
+        // owner_asid was captured above: the frame's owner is gone once
+        // the page is freed, but a pass-2 breach must still be billed to
+        // its cgroup.
         if (demote_mode) {
             // Background reclaim may queue the demotion on the engine;
             // direct reclaim always demotes synchronously (the
@@ -306,12 +306,13 @@ Kernel::reclaimOnePage(Pfn pfn, bool demote_mode)
     }
 
     // Anon or tmpfs: page out to the swap device.
+    const PageFrameCold &cold = mem_.frameCold(pfn);
     const SwapSlot slot =
-        mem_.swapDevice().pageOut(frame.ownerAsid, frame.ownerVpn);
+        mem_.swapDevice().pageOut(cold.ownerAsid, cold.ownerVpn);
     if (slot == kInvalidSwapSlot)
         return {false, 0.0};
     trace_.emitPage(TraceEvent::SwapOut, eq_.now(), frame.nid,
-                    frame.type, pfn, frame.ownerAsid, frame.ownerVpn);
+                    frame.type, pfn, cold.ownerAsid, cold.ownerVpn);
     freeFrame(pfn);
     pte.swapSlot = slot;
     pte.set(Pte::BitSwapped);

@@ -4,7 +4,8 @@
 
 namespace tpp {
 
-LruSet::LruSet(MemorySystem &mem, NodeId nid) : mem_(mem), nid_(nid)
+LruSet::LruSet(MemorySystem &mem, NodeId nid)
+    : frames_(mem.frameData()), nid_(nid)
 {
     heads_.fill(kInvalidPfn);
     tails_.fill(kInvalidPfn);
@@ -14,7 +15,7 @@ LruSet::LruSet(MemorySystem &mem, NodeId nid) : mem_(mem), nid_(nid)
 void
 LruSet::addHead(LruListId list, Pfn pfn)
 {
-    PageFrame &f = mem_.frame(pfn);
+    PageFrame &f = frames_[pfn];
     if (f.lru != LruListId::None)
         tpp_panic("addHead: frame %u already on a list", pfn);
     if (f.nid != nid_)
@@ -25,7 +26,7 @@ LruSet::addHead(LruListId list, Pfn pfn)
     f.lruPrev = kInvalidPfn;
     f.lruNext = heads_[i];
     if (heads_[i] != kInvalidPfn)
-        mem_.frame(heads_[i]).lruPrev = pfn;
+        frames_[heads_[i]].lruPrev = pfn;
     heads_[i] = pfn;
     if (tails_[i] == kInvalidPfn)
         tails_[i] = pfn;
@@ -35,7 +36,7 @@ LruSet::addHead(LruListId list, Pfn pfn)
 void
 LruSet::addTail(LruListId list, Pfn pfn)
 {
-    PageFrame &f = mem_.frame(pfn);
+    PageFrame &f = frames_[pfn];
     if (f.lru != LruListId::None)
         tpp_panic("addTail: frame %u already on a list", pfn);
     if (f.nid != nid_)
@@ -46,7 +47,7 @@ LruSet::addTail(LruListId list, Pfn pfn)
     f.lruNext = kInvalidPfn;
     f.lruPrev = tails_[i];
     if (tails_[i] != kInvalidPfn)
-        mem_.frame(tails_[i]).lruNext = pfn;
+        frames_[tails_[i]].lruNext = pfn;
     tails_[i] = pfn;
     if (heads_[i] == kInvalidPfn)
         heads_[i] = pfn;
@@ -56,16 +57,16 @@ LruSet::addTail(LruListId list, Pfn pfn)
 void
 LruSet::remove(Pfn pfn)
 {
-    PageFrame &f = mem_.frame(pfn);
+    PageFrame &f = frames_[pfn];
     if (f.lru == LruListId::None)
         tpp_panic("remove: frame %u not on any list", pfn);
     const std::size_t i = index(f.lru);
     if (f.lruPrev != kInvalidPfn)
-        mem_.frame(f.lruPrev).lruNext = f.lruNext;
+        frames_[f.lruPrev].lruNext = f.lruNext;
     else
         heads_[i] = f.lruNext;
     if (f.lruNext != kInvalidPfn)
-        mem_.frame(f.lruNext).lruPrev = f.lruPrev;
+        frames_[f.lruNext].lruPrev = f.lruPrev;
     else
         tails_[i] = f.lruPrev;
     counts_[i]--;
@@ -88,7 +89,7 @@ LruSet::head(LruListId list) const
 void
 LruSet::activate(Pfn pfn)
 {
-    PageFrame &f = mem_.frame(pfn);
+    PageFrame &f = frames_[pfn];
     if (lruIsActive(f.lru))
         tpp_panic("activate: frame %u already active", pfn);
     const PageType type = f.type;
@@ -99,7 +100,7 @@ LruSet::activate(Pfn pfn)
 void
 LruSet::deactivate(Pfn pfn)
 {
-    PageFrame &f = mem_.frame(pfn);
+    PageFrame &f = frames_[pfn];
     if (!lruIsActive(f.lru))
         tpp_panic("deactivate: frame %u not active", pfn);
     const PageType type = f.type;
@@ -110,7 +111,7 @@ LruSet::deactivate(Pfn pfn)
 void
 LruSet::rotate(Pfn pfn)
 {
-    PageFrame &f = mem_.frame(pfn);
+    PageFrame &f = frames_[pfn];
     const LruListId list = f.lru;
     if (list == LruListId::None)
         tpp_panic("rotate: frame %u not on any list", pfn);
@@ -148,7 +149,7 @@ LruSet::checkConsistency() const
         Pfn prev = kInvalidPfn;
         Pfn cur = heads_[i];
         while (cur != kInvalidPfn) {
-            const PageFrame &f = mem_.frame(cur);
+            const PageFrame &f = frames_[cur];
             if (f.lru != list)
                 tpp_panic("consistency: frame %u on wrong list", cur);
             if (f.lruPrev != prev)

@@ -80,7 +80,7 @@ class LruSet
     {
         Pfn cur = tails_[index(list)];
         while (cur != kInvalidPfn) {
-            Pfn prev = mem_.frame(cur).lruPrev;
+            Pfn prev = frames_[cur].lruPrev;
             if (!fn(cur))
                 break;
             cur = prev;
@@ -97,7 +97,13 @@ class LruSet
         return static_cast<std::size_t>(list) - 1;
     }
 
-    MemorySystem &mem_;
+    /**
+     * Base of the hot frame array, cached at construction (the arena
+     * never reallocates). List surgery is pure indexed access on 16-byte
+     * records — no per-op bounds re-check on a path that runs millions
+     * of times per simulated second.
+     */
+    PageFrame *frames_;
     NodeId nid_;
     std::array<Pfn, kNumLruLists> heads_;
     std::array<Pfn, kNumLruLists> tails_;

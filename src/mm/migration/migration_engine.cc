@@ -109,8 +109,8 @@ MigrationEngine::syncDemote(Pfn pfn)
     PageFrame &frame = k.mem_.frame(pfn);
     const NodeId src = frame.nid;
     const PageType type = frame.type;
-    const Asid owner_asid = frame.ownerAsid;
-    const Vpn owner_vpn = frame.ownerVpn;
+    const Asid owner_asid = k.mem_.frameCold(pfn).ownerAsid;
+    const Vpn owner_vpn = k.mem_.frameCold(pfn).ownerVpn;
 
     // Distance-ordered static target selection (§5.1).
     for (NodeId dst : k.mem_.demotionOrder(src)) {
@@ -158,8 +158,8 @@ MigrationEngine::syncPromote(Pfn pfn, NodeId src, NodeId dst)
     }
 
     const PageType type = frame.type;
-    const Asid owner_asid = frame.ownerAsid;
-    const Vpn owner_vpn = frame.ownerVpn;
+    const Asid owner_asid = k.mem_.frameCold(pfn).ownerAsid;
+    const Vpn owner_vpn = k.mem_.frameCold(pfn).ownerVpn;
     k.trace_.emitPage(TraceEvent::PromoteTry, k.eq_.now(), src, type, pfn,
                       owner_asid, owner_vpn, dst);
 
@@ -284,6 +284,7 @@ MigrationEngine::enqueue(Pfn pfn, bool promotion, NodeId dst)
 {
     Kernel &k = kernel_;
     PageFrame &frame = k.mem_.frame(pfn);
+    const PageFrameCold &cold = k.mem_.frameCold(pfn);
     const NodeId src = frame.nid;
     std::deque<Request> &queue =
         promotion ? promoteQueues_[dst] : demoteQueues_[src];
@@ -295,7 +296,7 @@ MigrationEngine::enqueue(Pfn pfn, bool promotion, NodeId dst)
     // bucket so a throttled tenant cannot drain the shared tokens.
     bool defer = queue.size() >= cfg_.queueDepth;
     bool throttled = false;
-    if (!defer && !k.memcg_.chargeMigration(frame.ownerAsid, kPageSize)) {
+    if (!defer && !k.memcg_.chargeMigration(cold.ownerAsid, kPageSize)) {
         defer = true;
         throttled = true;
     }
@@ -303,7 +304,7 @@ MigrationEngine::enqueue(Pfn pfn, bool promotion, NodeId dst)
         defer = true;
     if (defer) {
         if (throttled) {
-            const CgroupId cgid = k.memcg_.cgroupOf(frame.ownerAsid);
+            const CgroupId cgid = k.memcg_.cgroupOf(cold.ownerAsid);
             k.memcg_.cgroup(cgid).stats.migrateThrottled++;
             k.vmstat_.inc(Vm::MemcgMigrateThrottled);
             k.trace_.emit(TraceEvent::MemcgEvent, k.eq_.now(), src,
@@ -311,15 +312,15 @@ MigrationEngine::enqueue(Pfn pfn, bool promotion, NodeId dst)
         }
         k.vmstat_.inc(Vm::PgMigrateDeferred);
         k.trace_.emitPage(TraceEvent::MigrateDeferred, k.eq_.now(), src,
-                          frame.type, pfn, frame.ownerAsid,
-                          frame.ownerVpn, dst);
+                          frame.type, pfn, cold.ownerAsid,
+                          cold.ownerVpn, dst);
         return {MigrateOutcome::Deferred, false, 0.0};
     }
 
     Request req;
     req.pfn = pfn;
-    req.asid = frame.ownerAsid;
-    req.vpn = frame.ownerVpn;
+    req.asid = cold.ownerAsid;
+    req.vpn = cold.ownerVpn;
     req.src = src;
     req.dst = promotion ? dst : kInvalidNode;
     req.type = frame.type;
@@ -384,11 +385,12 @@ bool
 MigrationEngine::stale(const Request &req) const
 {
     const PageFrame &frame = kernel_.mem_.frame(req.pfn);
+    const PageFrameCold &cold = kernel_.mem_.frameCold(req.pfn);
     // The frame was freed (e.g. munmap) — and possibly reused for a new
     // mapping — since the request was queued. A live queued page keeps
     // FlagIsolated; a reused frame never has it.
     return frame.isFree() || !frame.isolated() ||
-           frame.ownerAsid != req.asid || frame.ownerVpn != req.vpn ||
+           cold.ownerAsid != req.asid || cold.ownerVpn != req.vpn ||
            frame.nid != req.src;
 }
 
@@ -507,24 +509,23 @@ MigrationEngine::finishMove(const Request &req, Pfn dst_pfn,
     Pte &pte = k.pteOf(frame);
 
     PageFrame &new_frame = k.mem_.frame(dst_pfn);
-    new_frame.clearFlag(PageFrame::FlagFree);
+    new_frame.markAllocated();
     new_frame.type = frame.type;
-    new_frame.ownerAsid = frame.ownerAsid;
-    new_frame.ownerVpn = frame.ownerVpn;
-    new_frame.allocatedAt = frame.allocatedAt;
-    new_frame.lastHintFault = frame.lastHintFault;
-    new_frame.hintRefCount = frame.hintRefCount;
+    k.mem_.frameCold(dst_pfn) = k.mem_.frameCold(req.pfn);
     if (frame.referenced())
         new_frame.setFlag(PageFrame::FlagReferenced);
     if (frame.dirty())
         new_frame.setFlag(PageFrame::FlagDirty);
     if (frame.demoted())
         new_frame.setFlag(PageFrame::FlagDemoted);
+    if (frame.hintPending())
+        new_frame.setFlag(PageFrame::FlagHintPending);
 
     pte.pfn = dst_pfn;
 
     k.mem_.node(req.src).putFree(req.pfn);
     frame.resetForFree();
+    k.mem_.frameCold(req.pfn).resetForFree();
 
     k.lrus_[dst_nid].addHead(lruListFor(new_frame.type, req.wasActive),
                              dst_pfn);

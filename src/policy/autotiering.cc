@@ -60,20 +60,21 @@ double
 AutoTieringPolicy::onHintFault(Pfn pfn, NodeId task_nid)
 {
     PageFrame &frame = kernel_->mem().frame(pfn);
+    PageFrameCold &cold = kernel_->mem().frameCold(pfn);
     const Tick now = kernel_->eventQueue().now();
 
     // Timer-based hotness: count hint faults inside the window; stale
     // history resets. Infrequently accessed pages never reach the
     // threshold — the inefficiency §7 points at.
-    if (now - frame.lastHintFault > cfg_.hotWindow)
-        frame.hintRefCount = 0;
-    frame.lastHintFault = now;
-    if (frame.hintRefCount < 255)
-        frame.hintRefCount++;
+    if (now - cold.lastHintFault > cfg_.hotWindow)
+        cold.hintRefCount = 0;
+    cold.lastHintFault = now;
+    if (cold.hintRefCount < 255)
+        cold.hintRefCount++;
 
     if (frame.nid == task_nid)
         return 0.0;
-    if (frame.hintRefCount < cfg_.hotThreshold)
+    if (cold.hintRefCount < cfg_.hotThreshold)
         return 0.0;
 
     kernel_->notePromoteCandidate(frame);

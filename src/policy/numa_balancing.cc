@@ -37,7 +37,8 @@ double
 NumaBalancingPolicy::onHintFault(Pfn pfn, NodeId task_nid)
 {
     PageFrame &frame = kernel_->mem().frame(pfn);
-    frame.lastHintFault = kernel_->eventQueue().now();
+    kernel_->mem().frameCold(pfn).lastHintFault =
+        kernel_->eventQueue().now();
 
     if (frame.nid == task_nid) {
         // Local page: sampling it bought nothing.

@@ -29,10 +29,23 @@ TEST(AddressSpace, PteTypeMatchesRegion)
     AddressSpace as(0);
     const Vpn a = as.mmap(2, PageType::Anon, "a");
     const Vpn f = as.mmap(2, PageType::File, "f", true);
-    EXPECT_EQ(as.pte(a).type, PageType::Anon);
-    EXPECT_EQ(as.pte(f).type, PageType::File);
-    EXPECT_FALSE(as.pte(a).diskBacked());
-    EXPECT_TRUE(as.pte(f).diskBacked());
+    // Attributes are stamped lazily from the VMA at first fault.
+    EXPECT_EQ(as.materialize(a).type, PageType::Anon);
+    EXPECT_EQ(as.materialize(f).type, PageType::File);
+    EXPECT_FALSE(as.materialize(a).diskBacked());
+    EXPECT_TRUE(as.materialize(f).diskBacked());
+}
+
+TEST(AddressSpace, VmaLookupFindsOwningRegion)
+{
+    AddressSpace as(0);
+    const Vpn a = as.mmap(4, PageType::Anon, "a");
+    const Vpn f = as.mmap(4, PageType::File, "f", true);
+    ASSERT_NE(as.vmaOf(a + 3), nullptr);
+    EXPECT_EQ(as.vmaOf(a + 3)->type, PageType::Anon);
+    ASSERT_NE(as.vmaOf(f), nullptr);
+    EXPECT_TRUE(as.vmaOf(f)->diskBacked);
+    EXPECT_EQ(as.vmaOf(f + 4), nullptr);
 }
 
 TEST(AddressSpace, VmasTracked)
@@ -56,7 +69,7 @@ TEST(AddressSpace, MunmapClearsAndRecycles)
     const Vpn b = as.mmap(8, PageType::File, "b");
     EXPECT_EQ(b, a);
     EXPECT_EQ(as.tableSize(), 8u);
-    EXPECT_EQ(as.pte(b).type, PageType::File);
+    EXPECT_EQ(as.materialize(b).type, PageType::File);
 }
 
 TEST(AddressSpace, DifferentSizeDoesNotRecycle)

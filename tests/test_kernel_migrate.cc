@@ -41,8 +41,8 @@ TEST(KernelMigrate, PreservesFlagsAndActiveState)
     EXPECT_TRUE(lruIsActive(f.lru));
     EXPECT_TRUE(f.dirty());
     EXPECT_TRUE(f.referenced());
-    EXPECT_EQ(f.ownerAsid, m.asid);
-    EXPECT_EQ(f.ownerVpn, base);
+    EXPECT_EQ(m.mem.frameCold(new_pfn).ownerAsid, m.asid);
+    EXPECT_EQ(m.mem.frameCold(new_pfn).ownerVpn, base);
 }
 
 TEST(KernelMigrate, FailsWhenTargetExhausted)

@@ -21,7 +21,7 @@ struct LruFixture : public ::testing::Test {
         // Take frames off the free list so they can be LRU members.
         for (int i = 0; i < 16; ++i) {
             const Pfn pfn = mem.node(0).takeFree();
-            mem.frame(pfn).clearFlag(PageFrame::FlagFree);
+            mem.frame(pfn).markAllocated();
             frames.push_back(pfn);
         }
     }
@@ -171,7 +171,7 @@ TEST_F(LruFixture, RemoveUnlistedPanics)
 TEST_F(LruFixture, ForeignNodeFramePanics)
 {
     const Pfn foreign = mem.node(1).takeFree();
-    mem.frame(foreign).clearFlag(PageFrame::FlagFree);
+    mem.frame(foreign).markAllocated();
     EXPECT_DEATH(lru.addHead(LruListId::InactiveAnon, foreign),
                  "belongs to node");
 }

@@ -57,15 +57,24 @@ TEST(TopologyBuilder, MultiCxlDistanceOrder)
     EXPECT_EQ(order[2], 3);
 }
 
-TEST(MemorySystem, FramesCarryNodeIds)
+TEST(MemorySystem, FramesCarryNodeIdsOnceHandedOut)
 {
     MemorySystem mem(TopologyBuilder::cxlSystem(10, 20));
+    // Construction is O(1) per node: a fresh frame is all-zero (free)
+    // and learns its identity when the node first hands it out.
+    EXPECT_TRUE(mem.frame(5).isFree());
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(mem.node(0).takeFree(), static_cast<Pfn>(i));
+    EXPECT_EQ(mem.node(1).takeFree(), 10u);
     EXPECT_EQ(mem.frame(0).nid, 0);
     EXPECT_EQ(mem.frame(9).nid, 0);
     EXPECT_EQ(mem.frame(10).nid, 1);
-    EXPECT_EQ(mem.frame(29).nid, 1);
     EXPECT_EQ(mem.frame(5).pfn, 5u);
-    EXPECT_TRUE(mem.frame(5).isFree());
+    // Recycled frames come back LIFO before the bump cursor advances.
+    mem.node(1).putFree(10);
+    EXPECT_EQ(mem.node(1).takeFree(), 10u);
+    EXPECT_EQ(mem.node(1).takeFree(), 11u);
+    EXPECT_EQ(mem.node(0).takeFree(), kInvalidPfn);
 }
 
 TEST(MemorySystem, FallbackOrderSelfFirst)

@@ -73,8 +73,8 @@ TEST(MultiProcess, MigrationKeepsRmapStraight)
     for (int i = 0; i < 4; ++i) {
         const Pte &pte1 = m.kernel.addressSpace(m.asid).pte(a1 + i);
         const Pte &pte2 = m.kernel.addressSpace(p2).pte(a2 + i);
-        EXPECT_EQ(m.mem.frame(pte1.pfn).ownerAsid, m.asid);
-        EXPECT_EQ(m.mem.frame(pte2.pfn).ownerAsid, p2);
+        EXPECT_EQ(m.mem.frameCold(pte1.pfn).ownerAsid, m.asid);
+        EXPECT_EQ(m.mem.frameCold(pte2.pfn).ownerAsid, p2);
         EXPECT_EQ(m.mem.frame(pte1.pfn).nid, m.cxl());
     }
     // Both processes can still touch their memory.

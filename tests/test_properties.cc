@@ -53,7 +53,9 @@ checkInvariants(test::TestMachine &m)
         if (f.isFree())
             continue;
         mapped_frames++;
-        const Pte &pte = m.kernel.addressSpace(f.ownerAsid).pte(f.ownerVpn);
+        const PageFrameCold &cold = m.mem.frameCold(pfn);
+        const Pte &pte =
+            m.kernel.addressSpace(cold.ownerAsid).pte(cold.ownerVpn);
         EXPECT_TRUE(pte.present());
         EXPECT_EQ(pte.pfn, pfn);
         EXPECT_EQ(pte.type, f.type);

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Determinism anchors for the sharded experiment engine
+ * (harness/shard.hh).
+ *
+ * The shard engine's core contract: the region decomposition
+ * (`shardRegions`) is the only thing that changes simulated results —
+ * the worker count (`shards`) decides *when* a region computes, never
+ * *what*. These tests pin that by running the same config with the
+ * region count held fixed and the worker count varied, and demanding
+ * bit-identical results (throughput and latency to the last bit, every
+ * vmstat counter, traffic shares, residency, the merged sample series
+ * and the epoch-synchroniser's own accounting).
+ *
+ * A second anchor pins the `--shards 1` escape hatch: an effective
+ * region count of 1 must dispatch to the legacy single-stack engine and
+ * reproduce a plain config's results exactly, so the golden
+ * fingerprints in test_migration_compat.cc keep covering the default
+ * path no matter what the shard engine does.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "mm/vmstat.hh"
+
+namespace tpp {
+namespace {
+
+/** Hash of every vmstat counter (not just the seed-era prefix). */
+std::uint64_t
+vmHash(const VmStat &vmstat)
+{
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < kNumVmCounters; ++i)
+        sum = sum * 1000003u + vmstat.get(static_cast<Vm>(i));
+    return sum;
+}
+
+struct ShardCase {
+    const char *tag;
+    const char *policy;
+    double rateLimitMBps; //!< machine-wide admission budget; 0 = off
+};
+
+const ShardCase kCases[] = {
+    {"tpp", "tpp", 0.0},
+    {"linux", "linux", 0.0},
+    {"hotness", "hotness", 0.0},
+    {"tpp_admission", "tpp", 50.0},
+};
+
+ExperimentConfig
+shardConfig(const ShardCase &c, std::uint32_t shards,
+            std::uint32_t regions)
+{
+    ExperimentConfig cfg;
+    cfg.workload = "cache1";
+    cfg.policy = c.policy;
+    cfg.wssPages = 8192;
+    // Not a multiple of sampleEvery, so the final (partial) epoch is
+    // exercised too.
+    cfg.runUntil = 4 * kSecond + 37 * kMillisecond;
+    cfg.measureFrom = 2 * kSecond;
+    cfg.seed = 7;
+    cfg.migration = MigrationConfig::compat();
+    cfg.migration.rateLimitMBps = c.rateLimitMBps;
+    cfg.shards = shards;
+    cfg.shardRegions = regions;
+    return cfg;
+}
+
+/** Field-for-field bit equality of two results. */
+void
+expectIdentical(const ExperimentResult &a, const ExperimentResult &b,
+                const char *tag)
+{
+    EXPECT_EQ(a.throughput, b.throughput) << tag;
+    EXPECT_EQ(a.meanAccessLatencyNs, b.meanAccessLatencyNs) << tag;
+    EXPECT_EQ(a.localTrafficShare, b.localTrafficShare) << tag;
+    EXPECT_EQ(a.cxlTrafficShare, b.cxlTrafficShare) << tag;
+    EXPECT_EQ(a.anonLocalResidency, b.anonLocalResidency) << tag;
+    EXPECT_EQ(a.fileLocalResidency, b.fileLocalResidency) << tag;
+    EXPECT_EQ(vmHash(a.vmstat), vmHash(b.vmstat)) << tag;
+    EXPECT_EQ(a.meminfo.totalPages, b.meminfo.totalPages) << tag;
+    EXPECT_EQ(a.meminfo.totalFree, b.meminfo.totalFree) << tag;
+    EXPECT_EQ(a.meminfo.swapUsedSlots, b.meminfo.swapUsedSlots) << tag;
+    ASSERT_EQ(a.samples.size(), b.samples.size()) << tag;
+    for (std::size_t k = 0; k < a.samples.size(); ++k) {
+        EXPECT_EQ(a.samples[k].tick, b.samples[k].tick) << tag;
+        EXPECT_EQ(a.samples[k].throughput, b.samples[k].throughput)
+            << tag;
+        EXPECT_EQ(a.samples[k].localShare, b.samples[k].localShare)
+            << tag;
+        EXPECT_EQ(a.samples[k].localFree, b.samples[k].localFree) << tag;
+        EXPECT_EQ(a.samples[k].promotionRate, b.samples[k].promotionRate)
+            << tag;
+        EXPECT_EQ(a.samples[k].demotionRate, b.samples[k].demotionRate)
+            << tag;
+        EXPECT_EQ(a.samples[k].anonResident, b.samples[k].anonResident)
+            << tag;
+        EXPECT_EQ(a.samples[k].fileResident, b.samples[k].fileResident)
+            << tag;
+    }
+    // Epoch-synchroniser bookkeeping must match too: same epochs, same
+    // pressure observations, same admission traffic moved.
+    EXPECT_EQ(a.shard.regions, b.shard.regions) << tag;
+    EXPECT_EQ(a.shard.epochs, b.shard.epochs) << tag;
+    EXPECT_EQ(a.shard.regionLowWatermarkEpochs,
+              b.shard.regionLowWatermarkEpochs)
+        << tag;
+    EXPECT_EQ(a.shard.pressureEpochs, b.shard.pressureEpochs) << tag;
+    EXPECT_EQ(a.shard.rebalancedMBps, b.shard.rebalancedMBps) << tag;
+}
+
+class ShardDeterminism : public ::testing::TestWithParam<ShardCase> {};
+
+TEST_P(ShardDeterminism, WorkerCountNeverChangesResults)
+{
+    const ShardCase &c = GetParam();
+    // Region decomposition pinned at 4; only the worker count varies.
+    const ExperimentResult serial =
+        runExperiment(shardConfig(c, /*shards=*/1, /*regions=*/4));
+    const ExperimentResult parallel =
+        runExperiment(shardConfig(c, /*shards=*/4, /*regions=*/4));
+
+    EXPECT_EQ(serial.shard.regions, 4u);
+    EXPECT_EQ(serial.shard.workers, 1u);
+    EXPECT_EQ(parallel.shard.workers, 4u);
+    EXPECT_GT(serial.shard.epochs, 0u);
+    EXPECT_GT(serial.throughput, 0.0);
+    expectIdentical(serial, parallel, c.tag);
+
+    // Oversubscription clamps to the region count and still matches.
+    const ExperimentResult oversubscribed =
+        runExperiment(shardConfig(c, /*shards=*/8, /*regions=*/4));
+    EXPECT_EQ(oversubscribed.shard.workers, 4u);
+    expectIdentical(serial, oversubscribed, c.tag);
+}
+
+INSTANTIATE_TEST_SUITE_P(Golden, ShardDeterminism,
+                         ::testing::ValuesIn(kCases),
+                         [](const auto &info) {
+                             return std::string(info.param.tag);
+                         });
+
+TEST(ShardDispatch, OneRegionIsTheLegacyEngineBitForBit)
+{
+    // shards=1 (effective regions 1) must not even enter the shard
+    // engine: identical fields to a config that never heard of shards,
+    // and no shard accounting.
+    ShardCase plain{"legacy", "tpp", 0.0};
+    ExperimentConfig base = shardConfig(plain, 1, 0);
+    const ExperimentResult unsharded = runExperiment(base);
+
+    ExperimentConfig pinned = base;
+    pinned.shards = 1;
+    pinned.shardRegions = 1;
+    const ExperimentResult single = runExperiment(pinned);
+
+    EXPECT_EQ(unsharded.shard.regions, 0u);
+    EXPECT_EQ(single.shard.regions, 0u);
+    EXPECT_EQ(unsharded.throughput, single.throughput);
+    EXPECT_EQ(unsharded.meanAccessLatencyNs, single.meanAccessLatencyNs);
+    EXPECT_EQ(vmHash(unsharded.vmstat), vmHash(single.vmstat));
+    EXPECT_EQ(unsharded.localTrafficShare, single.localTrafficShare);
+    ASSERT_EQ(unsharded.samples.size(), single.samples.size());
+}
+
+TEST(ShardDispatch, RegionCountChangesTheMachineWorkersDoNot)
+{
+    // Sanity that the test above is not vacuous: different region
+    // decompositions really do simulate different machines, so the
+    // worker-invariance checks are comparing something that could have
+    // diverged.
+    ShardCase c{"tpp", "tpp", 0.0};
+    const ExperimentResult two =
+        runExperiment(shardConfig(c, 1, 2));
+    const ExperimentResult four =
+        runExperiment(shardConfig(c, 1, 4));
+    EXPECT_EQ(two.shard.regions, 2u);
+    EXPECT_EQ(four.shard.regions, 4u);
+    EXPECT_NE(vmHash(two.vmstat), vmHash(four.vmstat));
+}
+
+} // namespace
+} // namespace tpp

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Compare a micro_mm_ops --benchmark_format=json run against the
+checked-in performance baseline (bench/perf_baseline.json).
+
+The baseline pins the throughput *counters* (pages/sec-style rates,
+where higher is better), not wall-clock times, so the gate is
+insensitive to how long the benchmark harness chose to run. For every
+counter named in the baseline:
+
+    regression % = (baseline - current) / baseline * 100
+
+Exit status is 1 if any counter regressed more than --fail-pct
+(default 25%), otherwise 0. Regressions beyond --warn-pct (default
+10%) print a warning; improvements beyond --warn-pct suggest
+re-baselining. Output uses GitHub workflow commands (::error:: /
+::warning::) so the annotations land on the PR.
+
+Re-baselining (after an intentional perf change, on the CI runner
+class the baseline documents):
+
+    bench/micro_mm_ops --benchmark_format=json > results.json
+    tools/check_perf.py results.json bench/perf_baseline.json --update
+
+Usage:
+    check_perf.py RESULTS_JSON BASELINE_JSON [--fail-pct N]
+                  [--warn-pct N] [--update]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_counters(results):
+    """Map benchmark name -> counters dict, skipping aggregate rows."""
+    counters = {}
+    for bench in results.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if name is None:
+            continue
+        row = {
+            key: value
+            for key, value in bench.items()
+            if isinstance(value, (int, float))
+        }
+        counters[name] = row
+    return counters
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("results", help="micro_mm_ops JSON output")
+    parser.add_argument("baseline", help="bench/perf_baseline.json")
+    parser.add_argument("--fail-pct", type=float, default=25.0,
+                        help="regression %% that fails the gate")
+    parser.add_argument("--warn-pct", type=float, default=10.0,
+                        help="regression %% that warns")
+    parser.add_argument("--update", action="store_true",
+                        help="write current values into the baseline")
+    args = parser.parse_args()
+
+    with open(args.results) as handle:
+        results = json.load(handle)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    measured = load_counters(results)
+    failures = 0
+    warnings = 0
+    rows = []
+
+    for name, spec in sorted(baseline.get("counters", {}).items()):
+        counter = spec["counter"]
+        pinned = float(spec["value"])
+        bench = measured.get(name)
+        if bench is None:
+            print(f"::error::perf gate: benchmark '{name}' missing "
+                  f"from results (did the --benchmark_filter drop it?)")
+            failures += 1
+            continue
+        current = bench.get(counter)
+        if current is None:
+            print(f"::error::perf gate: benchmark '{name}' reports no "
+                  f"'{counter}' counter")
+            failures += 1
+            continue
+        current = float(current)
+        if args.update:
+            spec["value"] = current
+            rows.append((name, counter, pinned, current, None))
+            continue
+        if pinned <= 0:
+            print(f"::error::perf gate: baseline for '{name}' is "
+                  f"non-positive ({pinned}); re-baseline with --update")
+            failures += 1
+            continue
+        regression = (pinned - current) / pinned * 100.0
+        rows.append((name, counter, pinned, current, regression))
+        if regression > args.fail_pct:
+            print(f"::error::perf gate: {name} {counter} regressed "
+                  f"{regression:.1f}% ({pinned:.3g} -> {current:.3g}, "
+                  f"fail threshold {args.fail_pct:g}%)")
+            failures += 1
+        elif regression > args.warn_pct:
+            print(f"::warning::perf gate: {name} {counter} regressed "
+                  f"{regression:.1f}% ({pinned:.3g} -> {current:.3g})")
+            warnings += 1
+        elif -regression > args.warn_pct:
+            print(f"::warning::perf gate: {name} {counter} improved "
+                  f"{-regression:.1f}% ({pinned:.3g} -> {current:.3g}); "
+                  f"consider re-baselining with --update")
+
+    header = f"{'benchmark':32} {'counter':16} {'baseline':>12} " \
+             f"{'current':>12} {'delta':>8}"
+    print(header)
+    print("-" * len(header))
+    for name, counter, pinned, current, regression in rows:
+        delta = "updated" if regression is None \
+            else f"{-regression:+.1f}%"
+        print(f"{name:32} {counter:16} {pinned:12.4g} "
+              f"{current:12.4g} {delta:>8}")
+
+    if args.update:
+        with open(args.baseline, "w") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if failures:
+        print(f"perf gate: FAIL ({failures} counter(s) past "
+              f"{args.fail_pct:g}%)")
+        return 1
+    status = f"{warnings} warning(s)" if warnings else "all green"
+    print(f"perf gate: OK ({status})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
