@@ -20,6 +20,11 @@
  *   --qps Q       open-loop offered load in requests/s (0 = closed loop)
  *   --arrival A   arrival process: poisson | bursty | diurnal
  *   --slo US      p99 latency SLO in microseconds (0 = none)
+ *   --topology SPEC  explicit machine description, one node per entry:
+ *                 "local:pages=N;cxl:pages=M:lat=150:bw=64;
+ *                 cxl-far:pages=K:lat=300" — lat marks a lower tier
+ *                 (CPU-less unless cpu=1); overrides the canned
+ *                 two-node build (see ExperimentConfig::topology)
  *   --shards N    worker threads ticking shard regions in epoch
  *                 lockstep (harness/shard.hh); 1 = the single-stack
  *                 engine and bit-identical legacy output
@@ -79,6 +84,8 @@ struct BenchOptions {
     bool verbose = false;
     /** --tenants spec (see parseTenants); empty = single workload. */
     std::string tenantsSpec;
+    /** --topology spec (see parseTopology); empty = canned machine. */
+    std::string topologySpec;
     /** --sysctl name=value assignments, applied to every run. */
     std::vector<std::pair<std::string, std::string>> sysctls;
     /** Open-loop traffic (--qps/--arrival/--slo); qps 0 = closed. */
@@ -130,8 +137,10 @@ printUsage(const char *argv0)
                 "       %*s [--sample-ms N] [--tenants SPEC] [--verbose]\n"
                 "       %*s [--sysctl NAME=VALUE] [--qps QPS]\n"
                 "       %*s [--arrival poisson|bursty|diurnal] [--slo US]\n"
-                "       %*s [--shards N] [--shard-regions R]\n",
-                argv0, pad, "", pad, "", pad, "", pad, "", pad, "");
+                "       %*s [--topology SPEC] [--shards N]\n"
+                "       %*s [--shard-regions R]\n",
+                argv0, pad, "", pad, "", pad, "", pad, "", pad, "",
+                pad, "");
 }
 
 /**
@@ -171,6 +180,8 @@ parseBenchArgs(int argc, char **argv)
                 tpp_fatal("--sample-ms expects a period > 0");
         } else if (arg == "--tenants") {
             opt.tenantsSpec = next();
+        } else if (arg == "--topology") {
+            opt.topologySpec = next();
         } else if (arg == "--sysctl") {
             opt.sysctls.push_back(
                 specValueOrDie(parseAssignment(next())));
@@ -227,6 +238,7 @@ makeConfig(const BenchOptions &opt)
         cfg.sysctls.push_back(assignment);
     if (!opt.tenantsSpec.empty())
         cfg.tenants = specValueOrDie(parseTenants(opt.tenantsSpec));
+    cfg.topology = opt.topologySpec;
     if (opt.openLoop.enabled()) {
         if (!cfg.tenants.empty()) {
             // With --tenants, the run-wide flags are a default each

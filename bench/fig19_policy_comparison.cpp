@@ -41,11 +41,15 @@ main(int argc, char **argv)
         ExperimentConfig base = bench::makeConfig(opt);
         base.workload = c.workload;
         base.allLocal = true;
+        // The baseline is the canned all-local box even when --topology
+        // reshapes the comparison runs.
+        base.topology.clear();
         base.policy = "linux";
         cfgs.push_back(base);
         for (const char *policy : policies) {
             ExperimentConfig cfg = base;
             cfg.allLocal = false;
+            cfg.topology = opt.topologySpec;
             cfg.localFraction = parseRatio(c.ratio);
             cfg.policy = policy;
             cfgs.push_back(cfg);

@@ -37,11 +37,15 @@ main(int argc, char **argv)
         ExperimentConfig base = bench::makeConfig(opt);
         base.workload = c.workload;
         base.allLocal = true;
+        // The baseline is the canned all-local box even when --topology
+        // reshapes the comparison run.
+        base.topology.clear();
         base.policy = "linux";
         cfgs.push_back(base);
 
         ExperimentConfig cfg = base;
         cfg.allLocal = false;
+        cfg.topology = opt.topologySpec;
         cfg.localFraction = parseRatio(c.ratio);
         cfg.policy = "tpp";
         cfg.tpp.typeAwareAllocation = true;

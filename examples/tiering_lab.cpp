@@ -12,7 +12,8 @@
  *
  * Usage:
  *   tiering_lab [--workload NAME[,NAME...]] [--policy NAME[,NAME...]]
- *               [--ratio L:C | --all-local] [--wss pages] [--seed S]
+ *               [--ratio L:C | --all-local | --topology SPEC]
+ *               [--wss pages] [--seed S]
  *               [--jobs N] [--sysctl name=value]...
  *               [--csv] [--json] [--meminfo] [--verbose]
  *
@@ -36,6 +37,7 @@ struct Options {
     std::vector<std::string> policies = {"tpp"};
     std::string ratio = "2:1";
     bool allLocal = false;
+    std::string topologySpec;
     std::uint64_t wss = 32768;
     std::uint64_t seed = 1;
     unsigned jobs = 1;
@@ -84,6 +86,8 @@ parseArgs(int argc, char **argv)
             opt.ratio = next();
         } else if (arg == "--all-local") {
             opt.allLocal = true;
+        } else if (arg == "--topology") {
+            opt.topologySpec = next();
         } else if (arg == "--wss") {
             opt.wss = bench::parseCount("--wss", next());
         } else if (arg == "--seed") {
@@ -130,7 +134,9 @@ main(int argc, char **argv)
             cfg.wssPages = opt.wss;
             cfg.seed = opt.seed;
             cfg.sysctls = opt.sysctls;
-            if (opt.allLocal)
+            if (!opt.topologySpec.empty())
+                cfg.topology = opt.topologySpec;
+            else if (opt.allLocal)
                 cfg.allLocal = true;
             else
                 cfg.localFraction = parseRatio(opt.ratio);

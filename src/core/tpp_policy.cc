@@ -11,10 +11,15 @@ namespace tpp {
 void
 TppPolicy::applyWatermarks()
 {
-    // Derive each CPU node's watermark set from the configured
-    // demote_scale_factor (§5.2).
+    // Derive the watermark set of every demoting node from the
+    // configured demote_scale_factor (§5.2). With demotion chains this
+    // covers the middle tiers too, so a cxl node holds headroom for the
+    // demotions arriving from above just as local does for allocations.
     MemorySystem &mem = kernel_->mem();
-    for (NodeId nid : mem.cpuNodes()) {
+    for (std::size_t i = 0; i < mem.numNodes(); ++i) {
+        const NodeId nid = static_cast<NodeId>(i);
+        if (!demotesFrom(nid))
+            continue;
         MemoryNode &node = mem.node(nid);
         node.setWatermarks(Watermarks::forCapacity(node.capacity(),
                                                    cfg_.demoteScaleFactor));
@@ -29,22 +34,22 @@ TppPolicy::attach(Kernel &kernel)
     applyWatermarks();
 
     // Mode resolution (§5.3): Classic NUMA balancing on a machine with
-    // a single local node is automatically downgraded to the tiered
-    // mode; auto-detection picks Tiered whenever CXL memory exists.
-    const MemorySystem &mem = kernel.mem();
+    // a single toptier node is automatically downgraded to the tiered
+    // mode; auto-detection picks Tiered whenever lower tiers exist.
+    const TierHierarchy &tiers = kernel.mem().tiers();
     switch (cfg_.mode) {
       case NumaMode::Tiered:
         effectiveMode_ = NumaMode::Tiered;
         break;
       case NumaMode::Classic:
-        effectiveMode_ = (mem.cpuNodes().size() == 1 &&
-                          !mem.cxlNodes().empty())
+        effectiveMode_ = (tiers.toptierNodes().size() == 1 &&
+                          !tiers.belowToptier().empty())
                              ? NumaMode::Tiered
                              : NumaMode::Classic;
         break;
       case NumaMode::AutoDetect:
-        effectiveMode_ = mem.cxlNodes().empty() ? NumaMode::Classic
-                                                : NumaMode::Tiered;
+        effectiveMode_ = tiers.belowToptier().empty() ? NumaMode::Classic
+                                                      : NumaMode::Tiered;
         break;
     }
 
@@ -60,6 +65,8 @@ TppPolicy::attach(Kernel &kernel)
                         &cfg_.typeAwareAllocation);
     sysctl.registerBool("vm.tpp.active_lru_filter",
                         &cfg_.activeLruFilter);
+    sysctl.registerBool("vm.tpp.demote_chain", &cfg_.demoteChain,
+                        [this] { applyWatermarks(); });
     sysctl.registerDouble("kernel.numa_balancing_promote_rate_limit_MBps",
                           &cfg_.promoteRateLimitMBps, nullptr,
                           /*min_value=*/0.0);
@@ -93,19 +100,30 @@ TppPolicy::allocPreferredNode(PageType type, NodeId task_nid)
 }
 
 bool
+TppPolicy::demotesFrom(NodeId nid) const
+{
+    // The toptier always demotes (§5.1) — even on a DRAM-only machine,
+    // where the empty demotion order makes the attempt fall through to
+    // swap page by page, preserving the historical counters. Middle
+    // tiers chain downward only when vm.tpp.demote_chain is on; the
+    // bottom tier always reclaims by swapping.
+    const TierHierarchy &tiers = kernel_->mem().tiers();
+    if (tiers.isToptier(nid))
+        return true;
+    return cfg_.demoteChain && !tiers.isBottomTier(nid);
+}
+
+bool
 TppPolicy::reclaimByDemotion(NodeId nid) const
 {
-    // CPU nodes demote to the CXL tier; CXL nodes themselves fall back
-    // to the default reclamation mechanism (§5.1).
-    return !kernel_->mem().node(nid).cpuLess();
+    return demotesFrom(nid);
 }
 
 ReclaimMarks
 TppPolicy::kswapdMarks(NodeId nid) const
 {
-    const MemoryNode &node = kernel_->mem().node(nid);
-    const Watermarks &wm = node.watermarks();
-    if (cfg_.decoupleWatermarks && !node.cpuLess())
+    const Watermarks &wm = kernel_->mem().node(nid).watermarks();
+    if (cfg_.decoupleWatermarks && demotesFrom(nid))
         return ReclaimMarks{wm.demoteTrigger, wm.demoteTarget};
     return ReclaimMarks{wm.low, wm.high};
 }
@@ -115,9 +133,10 @@ TppPolicy::scanNode(NodeId nid) const
 {
     if (effectiveMode_ == NumaMode::Classic)
         return true; // classic AutoNUMA samples everything
-    // NUMA_BALANCING_TIERED: sample only CXL nodes; poisoning local
-    // pages would only generate useless hint-fault overhead (§5.3).
-    return kernel_->mem().node(nid).cpuLess();
+    // NUMA_BALANCING_TIERED: sample only below-toptier nodes; poisoning
+    // toptier pages would only generate useless hint-fault overhead
+    // (§5.3).
+    return !kernel_->mem().tiers().isToptier(nid);
 }
 
 void
@@ -127,7 +146,7 @@ TppPolicy::scanTick()
         for (std::size_t i = 0; i < kernel_->mem().numNodes(); ++i)
             kernel_->sampleNode(static_cast<NodeId>(i), cfg_.scanBatch);
     } else {
-        for (NodeId nid : kernel_->mem().cxlNodes())
+        for (NodeId nid : kernel_->mem().tiers().belowToptier())
             kernel_->sampleNode(nid, cfg_.scanBatch);
     }
     kernel_->eventQueue().scheduleAfter(cfg_.scanPeriod,
@@ -158,13 +177,14 @@ NodeId
 TppPolicy::promotionTarget(NodeId task_nid) const
 {
     const MemorySystem &mem = kernel_->mem();
-    if (!mem.node(task_nid).cpuLess())
+    const TierHierarchy &tiers = mem.tiers();
+    if (tiers.isToptier(task_nid))
         return task_nid;
-    // Task nominally on a CPU-less node (shared-memory case): pick the
-    // CPU node with the lowest memory pressure (§5.3).
-    NodeId best = mem.cpuNodes().front();
+    // Task nominally on a lower-tier node (shared-memory case): pick
+    // the toptier node with the lowest memory pressure (§5.3).
+    NodeId best = tiers.toptierNodes().front();
     std::uint64_t best_free = mem.node(best).freePages();
-    for (NodeId nid : mem.cpuNodes()) {
+    for (NodeId nid : tiers.toptierNodes()) {
         if (mem.node(nid).freePages() > best_free) {
             best = nid;
             best_free = mem.node(nid).freePages();
@@ -190,9 +210,18 @@ TppPolicy::onHintFault(Pfn pfn, NodeId task_nid)
         return cost;
     }
 
-    if (!k.mem().node(frame.nid).cpuLess()) {
-        // Only CXL pages are sampled; a local hint fault would mean the
-        // page migrated between sampling and faulting. Nothing to do.
+    if (k.mem().tiers().isToptier(frame.nid)) {
+        // Only lower-tier pages are sampled; a toptier hint fault would
+        // mean the page migrated between sampling and faulting. Nothing
+        // to do.
+        return 0.0;
+    }
+
+    if (frame.lru == LruListId::None) {
+        // Sampled before it was isolated for a queued migration (a
+        // lower tier can sit in the demote queue now): it is off the
+        // LRU, so neither the activate step nor promotion applies —
+        // the pending move wins.
         return 0.0;
     }
 

@@ -86,6 +86,9 @@ class TppPolicy : public PlacementPolicy
     /** Re-derive node watermarks from the current scale factor. */
     void applyWatermarks();
 
+    /** True when reclaim on `nid` goes through demotion, not swap. */
+    bool demotesFrom(NodeId nid) const;
+
     TppConfig cfg_;
     NumaMode effectiveMode_ = NumaMode::Tiered;
     double promoteTokensBytes_ = 0.0;

@@ -104,6 +104,100 @@ parseTenantsSpec(const std::string &spec)
     return std::move(*tenants);
 }
 
+SpecResult<MemoryConfig>
+parseTopology(const std::string &spec)
+{
+    const auto entries = parseSpec(spec, /*with_head=*/true);
+    if (!entries)
+        return makeUnexpected(entries.error());
+
+    MemoryConfig cfg;
+    for (const SpecEntry &entry : *entries) {
+        if (entry.head().empty())
+            return specError("--topology node entry has no name",
+                             entry.raw());
+        for (const NodeConfig &prev : cfg.nodes) {
+            if (prev.profile.name == entry.head()) {
+                return specError("--topology node name repeats",
+                                 entry.head());
+            }
+        }
+
+        std::uint64_t pages = 0;
+        if (auto r = entry.getU64("pages", &pages, /*min_value=*/1); !r)
+            return makeUnexpected(r.error());
+        // `lat` present marks a lower tier: the node is CPU-less unless
+        // the entry also says cpu=1 (a slow socket is still toptier).
+        const bool has_lat = entry.has("lat");
+        double lat = TopologyBuilder::kLocalLatencyNs;
+        if (auto r = entry.getDouble("lat", &lat, 1.0, 1e9); !r)
+            return makeUnexpected(r.error());
+        std::uint64_t cpu = has_lat ? 0 : 1;
+        if (auto r = entry.getU64("cpu", &cpu, 0, 1); !r)
+            return makeUnexpected(r.error());
+        const bool cpu_less = cpu == 0;
+        double bw = cpu_less ? TopologyBuilder::kCxlBandwidthGBps
+                             : TopologyBuilder::kLocalBandwidthGBps;
+        if (auto r = entry.getDouble("bw", &bw, 0.1, 1e9); !r)
+            return makeUnexpected(r.error());
+        if (auto r = entry.finish("pages, lat, bw, cpu"); !r)
+            return makeUnexpected(r.error());
+
+        if (pages == 0)
+            return specError("--topology node has no pages", entry.head());
+        cfg.nodes.push_back(
+            NodeConfig{pages, NodeProfile{lat, bw, cpu_less,
+                                          entry.head()}});
+    }
+    if (cfg.nodes.empty())
+        return specError("--topology spec names no nodes", spec);
+
+    bool any_cpu = false;
+    for (const NodeConfig &nc : cfg.nodes)
+        any_cpu = any_cpu || !nc.profile.cpuLess;
+    if (!any_cpu) {
+        return specError("--topology has no CPU-attached node (every "
+                         "entry sets lat= without cpu=1)",
+                         spec);
+    }
+
+    // Distances follow the tier structure the same way the canned
+    // machines do: 10 on the diagonal, one extra 10 per hop away from
+    // the CPU. A CPU node is hop 0; the k-th distinct CPU-less latency
+    // class (ascending) is hop k.
+    std::vector<double> latencies;
+    for (const NodeConfig &nc : cfg.nodes)
+        if (nc.profile.cpuLess)
+            latencies.push_back(nc.profile.idleLatencyNs);
+    std::sort(latencies.begin(), latencies.end());
+    latencies.erase(std::unique(latencies.begin(), latencies.end()),
+                    latencies.end());
+    std::vector<std::uint32_t> hop;
+    for (const NodeConfig &nc : cfg.nodes) {
+        if (!nc.profile.cpuLess) {
+            hop.push_back(0);
+            continue;
+        }
+        const auto it =
+            std::lower_bound(latencies.begin(), latencies.end(),
+                             nc.profile.idleLatencyNs);
+        hop.push_back(1 + static_cast<std::uint32_t>(
+                              it - latencies.begin()));
+    }
+    const std::size_t n = cfg.nodes.size();
+    cfg.distances.assign(n, std::vector<std::uint32_t>(n, 10));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            cfg.distances[i][j] =
+                10 + 10 * std::max<std::uint32_t>(
+                              1, std::max(hop[i], hop[j]));
+        }
+    }
+    return cfg;
+}
+
 SpecResult<void>
 ExperimentConfig::validate() const
 {
@@ -122,6 +216,23 @@ ExperimentConfig::validate() const
         return specError("config measureFrom is after runUntil");
     if (sampleEvery == 0)
         return specError("config sampleEvery must be > 0");
+
+    if (!topology.empty()) {
+        if (allLocal) {
+            return specError("config topology and allLocal are mutually "
+                             "exclusive (describe the one node in the "
+                             "topology instead)",
+                             topology);
+        }
+        if (auto topo = parseTopology(topology); !topo)
+            return makeUnexpected(topo.error());
+        if (effectiveShardRegions() > 1) {
+            return specError("config topology and shards are mutually "
+                             "exclusive (regions slice the canned "
+                             "two-node machine)",
+                             topology);
+        }
+    }
 
     if (shards == 0)
         return specError("config shards must be >= 1", "0");
@@ -283,6 +394,93 @@ arrivalSeed(std::uint64_t seed)
 }
 
 /**
+ * The machine a config describes: the explicit --topology spec when one
+ * is given, else the canned all-local / two-node build sized from the
+ * working set. validate() already vetted the spec, so a parse failure
+ * here is a programming error, not user input.
+ */
+MemoryConfig
+machineConfig(const ExperimentConfig &cfg, std::uint64_t total_pages)
+{
+    if (!cfg.topology.empty()) {
+        SpecResult<MemoryConfig> topo = parseTopology(cfg.topology);
+        if (!topo)
+            tpp_fatal("%s", topo.error().render().c_str());
+        return std::move(*topo);
+    }
+    if (cfg.allLocal)
+        return TopologyBuilder::allLocal(total_pages);
+    const std::uint64_t local_pages = static_cast<std::uint64_t>(
+        static_cast<double>(total_pages) * cfg.localFraction);
+    return TopologyBuilder::cxlSystem(local_pages,
+                                      total_pages - local_pages);
+}
+
+/**
+ * Fraction of measurement-window accesses served by the toptier,
+ * summed over every CPU node: on a multi-socket machine socket-1
+ * traffic is just as local as socket-0's.
+ */
+double
+localShareOf(const WorkloadDriver &driver, const MemorySystem &mem)
+{
+    double share = 0.0;
+    for (NodeId nid : mem.tiers().toptierNodes())
+        share += driver.trafficShare(nid);
+    return share;
+}
+
+/**
+ * End-of-run residency split for one page type: toptier-resident pages
+ * over pages resident on *any* node. Both sums walk every node, so a
+ * second socket neither drops out of the numerator nor the denominator.
+ */
+double
+localResidencyOf(const Kernel &kernel, const MemorySystem &mem,
+                 PageType type)
+{
+    std::uint64_t on_local = 0;
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < mem.numNodes(); ++i) {
+        const NodeId nid = static_cast<NodeId>(i);
+        const std::uint64_t resident = kernel.residentPages(nid, type);
+        total += resident;
+        if (mem.tiers().isToptier(nid))
+            on_local += resident;
+    }
+    return total ? static_cast<double>(on_local) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+/**
+ * Per-node residency and traffic rows. Populated only past the plain
+ * two-node shapes (an explicit topology or > 2 nodes), so existing
+ * two-node CSV/JSON output stays byte-identical.
+ */
+void
+collectNodeRows(const ExperimentConfig &cfg, const Kernel &kernel,
+                const MemorySystem &mem, const WorkloadDriver &driver,
+                ExperimentResult *result)
+{
+    if (cfg.topology.empty() && mem.numNodes() <= 2)
+        return;
+    for (std::size_t i = 0; i < mem.numNodes(); ++i) {
+        const NodeId nid = static_cast<NodeId>(i);
+        const MemoryNode &node = mem.node(nid);
+        NodeResult row;
+        row.name = node.profile().name;
+        row.tierRank = mem.tiers().rank(nid);
+        row.capacityPages = node.capacity();
+        row.anonPages = kernel.residentPages(nid, PageType::Anon);
+        row.filePages = kernel.residentPages(nid, PageType::File);
+        row.freePages = node.freePages();
+        row.trafficShare = driver.trafficShare(nid);
+        result->nodes.push_back(std::move(row));
+    }
+}
+
+/**
  * The multi-tenant variant of runExperiment: one workload per tenant,
  * each process attached to its own memory cgroup, all sharing one
  * kernel and one event queue. Kept separate so the single-workload
@@ -312,15 +510,7 @@ runTenantExperiment(const ExperimentConfig &cfg)
 
     const std::uint64_t total_pages = static_cast<std::uint64_t>(
         static_cast<double>(total_wss) * cfg.capacityHeadroom);
-    MemoryConfig mem_cfg;
-    if (cfg.allLocal) {
-        mem_cfg = TopologyBuilder::allLocal(total_pages);
-    } else {
-        const std::uint64_t local_pages = static_cast<std::uint64_t>(
-            static_cast<double>(total_pages) * cfg.localFraction);
-        mem_cfg = TopologyBuilder::cxlSystem(local_pages,
-                                             total_pages - local_pages);
-    }
+    const MemoryConfig mem_cfg = machineConfig(cfg, total_pages);
 
     EventQueue eq;
     MemorySystem mem(mem_cfg);
@@ -396,7 +586,7 @@ runTenantExperiment(const ExperimentConfig &cfg)
     for (std::size_t i = 0; i < cfg.tenants.size(); ++i) {
         workloads.push_back(WorkloadRegistry::instance().make(WorkloadSpec{
             cfg.tenants[i].workload, wss[i], cfg.seed + i}));
-        workloads.back()->setTaskNode(mem.cpuNodes().front());
+        workloads.back()->setTaskNode(mem.tiers().toptierNodes().front());
         if (observers.size() == 1) {
             workloads.back()->setObserver(observers.front());
         } else if (observers.size() > 1) {
@@ -444,8 +634,9 @@ runTenantExperiment(const ExperimentConfig &cfg)
     }
     if (latency_weight > 0.0)
         result.meanAccessLatencyNs /= latency_weight;
-    const NodeId local = mem.cpuNodes().front();
-    result.localTrafficShare = drivers.front()->trafficShare(local);
+    // Every driver sees the same kernel-global traffic window, so one
+    // driver's view is the machine's.
+    result.localTrafficShare = localShareOf(*drivers.front(), mem);
     result.cxlTrafficShare = 1.0 - result.localTrafficShare;
     result.samples = drivers.front()->samples();
     result.vmstat = kernel.vmstat();
@@ -457,20 +648,11 @@ runTenantExperiment(const ExperimentConfig &cfg)
     }
     if (sampler)
         result.series = sampler->takeSeries();
-    for (PageType type : {PageType::Anon, PageType::File}) {
-        std::uint64_t on_local = kernel.residentPages(local, type);
-        std::uint64_t total = on_local;
-        for (NodeId nid : mem.cxlNodes())
-            total += kernel.residentPages(nid, type);
-        const double share =
-            total ? static_cast<double>(on_local) /
-                        static_cast<double>(total)
-                  : 0.0;
-        if (type == PageType::Anon)
-            result.anonLocalResidency = share;
-        else
-            result.fileLocalResidency = share;
-    }
+    result.anonLocalResidency =
+        localResidencyOf(kernel, mem, PageType::Anon);
+    result.fileLocalResidency =
+        localResidencyOf(kernel, mem, PageType::File);
+    collectNodeRows(cfg, kernel, mem, *drivers.front(), &result);
 
     // Per-tenant rows.
     for (std::size_t i = 0; i < cfg.tenants.size(); ++i) {
@@ -555,7 +737,7 @@ runTenantExperiment(const ExperimentConfig &cfg)
         // count, up to its *capacity share* of the local tier (a tenant
         // is entitled to local_capacity * wss_i / total_wss pages).
         std::uint64_t local_capacity = 0;
-        for (NodeId nid : mem.cpuNodes())
+        for (NodeId nid : mem.tiers().toptierNodes())
             local_capacity += mem.node(nid).capacity();
 
         using Entry = std::pair<std::uint64_t, std::uint64_t>;
@@ -595,7 +777,7 @@ runTenantExperiment(const ExperimentConfig &cfg)
                 if (vpn >= as.tableSize() || !as.pte(vpn).present())
                     continue;
                 considered++;
-                if (!mem.node(mem.frame(as.pte(vpn).pfn).nid).cpuLess())
+                if (mem.tiers().isToptier(mem.frame(as.pte(vpn).pfn).nid))
                     resident_local++;
             }
             result.tenants[i].hotSetPages = considered;
@@ -630,15 +812,7 @@ runExperiment(const ExperimentConfig &cfg)
     // Build the machine.
     const std::uint64_t total_pages = static_cast<std::uint64_t>(
         static_cast<double>(cfg.wssPages) * cfg.capacityHeadroom);
-    MemoryConfig mem_cfg;
-    if (cfg.allLocal) {
-        mem_cfg = TopologyBuilder::allLocal(total_pages);
-    } else {
-        const std::uint64_t local_pages = static_cast<std::uint64_t>(
-            static_cast<double>(total_pages) * cfg.localFraction);
-        mem_cfg = TopologyBuilder::cxlSystem(local_pages,
-                                             total_pages - local_pages);
-    }
+    const MemoryConfig mem_cfg = machineConfig(cfg, total_pages);
 
     EventQueue eq;
     MemorySystem mem(mem_cfg);
@@ -672,7 +846,7 @@ runExperiment(const ExperimentConfig &cfg)
     // Build the workload by registered name.
     std::unique_ptr<Workload> workload = WorkloadRegistry::instance().make(
         WorkloadSpec{cfg.workload, cfg.wssPages, cfg.seed});
-    workload->setTaskNode(mem.cpuNodes().front());
+    workload->setTaskNode(mem.tiers().toptierNodes().front());
 
     // Workload-side observers. Up to three consumers may want the
     // access stream (the optional Chameleon profiler, a hotness source
@@ -726,8 +900,7 @@ runExperiment(const ExperimentConfig &cfg)
     result.policy = cfg.policy;
     result.throughput = driver.throughput();
     result.meanAccessLatencyNs = driver.meanAccessLatencyNs();
-    const NodeId local = mem.cpuNodes().front();
-    result.localTrafficShare = driver.trafficShare(local);
+    result.localTrafficShare = localShareOf(driver, mem);
     result.cxlTrafficShare = 1.0 - result.localTrafficShare;
     result.samples = driver.samples();
     result.vmstat = kernel.vmstat();
@@ -743,27 +916,18 @@ runExperiment(const ExperimentConfig &cfg)
         result.series = sampler->takeSeries();
 
     // Residency split at end of run.
-    for (PageType type : {PageType::Anon, PageType::File}) {
-        std::uint64_t on_local = kernel.residentPages(local, type);
-        std::uint64_t total = on_local;
-        for (NodeId nid : mem.cxlNodes())
-            total += kernel.residentPages(nid, type);
-        const double share =
-            total ? static_cast<double>(on_local) /
-                        static_cast<double>(total)
-                  : 0.0;
-        if (type == PageType::Anon)
-            result.anonLocalResidency = share;
-        else
-            result.fileLocalResidency = share;
-    }
+    result.anonLocalResidency =
+        localResidencyOf(kernel, mem, PageType::Anon);
+    result.fileLocalResidency =
+        localResidencyOf(kernel, mem, PageType::File);
+    collectNodeRows(cfg, kernel, mem, driver, &result);
 
     if (cfg.measureHotness) {
         // True hot set: the top pages by measured access count, as many
         // as the local tier could hold. Recall = the fraction of them
         // the policy actually got (or kept) local by the end.
         std::uint64_t local_capacity = 0;
-        for (NodeId nid : mem.cpuNodes())
+        for (NodeId nid : mem.tiers().toptierNodes())
             local_capacity += mem.node(nid).capacity();
         std::vector<std::pair<std::uint64_t, std::uint64_t>> ranked(
             true_counts.begin(), true_counts.end());
@@ -783,7 +947,7 @@ runExperiment(const ExperimentConfig &cfg)
             if (vpn >= as.tableSize() || !as.pte(vpn).present())
                 continue;
             considered++;
-            if (!mem.node(mem.frame(as.pte(vpn).pfn).nid).cpuLess())
+            if (mem.tiers().isToptier(mem.frame(as.pte(vpn).pfn).nid))
                 resident_local++;
         }
         result.hotSetPages = considered;

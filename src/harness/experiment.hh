@@ -27,6 +27,7 @@
 
 #include "chameleon/chameleon.hh"
 #include "harness/spec.hh"
+#include "mem/memory_system.hh"
 #include "mm/memcg/memcg.hh"
 #include "mm/meminfo.hh"
 #include "mm/migration/migration_config.hh"
@@ -142,6 +143,24 @@ struct ExperimentConfig : PolicyParams {
      * pass 2/3, 1:4 configs pass 1/5 (§6.2).
      */
     double localFraction = 2.0 / 3.0;
+    /**
+     * Explicit machine description; empty (the default) keeps the
+     * canned two-node build from allLocal/localFraction, which stay
+     * as sugar for the common shapes. The grammar is the PR 6 spec
+     * form, one node per entry:
+     *
+     *     local:pages=N;cxl:pages=M:lat=150:bw=64;cxl-far:pages=K:lat=300
+     *
+     * The entry head names the node; `pages` is required. A node with
+     * `lat` set is CPU-less (a lower tier) unless it also says `cpu=1`;
+     * one without `lat` is a CPU node at the local latency point.
+     * `bw` defaults to the local/CXL bandwidth constants. Distances
+     * derive from the tier structure: 10 on the diagonal, and
+     * 10 + 10 * max(hop_i, hop_j) otherwise, where a CPU node is hop 0
+     * and the k-th distinct CPU-less latency class is hop k — the same
+     * shape TopologyBuilder's canned machines use.
+     */
+    std::string topology;
     /** Total capacity relative to the working-set reservation. */
     double capacityHeadroom = 1.03;
     /** Registered policy name: "linux", "numa-balancing",
@@ -251,6 +270,23 @@ struct ShardStats {
     double rebalancedMBps = 0.0;
 };
 
+/**
+ * Per-node slice of an ExperimentResult: end-of-run residency and
+ * measurement-window traffic for one memory node. Populated only on
+ * machines with more than two nodes or an explicit cfg.topology, so
+ * two-node exports stay byte-identical.
+ */
+struct NodeResult {
+    std::string name;       //!< NodeProfile name ("local", "cxl0", ...)
+    unsigned tierRank = 0;  //!< 0 = toptier
+    std::uint64_t capacityPages = 0;
+    std::uint64_t anonPages = 0;
+    std::uint64_t filePages = 0;
+    std::uint64_t freePages = 0;
+    /** Fraction of measurement-window accesses served by this node. */
+    double trafficShare = 0.0;
+};
+
 /** Everything a figure/table needs from one run. */
 struct ExperimentResult {
     std::string workload;
@@ -281,6 +317,9 @@ struct ExperimentResult {
     double hotSetRecall = 0.0;
     /** Size of the measured true hot set behind hotSetRecall. */
     std::uint64_t hotSetPages = 0;
+    /** Per-node rows, node-id order; empty on plain two-node machines
+     *  (see NodeResult). */
+    std::vector<NodeResult> nodes;
     /** Per-tenant rows, in cfg.tenants order (empty otherwise). */
     std::vector<TenantResult> tenants;
     /** Open-loop tail-latency summary (cfg.openLoop / tenant qps);
@@ -308,6 +347,13 @@ SpecResult<std::vector<TenantSpec>> parseTenants(const std::string &spec);
 
 /** Compatibility wrapper over parseTenants(); fatal() on bad input. */
 std::vector<TenantSpec> parseTenantsSpec(const std::string &spec);
+
+/**
+ * Parse a --topology spec (see ExperimentConfig::topology) into a
+ * machine description. Errors come back as values naming the offending
+ * token; nothing is printed and nothing exits.
+ */
+SpecResult<MemoryConfig> parseTopology(const std::string &spec);
 
 /**
  * Instantiate the config's policy via PolicyRegistry. Unknown names

@@ -1,5 +1,6 @@
 #include "harness/export.hh"
 
+#include <algorithm>
 #include <iomanip>
 
 #include "trace/trace_io.hh"
@@ -45,14 +46,16 @@ void
 writeResultsCsv(std::ostream &out,
                 const std::vector<ExperimentResult> &results)
 {
-    // Open-loop and error columns appear only when some run carries
-    // them, so closed-loop outputs stay byte-identical to before the
-    // open-loop layer existed.
+    // Open-loop, per-node and error columns appear only when some run
+    // carries them, so closed-loop two-node outputs stay byte-identical
+    // to before those layers existed.
     bool open = false;
     bool errors = false;
+    std::size_t node_cols = 0;
     for (const ExperimentResult &r : results) {
         open = open || r.openLoop.enabled;
         errors = errors || r.failed();
+        node_cols = std::max(node_cols, r.nodes.size());
     }
     out << "workload,policy,throughput_ops_s,mean_access_latency_ns,"
            "local_traffic_share,cxl_traffic_share,anon_local_residency,"
@@ -60,6 +63,11 @@ writeResultsCsv(std::ostream &out,
     if (open) {
         out << ",offered_qps,p50_us,p99_us,p999_us,mean_queue_depth,"
                "goodput_ops_s,slo_attainment";
+    }
+    for (std::size_t i = 0; i < node_cols; ++i) {
+        out << ",node" << i << "_name,node" << i << "_tier,node" << i
+            << "_anon,node" << i << "_file,node" << i << "_free,node"
+            << i << "_traffic_share";
     }
     if (errors)
         out << ",error";
@@ -77,6 +85,18 @@ writeResultsCsv(std::ostream &out,
                 << ',' << ol.meanQueueDepth << ',' << ol.goodputQps
                 << ',' << std::setprecision(4) << ol.sloAttainment
                 << std::setprecision(3);
+        }
+        for (std::size_t i = 0; i < node_cols; ++i) {
+            if (i < r.nodes.size()) {
+                const NodeResult &n = r.nodes[i];
+                out << ',' << csvField(n.name) << ',' << n.tierRank
+                    << ',' << n.anonPages << ',' << n.filePages << ','
+                    << n.freePages << ',' << std::setprecision(4)
+                    << n.trafficShare << std::setprecision(3);
+            } else {
+                // Mixed machine sizes in one sweep: pad the short rows.
+                out << ",,,,,,";
+            }
         }
         if (errors)
             out << ',' << csvField(r.error);
@@ -205,6 +225,23 @@ writeResultJson(std::ostream &out, const ExperimentResult &result)
         out << "\n    \"" << vmName(counter) << "\": " << value;
     }
     out << "\n  },\n";
+    if (!result.nodes.empty()) {
+        out << "  \"nodes\": [";
+        for (std::size_t i = 0; i < result.nodes.size(); ++i) {
+            const NodeResult &n = result.nodes[i];
+            if (i)
+                out << ',';
+            out << "\n    {\"name\": \"" << jsonEscape(n.name)
+                << "\", \"tier\": " << n.tierRank
+                << ", \"capacity_pages\": " << n.capacityPages
+                << ", \"anon_pages\": " << n.anonPages
+                << ", \"file_pages\": " << n.filePages
+                << ", \"free_pages\": " << n.freePages
+                << ", \"traffic_share\": " << std::setprecision(4)
+                << n.trafficShare << std::setprecision(3) << "}";
+        }
+        out << "\n  ],\n";
+    }
     if (!result.tenants.empty()) {
         out << "  \"tenants\": [";
         for (std::size_t i = 0; i < result.tenants.size(); ++i) {

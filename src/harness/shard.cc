@@ -266,8 +266,12 @@ runShardedExperiment(const ExperimentConfig &cfg)
         const double ops = static_cast<double>(driver.measuredOps());
         result.meanAccessLatencyNs += driver.meanAccessLatencyNs() * ops;
         latency_weight += ops;
-        const NodeId local = region->mem.cpuNodes().front();
-        traffic_local += driver.trafficShare(local) * ops;
+        // Sum every toptier node's share: a multi-socket region's
+        // socket-1 traffic is local too.
+        double local_share = 0.0;
+        for (NodeId nid : region->mem.tiers().toptierNodes())
+            local_share += driver.trafficShare(nid);
+        traffic_local += local_share * ops;
         traffic_weight += ops;
     }
     if (latency_weight > 0.0)
@@ -298,12 +302,16 @@ runShardedExperiment(const ExperimentConfig &cfg)
         std::uint64_t on_local = 0;
         std::uint64_t total = 0;
         for (const auto &region : regions) {
-            const std::uint64_t local_pages = region->kernel.residentPages(
-                region->mem.cpuNodes().front(), type);
-            on_local += local_pages;
-            total += local_pages;
-            for (NodeId nid : region->mem.cxlNodes())
-                total += region->kernel.residentPages(nid, type);
+            // Walk every node: toptier pages feed the numerator, all
+            // resident pages the denominator, so no socket drops out.
+            for (std::size_t i = 0; i < region->mem.numNodes(); ++i) {
+                const NodeId nid = static_cast<NodeId>(i);
+                const std::uint64_t resident =
+                    region->kernel.residentPages(nid, type);
+                total += resident;
+                if (region->mem.tiers().isToptier(nid))
+                    on_local += resident;
+            }
         }
         const double share =
             total ? static_cast<double>(on_local) /

@@ -41,6 +41,7 @@ canonicalKey(const ExperimentConfig &cfg)
     field(out, "workload", cfg.workload);
     field(out, "wssPages", cfg.wssPages);
     field(out, "allLocal", cfg.allLocal);
+    field(out, "topology", cfg.topology);
     fieldDouble(out, "localFraction", cfg.localFraction);
     fieldDouble(out, "capacityHeadroom", cfg.capacityHeadroom);
     field(out, "policy", cfg.policy);
@@ -77,6 +78,7 @@ canonicalKey(const ExperimentConfig &cfg)
     field(out, "tpp.mode", static_cast<int>(cfg.tpp.mode));
     fieldDouble(out, "tpp.demoteScaleFactor", cfg.tpp.demoteScaleFactor);
     field(out, "tpp.decoupleWatermarks", cfg.tpp.decoupleWatermarks);
+    field(out, "tpp.demoteChain", cfg.tpp.demoteChain);
     field(out, "tpp.activeLruFilter", cfg.tpp.activeLruFilter);
     field(out, "tpp.promotionIgnoresWatermark",
           cfg.tpp.promotionIgnoresWatermark);
@@ -135,6 +137,9 @@ allLocalTwin(const ExperimentConfig &cfg)
 {
     ExperimentConfig twin = cfg;
     twin.allLocal = true;
+    // The reference machine is a single local node sized for the
+    // workload, whatever tier graph the real run described.
+    twin.topology.clear();
     twin.policy = "linux";
     twin.withChameleon = false;
     twin.sysctls.clear();

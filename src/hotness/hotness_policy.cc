@@ -60,7 +60,7 @@ HotnessPolicy::onHintFault(Pfn pfn, NodeId task_nid)
     Kernel &k = *kernel_;
     PageFrame &frame = k.mem().frame(pfn);
     k.mem().frameCold(pfn).lastHintFault = k.eventQueue().now();
-    if (k.mem().node(frame.nid).cpuLess())
+    if (!k.mem().tiers().isToptier(frame.nid))
         source_->noteHintFault(pfn, task_nid);
     return 0.0;
 }
@@ -78,7 +78,7 @@ HotnessPolicy::epochTick()
         PageFrame &frame = k.mem().frame(page.pfn);
         // The source's view can be one epoch stale; re-check liveness.
         if (frame.isFree() || frame.underMigration() ||
-            !k.mem().node(frame.nid).cpuLess())
+            k.mem().tiers().isToptier(frame.nid))
             continue;
         if (!promotionWithinRateLimit()) {
             k.vmstat().inc(Vm::PgPromoteFailRateLimit);

@@ -21,7 +21,7 @@ HotnessSource::cxlResident(Pfn pfn) const
     const PageFrame &frame = kernel_->mem().frame(pfn);
     if (frame.isFree())
         return false;
-    return kernel_->mem().node(frame.nid).cpuLess();
+    return !kernel_->mem().tiers().isToptier(frame.nid);
 }
 
 namespace {

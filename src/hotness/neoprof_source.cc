@@ -21,9 +21,9 @@ NeoProfSource::onKernelAccess(const PageFrame &frame, NodeId task_nid,
 {
     (void)task_nid;
     (void)now;
-    // The device only snoops the CXL link: local-tier traffic never
+    // The device only snoops the CXL link: toptier traffic never
     // reaches it, which is what makes the counters free for the CPU.
-    if (!kernel_->mem().node(frame.nid).cpuLess())
+    if (kernel_->mem().tiers().isToptier(frame.nid))
         return;
     track(frame.pfn);
 }
@@ -83,7 +83,7 @@ NeoProfSource::targetHotPages() const
     // The device aims its hot set at the frames the kernel could
     // actually accept: local free pages above the high watermark.
     std::uint64_t target = 0;
-    for (const NodeId nid : kernel_->mem().cpuNodes()) {
+    for (const NodeId nid : kernel_->mem().tiers().toptierNodes()) {
         const MemoryNode &node = kernel_->mem().node(nid);
         const std::uint64_t free = node.freePages();
         const std::uint64_t high = node.watermarks().high;

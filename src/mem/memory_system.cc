@@ -61,8 +61,14 @@ MemorySystem::MemorySystem(const MemoryConfig &cfg)
     if (cpuNodes_.empty())
         tpp_fatal("MemorySystem needs at least one CPU-attached node");
 
-    // Precompute demotion and fallback orders per node.
-    demotionOrder_.resize(n);
+    // Derive the tier hierarchy (ranks + per-node demotion chains) and
+    // precompute the allocator's zonelist fallback order per node.
+    std::vector<NodeProfile> profiles;
+    profiles.reserve(n);
+    for (const auto &nc : cfg.nodes)
+        profiles.push_back(nc.profile);
+    tiers_ = TierHierarchy(profiles, distances_);
+
     fallbackOrder_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
         std::vector<NodeId> all(n);
@@ -72,10 +78,6 @@ MemorySystem::MemorySystem(const MemoryConfig &cfg)
                              return distances_[i][a] < distances_[i][b];
                          });
         fallbackOrder_[i] = all;
-        for (NodeId nid : all) {
-            if (nodes_[nid].cpuLess() && nid != static_cast<NodeId>(i))
-                demotionOrder_[i].push_back(nid);
-        }
     }
 }
 
@@ -88,7 +90,7 @@ MemorySystem::distance(NodeId from, NodeId to) const
 const std::vector<NodeId> &
 MemorySystem::demotionOrder(NodeId from) const
 {
-    return demotionOrder_[from];
+    return tiers_.demotionOrder(from);
 }
 
 const std::vector<NodeId> &

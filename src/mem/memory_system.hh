@@ -19,6 +19,7 @@
 #include "mem/node.hh"
 #include "mem/page.hh"
 #include "mem/swap_device.hh"
+#include "mem/tier_hierarchy.hh"
 #include "sim/arena.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -121,12 +122,21 @@ class MemorySystem
     /** @return CPU-less node ids (the CXL tier). */
     const std::vector<NodeId> &cxlNodes() const { return cxlNodes_; }
 
+    /**
+     * The explicit tier graph: per-node tier ranks, toptier/bottom-tier
+     * membership and strictly-downward demotion chains. Policies should
+     * reason about tiers through this rather than the raw
+     * cpuNodes()/cxlNodes() split.
+     */
+    const TierHierarchy &tiers() const { return tiers_; }
+
     /** SLIT-style distance between two nodes. */
     std::uint32_t distance(NodeId from, NodeId to) const;
 
     /**
-     * CPU-less nodes ordered by distance from `from`: the static,
-     * distance-based demotion target order of §5.1.
+     * Strictly-lower-tier nodes ordered by distance from `from`: the
+     * static, distance-based demotion target order of §5.1, chained
+     * through the tier hierarchy. Empty for bottom-tier nodes.
      */
     const std::vector<NodeId> &demotionOrder(NodeId from) const;
 
@@ -151,7 +161,7 @@ class MemorySystem
     std::vector<std::vector<std::uint32_t>> distances_;
     std::vector<NodeId> cpuNodes_;
     std::vector<NodeId> cxlNodes_;
-    std::vector<std::vector<NodeId>> demotionOrder_;
+    TierHierarchy tiers_;
     std::vector<std::vector<NodeId>> fallbackOrder_;
     LatencyModel latencyModel_;
     SwapDevice swap_;

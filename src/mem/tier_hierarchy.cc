@@ -1,0 +1,70 @@
+#include "mem/tier_hierarchy.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace tpp {
+
+TierHierarchy::TierHierarchy(
+    const std::vector<NodeProfile> &profiles,
+    const std::vector<std::vector<std::uint32_t>> &distances)
+{
+    const std::size_t n = profiles.size();
+    if (n == 0)
+        tpp_fatal("TierHierarchy needs at least one node");
+    rank_.assign(n, 0);
+
+    // CPU-less latency classes, ascending: each distinct idle latency
+    // is one tier below the toptier. Grouping by latency (not by node)
+    // keeps two equal CXL expanders peers of one tier — demotion goes
+    // *past* them, never between them.
+    std::vector<double> latencies;
+    for (std::size_t i = 0; i < n; ++i)
+        if (profiles[i].cpuLess)
+            latencies.push_back(profiles[i].idleLatencyNs);
+    std::sort(latencies.begin(), latencies.end());
+    latencies.erase(std::unique(latencies.begin(), latencies.end()),
+                    latencies.end());
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!profiles[i].cpuLess)
+            continue; // CPU-attached: toptier, rank 0
+        const auto it = std::lower_bound(latencies.begin(),
+                                         latencies.end(),
+                                         profiles[i].idleLatencyNs);
+        rank_[i] = 1 + static_cast<unsigned>(it - latencies.begin());
+    }
+
+    tiers_.resize(1 + latencies.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        tiers_[rank_[i]].push_back(static_cast<NodeId>(i));
+        if (rank_[i] > 0)
+            belowTop_.push_back(static_cast<NodeId>(i));
+    }
+    // A machine made only of CPU-less nodes would leave the toptier
+    // empty; MemorySystem already rejects that shape, but guard the
+    // invariant here too so the class stands alone.
+    if (tiers_.front().empty())
+        tpp_fatal("TierHierarchy needs at least one CPU-attached node");
+
+    // Per-node demotion order: strictly-lower-tier nodes sorted by
+    // distance. The stable sort keeps ascending node id as the
+    // distance tiebreak, matching the historical fallback-order
+    // construction bit-for-bit.
+    demotionOrder_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<NodeId> below;
+        for (std::size_t j = 0; j < n; ++j)
+            if (rank_[j] > rank_[i])
+                below.push_back(static_cast<NodeId>(j));
+        std::stable_sort(below.begin(), below.end(),
+                         [&distances, i](NodeId a, NodeId b) {
+                             return distances[i][a] < distances[i][b];
+                         });
+        demotionOrder_[i] = std::move(below);
+    }
+}
+
+} // namespace tpp

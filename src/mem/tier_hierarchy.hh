@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Explicit memory-tier hierarchy, in the style of Linux's memory-tiers
+ * abstraction (mm/memory-tiers.c).
+ *
+ * Every node gets a *tier rank* derived from its NodeProfile: rank 0
+ * (the toptier) holds every CPU-attached node regardless of latency —
+ * promotion always targets the toptier, exactly as
+ * node_is_toptier() == !cpuLess in the kernel — and CPU-less nodes are
+ * grouped into lower tiers by distinct idle latency, nearest first.
+ * Demotion moves pages to *strictly lower* tiers in distance order; a
+ * bottom-tier node has nowhere to demote to and falls back to swap.
+ *
+ * On the canned two-node topologies this reproduces the historical
+ * "CPU node = fast, CXL node = terminal slow" behaviour bit-for-bit
+ * (golden-fingerprint tests pin this); on machines with several
+ * CPU-less latency classes it turns the single demotion hop into a
+ * chain: local -> cxl -> cxl-far -> swap.
+ */
+
+#ifndef TPP_MEM_TIER_HIERARCHY_HH
+#define TPP_MEM_TIER_HIERARCHY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/node.hh"
+#include "sim/types.hh"
+
+namespace tpp {
+
+/**
+ * The machine's tier graph. Built once by MemorySystem from the node
+ * profiles and the SLIT distance matrix; immutable afterwards.
+ */
+class TierHierarchy
+{
+  public:
+    TierHierarchy() = default;
+
+    /**
+     * Derive the hierarchy.
+     *
+     * @param profiles   one NodeProfile per node, in node-id order
+     * @param distances  SLIT matrix, distances[i][j]
+     */
+    TierHierarchy(
+        const std::vector<NodeProfile> &profiles,
+        const std::vector<std::vector<std::uint32_t>> &distances);
+
+    /** Number of distinct tiers (>= 1 on any valid machine). */
+    std::size_t numTiers() const { return tiers_.size(); }
+
+    /** Tier rank of a node; 0 = toptier, numTiers()-1 = bottom. */
+    unsigned rank(NodeId nid) const { return rank_[nid]; }
+
+    /** @return true when `nid` is in the fast tier (CPU-attached). */
+    bool isToptier(NodeId nid) const { return rank_[nid] == 0; }
+
+    /**
+     * @return true when `nid` has no lower tier to demote into; reclaim
+     * on a bottom-tier node falls back to swap.
+     */
+    bool
+    isBottomTier(NodeId nid) const
+    {
+        return rank_[nid] + 1 == tiers_.size();
+    }
+
+    /** Nodes of one tier, ascending node id. */
+    const std::vector<NodeId> &
+    tierNodes(unsigned tier_rank) const
+    {
+        return tiers_[tier_rank];
+    }
+
+    /** Toptier nodes (promotion targets), ascending node id. */
+    const std::vector<NodeId> &toptierNodes() const { return tiers_[0]; }
+
+    /**
+     * Every node below the toptier (the scan set of
+     * NUMA_BALANCING_TIERED), ascending node id. Empty on a
+     * DRAM-only machine.
+     */
+    const std::vector<NodeId> &belowToptier() const { return belowTop_; }
+
+    /**
+     * Strictly-lower-tier nodes ordered by distance from `from` (§5.1's
+     * distance-ordered demotion targets, restricted to lower tiers so
+     * middle tiers chain downward instead of sideways). Empty for
+     * bottom-tier nodes.
+     */
+    const std::vector<NodeId> &
+    demotionOrder(NodeId from) const
+    {
+        return demotionOrder_[from];
+    }
+
+  private:
+    std::vector<unsigned> rank_;
+    std::vector<std::vector<NodeId>> tiers_;
+    std::vector<NodeId> belowTop_;
+    std::vector<std::vector<NodeId>> demotionOrder_;
+};
+
+} // namespace tpp
+
+#endif // TPP_MEM_TIER_HIERARCHY_HH

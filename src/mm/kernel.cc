@@ -159,11 +159,25 @@ Kernel::faultIn(AddressSpace &as, Vpn vpn, Pte &pte, NodeId task_nid,
     // the policy's choice; the zonelist fallback may still spill it.
     switch (memcg_.placementOf(as.asid())) {
       case MemcgPlacement::LocalOnly:
-        preferred = mem_.cpuNodes().front();
+        // Nearest toptier node in zonelist order, not cpuNodes()
+        // .front(): on a multi-socket machine a task on socket 1 must
+        // stay on its own socket, not hop to socket 0.
+        for (NodeId nid : mem_.fallbackOrder(task_nid)) {
+            if (mem_.tiers().isToptier(nid)) {
+                preferred = nid;
+                break;
+            }
+        }
         break;
       case MemcgPlacement::CxlOnly:
-        if (!mem_.cxlNodes().empty())
-            preferred = mem_.cxlNodes().front();
+        // Nearest below-toptier node by distance from the task, so a
+        // middle tier is preferred over the far one when both exist.
+        for (NodeId nid : mem_.fallbackOrder(task_nid)) {
+            if (!mem_.tiers().isToptier(nid)) {
+                preferred = nid;
+                break;
+            }
+        }
         break;
       case MemcgPlacement::None:
         break;

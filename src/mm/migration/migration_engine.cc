@@ -202,10 +202,22 @@ MigrationEngine::demote(Pfn pfn, MigrateUrgency urgency)
     }
     // No demotion target exists at all: skip the queue and take the
     // classic-reclaim fallback immediately.
-    if (kernel_.mem_.demotionOrder(frame.nid).empty())
+    const std::vector<NodeId> &order =
+        kernel_.mem_.demotionOrder(frame.nid);
+    if (order.empty())
         return syncDemote(pfn);
-    return enqueue(pfn, false,
-                   kernel_.mem_.demotionOrder(frame.nid).front());
+    // Walk the tier-aware order for the admission target: a full near
+    // node should not eat the queue budget when a farther lower-tier
+    // node still has room. drainOne re-picks at drain time anyway, so
+    // this only has to be a good guess, not a reservation.
+    NodeId dst = order.front();
+    for (NodeId cand : order) {
+        if (kernel_.mem_.node(cand).freePages() > 0) {
+            dst = cand;
+            break;
+        }
+    }
+    return enqueue(pfn, false, dst);
 }
 
 MigrateResult

@@ -43,6 +43,12 @@ struct TppConfig {
     double demoteScaleFactor = 2.0;
     /** §5.2 decoupled watermarks; off = classic coupled reclaim. */
     bool decoupleWatermarks = true;
+    /**
+     * Chain middle-tier reclaim downward through the tier hierarchy
+     * (cxl -> cxl-far -> swap); off = only toptier nodes demote and
+     * every CPU-less tier swaps, the pre-hierarchy behaviour.
+     */
+    bool demoteChain = true;
     /** §5.3 active-LRU promotion filter; off = instant promotion. */
     bool activeLruFilter = true;
     /** §5.3 promotion ignores the allocation watermark. */

@@ -11,7 +11,7 @@ void
 AutoTieringPolicy::start()
 {
     if (cfg_.promotionReserve == 0) {
-        const NodeId local = kernel_->mem().cpuNodes().front();
+        const NodeId local = kernel_->mem().tiers().toptierNodes().front();
         cfg_.promotionReserve = std::max<std::uint64_t>(
             256, kernel_->mem().node(local).capacity() / 20);
     }
@@ -26,20 +26,23 @@ AutoTieringPolicy::start()
 bool
 AutoTieringPolicy::reclaimByDemotion(NodeId nid) const
 {
-    // CPU nodes demote by migration; CXL nodes use default reclaim.
-    return !kernel_->mem().node(nid).cpuLess();
+    // Any node with a lower tier demotes by migration (the toptier
+    // unconditionally, to keep swap-fallback counters on DRAM-only
+    // machines); the bottom tier uses default reclaim.
+    const TierHierarchy &tiers = kernel_->mem().tiers();
+    return tiers.isToptier(nid) || !tiers.isBottomTier(nid);
 }
 
 bool
 AutoTieringPolicy::scanNode(NodeId nid) const
 {
-    return kernel_->mem().node(nid).cpuLess();
+    return !kernel_->mem().tiers().isToptier(nid);
 }
 
 void
 AutoTieringPolicy::scanTick()
 {
-    for (NodeId nid : kernel_->mem().cxlNodes())
+    for (NodeId nid : kernel_->mem().tiers().belowToptier())
         kernel_->sampleNode(nid, cfg_.scanBatch);
 
     // The promotion reserve refills only as the (coupled) background

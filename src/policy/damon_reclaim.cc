@@ -37,8 +37,8 @@ DamonReclaimPolicy::opTick()
             if (!pte.present())
                 continue;
             const PageFrame &frame = k.mem().frame(pte.pfn);
-            if (k.mem().node(frame.nid).cpuLess())
-                continue; // already on the slow tier
+            if (!k.mem().tiers().isToptier(frame.nid))
+                continue; // already below the toptier
             if (frame.lru == LruListId::None || frame.referenced())
                 continue; // racing with activity: leave it
             auto [freed, cost] = k.demotePage(pte.pfn);

@@ -50,6 +50,9 @@ summarizeTrace(const std::vector<TraceRecord> &events, Tick window_ns,
         std::uint64_t promotions = 0;
         std::uint64_t flips = 0;
         TraceEvent last = TraceEvent::NumEvents;
+        /** (src, dst) of the last migration, for reversal detection. */
+        std::uint32_t lastSrc = 0;
+        std::uint32_t lastDst = 0;
     };
     std::map<std::pair<std::uint32_t, Vpn>, PageState> pages;
 
@@ -81,9 +84,19 @@ summarizeTrace(const std::vector<TraceRecord> &events, Tick window_ns,
             state.demotions++;
         else
             state.promotions++;
-        if (state.last != TraceEvent::NumEvents && state.last != r.event)
+        // A flip is an exact reversal of the previous hop: the page
+        // bounces between the same two nodes. A chained demotion
+        // (A->B then B->C) or a promotion from deeper down the chain
+        // (A->B->C then C->A) changes direction without retracing the
+        // hop, so it is not ping-pong between one node pair.
+        if (state.last != TraceEvent::NumEvents &&
+            state.last != r.event && r.node == state.lastDst &&
+            r.aux == state.lastSrc) {
             state.flips++;
+        }
         state.last = r.event;
+        state.lastSrc = r.node;
+        state.lastDst = r.aux;
     }
 
     for (const auto &[key, state] : pages) {

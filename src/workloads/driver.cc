@@ -210,8 +210,14 @@ WorkloadDriver::sampleTick()
                           static_cast<double>(kSecond);
     lastSampleTick_ = now;
 
-    const NodeId local = kernel_.mem().cpuNodes().front();
-    std::uint64_t local_acc = kernel_.traffic(local).accesses;
+    // "Local" aggregates every toptier node: on a multi-socket machine
+    // socket-1 traffic is just as local as socket-0's.
+    std::uint64_t local_acc = 0;
+    std::uint64_t local_allocs = 0;
+    for (NodeId nid : kernel_.mem().tiers().toptierNodes()) {
+        local_acc += kernel_.traffic(nid).accesses;
+        local_allocs += kernel_.traffic(nid).appAllocs;
+    }
     std::uint64_t total_acc = 0;
     for (std::size_t i = 0; i < kernel_.mem().numNodes(); ++i)
         total_acc += kernel_.traffic(static_cast<NodeId>(i)).accesses;
@@ -220,7 +226,6 @@ WorkloadDriver::sampleTick()
     const std::uint64_t promos = vs.get(Vm::PgPromoteSuccess);
     const std::uint64_t demos =
         vs.get(Vm::PgDemoteAnon) + vs.get(Vm::PgDemoteFile);
-    const std::uint64_t local_allocs = kernel_.traffic(local).appAllocs;
 
     IntervalSample sample;
     sample.tick = now;
@@ -240,7 +245,6 @@ WorkloadDriver::sampleTick()
         sample.throughput =
             static_cast<double>(totalOps_ - lastOps_) / dt_sec;
     }
-    sample.localFree = kernel_.mem().node(local).freePages();
     sample.queueDepth = pending_.size();
     for (std::size_t p = 0; p < kernel_.numProcesses(); ++p) {
         const AddressSpace &as =
@@ -248,8 +252,11 @@ WorkloadDriver::sampleTick()
         sample.anonResident += as.residentPages(PageType::Anon);
         sample.fileResident += as.residentPages(PageType::File);
     }
-    sample.anonOnLocal = kernel_.residentPages(local, PageType::Anon);
-    sample.fileOnLocal = kernel_.residentPages(local, PageType::File);
+    for (NodeId nid : kernel_.mem().tiers().toptierNodes()) {
+        sample.localFree += kernel_.mem().node(nid).freePages();
+        sample.anonOnLocal += kernel_.residentPages(nid, PageType::Anon);
+        sample.fileOnLocal += kernel_.residentPages(nid, PageType::File);
+    }
     samples_.push_back(sample);
 
     lastLocalAccesses_ = local_acc;

@@ -196,6 +196,71 @@ TEST(KernelReclaim, DemotionFallsBackWhenCxlFull)
     EXPECT_EQ(m.kernel.vmstat().get(Vm::PswpOut), 4u);
 }
 
+TEST(KernelReclaim, MiddleTierPressureDemotesDownChain)
+{
+    // Three tiers: local (128) / cxl0 (64, 150 ns) / cxl1 (256, 180 ns).
+    // Pressure on the middle tier must chain pages down to cxl1, not
+    // swap them out — only the bottom tier pays the swap device.
+    setLogVerbose(false);
+    EventQueue eq;
+    MemorySystem mem(TopologyBuilder::multiCxlSystem(128, {64, 256}));
+    Kernel kernel(mem, eq, std::make_unique<TppPolicy>(), MmCosts{},
+                  MigrationConfig{});
+    kernel.start();
+    const Asid asid = kernel.createProcess();
+
+    // Drain node 0 so faults spill to the middle tier.
+    while (mem.node(0).freePages() > 0)
+        mem.node(0).takeFree();
+    const Vpn base = kernel.mmap(asid, 32, PageType::Anon, "test");
+    for (int i = 0; i < 32; ++i)
+        kernel.access(asid, base + i, AccessKind::Store, 0);
+    ASSERT_EQ(kernel.residentPages(1, PageType::Anon), 32u);
+    for (int i = 0; i < 32; ++i) {
+        mem.frame(kernel.addressSpace(asid).pte(base + i).pfn)
+            .clearFlag(PageFrame::FlagReferenced);
+    }
+
+    auto [reclaimed, cost] = kernel.directReclaim(1, 8);
+    EXPECT_EQ(reclaimed, 8u);
+    EXPECT_EQ(kernel.vmstat().get(Vm::PgDemoteAnon), 8u);
+    EXPECT_EQ(kernel.vmstat().get(Vm::PswpOut), 0u);
+    EXPECT_EQ(kernel.vmstat().get(Vm::PgDemoteFail), 0u);
+    EXPECT_EQ(kernel.residentPages(2, PageType::Anon), 8u);
+    (void)cost;
+}
+
+TEST(KernelReclaim, DemoteChainOffSwapsFromMiddleTier)
+{
+    // Same machine, but with vm.tpp.demote_chain=0 the middle tier
+    // reverts to the pre-hierarchy behaviour: CPU-less nodes swap.
+    setLogVerbose(false);
+    EventQueue eq;
+    MemorySystem mem(TopologyBuilder::multiCxlSystem(128, {64, 256}));
+    Kernel kernel(mem, eq, std::make_unique<TppPolicy>(), MmCosts{},
+                  MigrationConfig{});
+    kernel.start();
+    ASSERT_TRUE(kernel.sysctl().set("vm.tpp.demote_chain", "0"));
+    const Asid asid = kernel.createProcess();
+
+    while (mem.node(0).freePages() > 0)
+        mem.node(0).takeFree();
+    const Vpn base = kernel.mmap(asid, 32, PageType::Anon, "test");
+    for (int i = 0; i < 32; ++i)
+        kernel.access(asid, base + i, AccessKind::Store, 0);
+    for (int i = 0; i < 32; ++i) {
+        mem.frame(kernel.addressSpace(asid).pte(base + i).pfn)
+            .clearFlag(PageFrame::FlagReferenced);
+    }
+
+    auto [reclaimed, cost] = kernel.directReclaim(1, 8);
+    EXPECT_EQ(reclaimed, 8u);
+    EXPECT_EQ(kernel.vmstat().get(Vm::PgDemoteAnon), 0u);
+    EXPECT_EQ(kernel.vmstat().get(Vm::PswpOut), 8u);
+    EXPECT_EQ(kernel.residentPages(2, PageType::Anon), 0u);
+    (void)cost;
+}
+
 TEST(KernelReclaim, ScanCountersSplitBackgroundVsDirect)
 {
     TestMachine m;

@@ -339,23 +339,25 @@ TEST(TraceIo, EventNamesRoundTrip)
 TEST(TraceSummary, WindowsTotalsAndPingPong)
 {
     auto page_event = [](TraceEvent event, Tick tick, std::uint32_t asid,
-                         Vpn vpn) {
+                         Vpn vpn, std::uint8_t src, std::uint32_t dst) {
         TraceRecord r;
         r.event = event;
         r.tick = tick;
         r.asid = asid;
         r.vpn = vpn;
+        r.node = src;
+        r.aux = dst;
         r.hasPage = 1;
         return r;
     };
     const Tick w = kSecond;
     std::vector<TraceRecord> events = {
         // Page (1,5): demote, promote back, demote again — 2 flips.
-        page_event(TraceEvent::Demote, w / 10, 1, 5),
-        page_event(TraceEvent::PromoteSuccess, 2 * w / 10, 1, 5),
-        page_event(TraceEvent::Demote, w + w / 10, 1, 5),
+        page_event(TraceEvent::Demote, w / 10, 1, 5, 0, 1),
+        page_event(TraceEvent::PromoteSuccess, 2 * w / 10, 1, 5, 1, 0),
+        page_event(TraceEvent::Demote, w + w / 10, 1, 5, 0, 1),
         // Page (1,6): one demotion, never promoted — no flip.
-        page_event(TraceEvent::Demote, 3 * w / 10, 1, 6),
+        page_event(TraceEvent::Demote, 3 * w / 10, 1, 6, 0, 1),
     };
 
     const TraceSummary summary = summarizeTrace(events, w);
@@ -377,6 +379,44 @@ TEST(TraceSummary, WindowsTotalsAndPingPong)
     EXPECT_EQ(summary.pingPong[0].demotions, 2u);
     EXPECT_EQ(summary.pingPong[0].promotions, 1u);
     EXPECT_EQ(summary.pingPong[0].flips, 2u);
+}
+
+TEST(TraceSummary, ChainedDemotionIsNotPingPong)
+{
+    auto page_event = [](TraceEvent event, Tick tick, std::uint32_t asid,
+                         Vpn vpn, std::uint8_t src, std::uint32_t dst) {
+        TraceRecord r;
+        r.event = event;
+        r.tick = tick;
+        r.asid = asid;
+        r.vpn = vpn;
+        r.node = src;
+        r.aux = dst;
+        r.hasPage = 1;
+        return r;
+    };
+    const Tick w = kSecond;
+    std::vector<TraceRecord> events = {
+        // Page (1,7) walks the 3-tier chain: demoted local->cxl,
+        // chained cxl->cxl-far, then promoted straight back to local.
+        // The promotion changes direction but retraces neither hop, so
+        // node-aware detection must not call it ping-pong.
+        page_event(TraceEvent::Demote, w / 10, 1, 7, 0, 1),
+        page_event(TraceEvent::Demote, 2 * w / 10, 1, 7, 1, 2),
+        page_event(TraceEvent::PromoteSuccess, 3 * w / 10, 1, 7, 2, 0),
+        // Page (1,8) genuinely bounces on the local<->cxl edge.
+        page_event(TraceEvent::Demote, w / 10, 1, 8, 0, 1),
+        page_event(TraceEvent::PromoteSuccess, 2 * w / 10, 1, 8, 1, 0),
+        page_event(TraceEvent::Demote, 3 * w / 10, 1, 8, 0, 1),
+        page_event(TraceEvent::PromoteSuccess, 4 * w / 10, 1, 8, 1, 0),
+    };
+
+    const TraceSummary summary = summarizeTrace(events, w);
+    ASSERT_EQ(summary.pingPong.size(), 1u);
+    EXPECT_EQ(summary.pingPong[0].vpn, 8u);
+    EXPECT_EQ(summary.pingPong[0].flips, 3u);
+    EXPECT_EQ(summary.total(TraceEvent::Demote), 4u);
+    EXPECT_EQ(summary.total(TraceEvent::PromoteSuccess), 3u);
 }
 
 // ---------------------------------------------------------------------
