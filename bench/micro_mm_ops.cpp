@@ -307,6 +307,39 @@ BM_E2EPromoteChurn(benchmark::State &state)
 }
 BENCHMARK(BM_E2EPromoteChurn)->Unit(benchmark::kMillisecond);
 
+void
+BM_E2EPromoteDemoteChurn(benchmark::State &state)
+{
+    // Worst-case ping-pong: the sweep alternates between the two halves
+    // of a footprint that does not fit the local tier, so the half just
+    // promoted is exactly what the next half's promotions displace. Runs
+    // with vm.ppt.enable=1 so every migration request crosses the PPT
+    // admission check with a populated history table — this is the perf
+    // gate's coverage of the new per-page admission dimension.
+    const std::uint64_t pages = e2ePages();
+    E2EMachine m(pages);
+    m.kernel.sysctl().set("vm.ppt.enable", "1");
+    m.sweep(AccessKind::Store);
+    const std::uint64_t half = m.wss / 2;
+    bool low = true;
+    for (auto _ : state) {
+        const Vpn start = low ? 0 : half;
+        for (Vpn v = 0; v < half; ++v) {
+            m.kernel.access(m.asid, m.base + start + v, AccessKind::Load,
+                            0);
+            m.eq.run(m.eq.now() + 200);
+        }
+        low = !low;
+    }
+    state.counters["pages_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(half),
+        benchmark::Counter::kIsRate);
+    state.counters["footprint_pages"] = benchmark::Counter(
+        static_cast<double>(pages));
+}
+BENCHMARK(BM_E2EPromoteDemoteChurn)->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

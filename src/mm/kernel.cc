@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "mm/migration/migration_engine.hh"
+#include "mm/ppt/ppt.hh"
 #include "sim/logging.hh"
 
 namespace tpp {
@@ -31,8 +32,12 @@ Kernel::Kernel(MemorySystem &mem, EventQueue &eq,
     scanCursor_.resize(n);
     for (std::size_t i = 0; i < n; ++i)
         scanCursor_[i] = mem_.node(static_cast<NodeId>(i)).firstPfn();
-    // The engine registers its sysctls before the policy attaches, so a
-    // policy can already tune migration knobs at attach time.
+    // PPT before the engine (the engine consults it on admission), the
+    // engine before the policy attaches: both register their sysctls
+    // here, so a policy can already tune every migration knob at
+    // attach time.
+    ppt_ = std::make_unique<PingPongThrottle>(vmstat_, trace_);
+    ppt_->registerSysctls(sysctl_);
     migration_ = std::make_unique<MigrationEngine>(*this, migration);
     policy_->attach(*this);
 }

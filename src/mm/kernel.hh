@@ -36,6 +36,7 @@
 namespace tpp {
 
 class MigrationEngine;
+class PingPongThrottle;
 
 /** Latency constants of the mm code paths, in nanoseconds. */
 struct MmCosts {
@@ -218,6 +219,10 @@ class Kernel
     MigrationEngine &migration() { return *migration_; }
     const MigrationEngine &migration() const { return *migration_; }
 
+    /** Ping-pong throttling: per-page migration-history admission. */
+    PingPongThrottle &ppt() { return *ppt_; }
+    const PingPongThrottle &ppt() const { return *ppt_; }
+
     /**
      * Demote one page to the first CXL node (by distance) with room.
      * Routed through the MigrationEngine: may queue in async mode; on
@@ -333,6 +338,7 @@ class Kernel
     MemorySystem &mem_;
     EventQueue &eq_;
     std::unique_ptr<PlacementPolicy> policy_;
+    std::unique_ptr<PingPongThrottle> ppt_;
     std::unique_ptr<MigrationEngine> migration_;
     MmCosts costs_;
     VmStat vmstat_;

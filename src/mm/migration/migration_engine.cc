@@ -16,6 +16,7 @@
 #include <cstdlib>
 
 #include "mm/kernel.hh"
+#include "mm/ppt/ppt.hh"
 #include "sim/logging.hh"
 
 namespace tpp {
@@ -100,6 +101,32 @@ MigrationEngine::copyCostNs(NodeId src, NodeId dst) const
     return cost;
 }
 
+// ---- ping-pong admission (mm/ppt) -----------------------------------
+
+bool
+MigrationEngine::pptAdmit(Pfn pfn, bool promotion) const
+{
+    PingPongThrottle &ppt = *kernel_.ppt_;
+    if (!ppt.enabled())
+        return true;
+    const PageFrame &frame = kernel_.mem_.frame(pfn);
+    if (frame.isFree())
+        return true;
+    const PageFrameCold &cold = kernel_.mem_.frameCold(pfn);
+    return ppt.admit(cold.ownerAsid, cold.ownerVpn,
+                     promotion ? PptHop::Promote : PptHop::Demote,
+                     kernel_.eq_.now(), frame.nid, frame.type, pfn);
+}
+
+void
+MigrationEngine::pptRecord(Asid asid, Vpn vpn, bool promotion,
+                           NodeId node, PageType type, Pfn pfn) const
+{
+    kernel_.ppt_->recordHop(asid, vpn,
+                            promotion ? PptHop::Promote : PptHop::Demote,
+                            kernel_.eq_.now(), node, type, pfn);
+}
+
 // ---- synchronous paths (pre-engine behaviour) -----------------------
 
 MigrateResult
@@ -125,6 +152,8 @@ MigrationEngine::syncDemote(Pfn pfn)
                 .stats.demotions++;
             k.trace_.emitPage(TraceEvent::Demote, k.eq_.now(), src, type,
                               new_pfn, owner_asid, owner_vpn, dst);
+            pptRecord(owner_asid, owner_vpn, /*promotion=*/false, src,
+                      type, new_pfn);
             return {MigrateOutcome::Completed, true,
                     copyCostNs(src, dst) + stall_ns};
         }
@@ -181,6 +210,8 @@ MigrationEngine::syncPromote(Pfn pfn, NodeId src, NodeId dst)
         .stats.promoteSuccess++;
     k.trace_.emitPage(TraceEvent::PromoteSuccess, k.eq_.now(), src, type,
                       new_pfn, owner_asid, owner_vpn, dst);
+    pptRecord(owner_asid, owner_vpn, /*promotion=*/true, src, type,
+              new_pfn);
     return {MigrateOutcome::Completed, true,
             copyCostNs(src, dst) + stall_ns};
 }
@@ -190,6 +221,13 @@ MigrationEngine::syncPromote(Pfn pfn, NodeId src, NodeId dst)
 MigrateResult
 MigrationEngine::demote(Pfn pfn, MigrateUrgency urgency)
 {
+    // Ping-pong admission first: a page promoted inside its cooldown
+    // window must not bounce straight back down. Denied hops look like
+    // any other deferral to the caller (reclaim rotates the page and
+    // moves on); only the ppt_* accounting records what happened.
+    if (!pptAdmit(pfn, /*promotion=*/false))
+        return {MigrateOutcome::Deferred, false, 0.0};
+
     // Direct reclaim needs pages *now*: it always demotes synchronously,
     // as the real kernel's direct reclaim calls migrate_pages() inline.
     if (!cfg_.async || urgency == MigrateUrgency::Direct)
@@ -223,6 +261,11 @@ MigrationEngine::demote(Pfn pfn, MigrateUrgency urgency)
 MigrateResult
 MigrationEngine::promote(Pfn pfn, NodeId src, NodeId dst)
 {
+    // Ping-pong admission before any try/failure accounting: a denied
+    // promotion was never attempted, it is cooling down.
+    if (!pptAdmit(pfn, /*promotion=*/true))
+        return {MigrateOutcome::Deferred, false, 0.0};
+
     if (!cfg_.async)
         return syncPromote(pfn, src, dst);
 
@@ -425,6 +468,14 @@ MigrationEngine::drainOne(const Request &req)
         return;
     }
 
+    // Drain-time re-pick re-checks ping-pong admission too: the knobs
+    // may have changed (or the throttle been enabled) while the
+    // request sat queued. A denied page goes back on its LRU whole.
+    if (!pptAdmit(req.pfn, req.promotion)) {
+        putBack(req);
+        return;
+    }
+
     if (req.promotion) {
         k.vmstat_.inc(Vm::PgPromoteTry);
         k.trace_.emitPage(TraceEvent::PromoteTry, k.eq_.now(), req.src,
@@ -561,6 +612,8 @@ MigrationEngine::finishMove(const Request &req, Pfn dst_pfn,
         k.trace_.emitPage(TraceEvent::Demote, k.eq_.now(), req.src,
                           req.type, dst_pfn, req.asid, req.vpn, dst_nid);
     }
+    pptRecord(req.asid, req.vpn, req.promotion, req.src, req.type,
+              dst_pfn);
 }
 
 // ---- aborts ---------------------------------------------------------

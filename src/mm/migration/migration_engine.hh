@@ -194,6 +194,18 @@ class MigrationEngine
     /** Per-page copy latency between two nodes at `now`. */
     double copyCostNs(NodeId src, NodeId dst) const;
 
+    /**
+     * Ping-pong admission (mm/ppt): false when the page is inside its
+     * reverse-hop cooldown window. A second admission dimension beside
+     * the per-dst token buckets, consulted on every request and again
+     * at drain time. Free frames pass (staleness is handled
+     * downstream), as does a disabled throttle.
+     */
+    bool pptAdmit(Pfn pfn, bool promotion) const;
+    /** Report one completed hop to the history table. */
+    void pptRecord(Asid asid, Vpn vpn, bool promotion, NodeId node,
+                   PageType type, Pfn pfn) const;
+
     Kernel &kernel_;
     MigrationConfig cfg_;
 

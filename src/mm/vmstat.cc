@@ -56,6 +56,10 @@ vmName(Vm counter)
       case Vm::MemcgReclaimProtected: return "memcg_reclaim_protected";
       case Vm::MemcgReclaimLow: return "memcg_reclaim_low";
       case Vm::MemcgMigrateThrottled: return "memcg_migrate_throttled";
+      case Vm::PptThrottledPromote: return "ppt_throttled_promote";
+      case Vm::PptThrottledDemote: return "ppt_throttled_demote";
+      case Vm::PptEscalated: return "ppt_escalated";
+      case Vm::PptHistoryEvict: return "ppt_history_evict";
       case Vm::NumCounters: break;
     }
     tpp_panic("vmName: bad counter %zu", static_cast<std::size_t>(counter));

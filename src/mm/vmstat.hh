@@ -89,6 +89,14 @@ enum class Vm : std::size_t {
     MemcgReclaimLow,       //!< reclaim took a page despite the floor (pass 2)
     MemcgMigrateThrottled, //!< migration deferred by a cgroup token budget
 
+    // Ping-pong throttling (src/mm/ppt): the migration-history
+    // admission dimension. Appended behind everything above so the
+    // golden fingerprints over the seed counters stay stable.
+    PptThrottledPromote, //!< promotions denied inside a cooldown window
+    PptThrottledDemote,  //!< demotions denied inside a cooldown window
+    PptEscalated,        //!< repeat-offender cooldown escalations
+    PptHistoryEvict,     //!< history-table entries evicted (LRU, full)
+
     NumCounters,
 };
 

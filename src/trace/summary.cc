@@ -65,6 +65,14 @@ summarizeTrace(const std::vector<TraceRecord> &events, Tick window_ns,
         if (r.event == TraceEvent::HotnessThreshold)
             summary.hotnessThresholds.emplace_back(r.tick, r.aux);
 
+        if (r.event == TraceEvent::PptThrottle) {
+            // aux carries the denied direction (PptHop: 1 = promote).
+            if (r.aux)
+                summary.pptThrottledPromote++;
+            else
+                summary.pptThrottledDemote++;
+        }
+
         if (r.event == TraceEvent::MemcgEvent) {
             // aux = (cgroup id << 8) | MemcgEventKind.
             MemcgTally &tally = summary.memcg[r.aux >> 8];
@@ -108,6 +116,11 @@ summarizeTrace(const std::vector<TraceRecord> &events, Tick window_ns,
         page.demotions = state.demotions;
         page.promotions = state.promotions;
         page.flips = state.flips;
+        // Each flip undid the hop before it, so the initiating hop plus
+        // every reversal moved one page of data for nothing.
+        page.wastedBytes = (state.flips + 1) * kPageSize;
+        summary.pingPongFlips += state.flips;
+        summary.pingPongWastedBytes += page.wastedBytes;
         summary.pingPong.push_back(page);
     }
     std::stable_sort(summary.pingPong.begin(), summary.pingPong.end(),

@@ -42,6 +42,8 @@ struct PingPongPage {
     std::uint64_t promotions = 0;
     /** Promote→demote / demote→promote direction changes. */
     std::uint64_t flips = 0;
+    /** Estimated bytes moved by this page's flipped hops. */
+    std::uint64_t wastedBytes = 0;
 };
 
 /** Per-cgroup tallies decoded from memcg_event records. */
@@ -58,10 +60,22 @@ struct TraceSummary {
     std::array<std::uint64_t, kNumTraceEvents> totals{};
     /** Pages with ≥ 1 direction flip, most flips first. */
     std::vector<PingPongPage> pingPong;
+    /** Direction flips summed over *all* pages (not just the top-N). */
+    std::uint64_t pingPongFlips = 0;
+    /**
+     * Estimated migration bandwidth wasted on ping-pong, over all
+     * pages: each flip retraces the hop before it, so both legs of the
+     * reversal moved data to no end — (flips + 1) pages per flipping
+     * page.
+     */
+    std::uint64_t pingPongWastedBytes = 0;
     /** Hot-threshold retunes (hotness_threshold events), tick order. */
     std::vector<std::pair<Tick, std::uint32_t>> hotnessThresholds;
     /** memcg_event tallies keyed by cgroup id (empty without cgroups). */
     std::map<std::uint32_t, MemcgTally> memcg;
+    /** ppt_throttle denials split by direction (record aux = PptHop). */
+    std::uint64_t pptThrottledPromote = 0;
+    std::uint64_t pptThrottledDemote = 0;
 
     std::uint64_t
     total(TraceEvent event) const

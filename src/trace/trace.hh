@@ -75,6 +75,11 @@ enum class TraceEvent : std::uint8_t {
     // Memory cgroups (src/mm/memcg).
     MemcgEvent,          //!< aux = (cgroup id << 8) | MemcgEventKind
 
+    // Ping-pong throttling (src/mm/ppt).
+    PptThrottle,         //!< migration denied; aux = PptHop direction
+    PptEscalate,         //!< cooldown escalated; aux = new cooldown (ms)
+    PptEvict,            //!< history-table entry evicted (LRU, full)
+
     NumEvents,
 };
 

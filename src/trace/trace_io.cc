@@ -38,6 +38,9 @@ traceEventName(TraceEvent event)
       case TraceEvent::HotnessThreshold: return "hotness_threshold";
       case TraceEvent::HotnessEvict: return "hotness_evict";
       case TraceEvent::MemcgEvent: return "memcg_event";
+      case TraceEvent::PptThrottle: return "ppt_throttle";
+      case TraceEvent::PptEscalate: return "ppt_escalate";
+      case TraceEvent::PptEvict: return "ppt_evict";
       case TraceEvent::NumEvents: break;
     }
     tpp_panic("traceEventName: bad event %u",

@@ -14,7 +14,9 @@
  *
  * Each section includes a migration-failure breakdown by cause
  * (low-mem, isolate, rate-limit, demotion OOM, admission deferral,
- * transaction abort). --json replaces the tables with one JSON object
+ * transaction abort), a ping-pong throttling (PPT) digest when the
+ * subsystem fired, and an estimated wasted-bandwidth figure for the
+ * flipped hops. --json replaces the tables with one JSON object
  * on stdout for scripted consumers (CI, plotting).
  */
 
@@ -144,6 +146,26 @@ printMemcgSection(const TraceSummary &summary)
     std::printf("\n");
 }
 
+void
+printPptSection(const TraceSummary &summary)
+{
+    const std::uint64_t escalations =
+        summary.total(TraceEvent::PptEscalate);
+    const std::uint64_t evictions = summary.total(TraceEvent::PptEvict);
+    if (summary.pptThrottledPromote == 0 &&
+        summary.pptThrottledDemote == 0 && escalations == 0 &&
+        evictions == 0)
+        return;
+    std::printf("ppt: %llu promote denials, %llu demote denials, "
+                "%llu escalations, %llu history evictions\n\n",
+                static_cast<unsigned long long>(
+                    summary.pptThrottledPromote),
+                static_cast<unsigned long long>(
+                    summary.pptThrottledDemote),
+                static_cast<unsigned long long>(escalations),
+                static_cast<unsigned long long>(evictions));
+}
+
 /** Minimal JSON string escape: the tags we emit are workload/policy
  *  names, but a stray quote must not corrupt the document. */
 std::string
@@ -249,18 +271,39 @@ printJsonSummary(std::FILE *out, const std::string &tag,
     }
     std::fprintf(out, "],\n");
 
+    std::fprintf(out,
+                 "      \"ppt\": {\"throttled_promote\": %llu, "
+                 "\"throttled_demote\": %llu, \"escalations\": %llu, "
+                 "\"history_evictions\": %llu},\n",
+                 static_cast<unsigned long long>(
+                     summary.pptThrottledPromote),
+                 static_cast<unsigned long long>(
+                     summary.pptThrottledDemote),
+                 static_cast<unsigned long long>(
+                     summary.total(TraceEvent::PptEscalate)),
+                 static_cast<unsigned long long>(
+                     summary.total(TraceEvent::PptEvict)));
+
+    std::fprintf(out,
+                 "      \"ping_pong_flips\": %llu,\n"
+                 "      \"ping_pong_wasted_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(summary.pingPongFlips),
+                 static_cast<unsigned long long>(
+                     summary.pingPongWastedBytes));
+
     std::fprintf(out, "      \"ping_pong\": [");
     for (std::size_t i = 0; i < summary.pingPong.size(); ++i) {
         const PingPongPage &p = summary.pingPong[i];
         std::fprintf(out,
                      "%s{\"asid\": %u, \"vpn\": %llu, "
                      "\"demotions\": %llu, \"promotions\": %llu, "
-                     "\"flips\": %llu}",
+                     "\"flips\": %llu, \"wasted_bytes\": %llu}",
                      i ? ", " : "", p.asid,
                      static_cast<unsigned long long>(p.vpn),
                      static_cast<unsigned long long>(p.demotions),
                      static_cast<unsigned long long>(p.promotions),
-                     static_cast<unsigned long long>(p.flips));
+                     static_cast<unsigned long long>(p.flips),
+                     static_cast<unsigned long long>(p.wastedBytes));
     }
     std::fprintf(out, "]\n    }%s\n", last ? "" : ",");
 }
@@ -306,6 +349,7 @@ printSummary(const std::string &tag, const std::vector<TraceRecord> &events,
     printFailureBreakdown(summary);
     printHotnessSection(summary);
     printMemcgSection(summary);
+    printPptSection(summary);
 
     if (summary.pingPong.empty()) {
         std::printf("no ping-pong pages (no page changed tier direction "
@@ -313,14 +357,19 @@ printSummary(const std::string &tag, const std::vector<TraceRecord> &events,
         return;
     }
     std::printf("top ping-pong pages (tier direction flips):\n");
-    TextTable pages({"asid", "vpn", "demotions", "promotions", "flips"});
+    TextTable pages({"asid", "vpn", "demotions", "promotions", "flips",
+                     "wasted KiB"});
     for (const PingPongPage &p : summary.pingPong)
         pages.addRow({TextTable::count(p.asid), TextTable::count(p.vpn),
                       TextTable::count(p.demotions),
                       TextTable::count(p.promotions),
-                      TextTable::count(p.flips)});
+                      TextTable::count(p.flips),
+                      TextTable::count(p.wastedBytes / 1024)});
     pages.print();
-    std::printf("\n");
+    std::printf("estimated wasted migration bandwidth: %.1f KiB over "
+                "%llu flips (all flipping pages, not just the top)\n\n",
+                static_cast<double>(summary.pingPongWastedBytes) / 1024.0,
+                static_cast<unsigned long long>(summary.pingPongFlips));
 }
 
 } // namespace
