@@ -29,8 +29,10 @@ main(int argc, char **argv)
         const char *ratio;
     };
     const std::vector<Case> cases = {{"web", "2:1"}, {"cache1", "1:4"}};
+    // `adaptive` is TPP plus the phase-adaptive tuner (PR 10); it rides
+    // along here so the policy zoo table keeps one row per policy.
     const std::vector<const char *> policies = {
-        "linux", "numa-balancing", "autotiering", "tpp"};
+        "linux", "numa-balancing", "autotiering", "tpp", "adaptive"};
 
     TextTable table({"workload", "config", "policy", "local traffic",
                      "tput vs all-local", "promotions", "hint faults"});
@@ -52,6 +54,12 @@ main(int argc, char **argv)
             cfg.topology = opt.topologySpec;
             cfg.localFraction = parseRatio(c.ratio);
             cfg.policy = policy;
+            if (std::string(policy) == "adaptive") {
+                // The tuner is inert unless switched on, and profiles
+                // the PPT flip history, so both go live together.
+                cfg.sysctls.emplace_back("vm.adaptive.enable", "1");
+                cfg.sysctls.emplace_back("vm.ppt.enable", "1");
+            }
             cfgs.push_back(cfg);
         }
     }

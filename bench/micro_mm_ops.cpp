@@ -25,6 +25,7 @@
 
 #include "core/tpp_policy.hh"
 #include "mm/kernel.hh"
+#include "policy/adaptive/adaptive_policy.hh"
 #include "policy/default_linux.hh"
 #include "sim/distributions.hh"
 #include "sim/event_queue.hh"
@@ -204,6 +205,30 @@ BM_NumaSample(benchmark::State &state)
         benchmark::DoNotOptimize(m.kernel.sampleNode(local, 64));
 }
 BENCHMARK(BM_NumaSample);
+
+void
+BM_AdaptiveWindowTick(benchmark::State &state)
+{
+    // Per-window cost of the adaptive tuner's profile/infer step:
+    // vmstat snapshot differencing, objective scoring, touch-filter
+    // epoch upkeep and the occasional knob step through the sysctl
+    // surface. Every enabled window pays this whether or not a knob
+    // moves, so the perf-gate entry for it reads direction LOWER
+    // (seconds per window, smaller is better) rather than as a rate.
+    PolicyParams params;
+    params.adaptive.enable = true;
+    params.adaptive.windowPeriod = 1 * kMillisecond;
+    Machine m(8192, 8192, std::make_unique<AdaptivePolicy>(params));
+    const Vpn base = m.kernel.mmap(m.asid, 2048, PageType::Anon, "bench");
+    for (Vpn v = 0; v < 2048; ++v)
+        m.kernel.access(m.asid, base + v, AccessKind::Store, 0);
+    for (auto _ : state)
+        m.eq.run(m.eq.now() + 1 * kMillisecond);
+    state.counters["sec_per_window"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_AdaptiveWindowTick);
 
 // ---------------------------------------------------------------------
 // End-to-end throughput: whole passes over a large footprint under TPP,

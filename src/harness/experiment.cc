@@ -9,6 +9,7 @@
 #include "harness/shard.hh"
 #include "harness/sweep.hh"
 #include "hotness/hotness_policy.hh"
+#include "policy/adaptive/adaptive_policy.hh"
 #include "mem/node.hh"
 #include "mm/kernel.hh"
 #include "mm/policy_registry.hh"
@@ -480,6 +481,65 @@ collectNodeRows(const ExperimentConfig &cfg, const Kernel &kernel,
     }
 }
 
+/** Cadence of the live SLO feed into the adaptive tuner. */
+constexpr Tick kAdaptiveSloSyncPeriod = 50 * kMillisecond;
+
+/**
+ * Push cumulative open-loop request totals into an attached
+ * AdaptivePolicy on a fixed cadence, so the tuner can difference live
+ * SLO attainment per profiling window (its tie-breaker objective)
+ * without the drivers knowing the policy exists. Observation only: the
+ * event mutates no simulation state, so runs are bit-identical whether
+ * or not it fires (the tuner-disabled goldens rely on this).
+ */
+class AdaptiveSloFeed
+{
+  public:
+    AdaptiveSloFeed(EventQueue &eq, AdaptivePolicy &policy,
+                    std::vector<const WorkloadDriver *> drivers,
+                    Tick run_until)
+        : eq_(eq), policy_(policy), drivers_(std::move(drivers)),
+          runUntil_(run_until)
+    {
+        eq_.scheduleAfter(kAdaptiveSloSyncPeriod, [this] { tick(); });
+    }
+
+  private:
+    void
+    tick()
+    {
+        std::uint64_t met = 0;
+        std::uint64_t offered = 0;
+        for (const WorkloadDriver *driver : drivers_) {
+            met += driver->windowSloMet();
+            offered +=
+                driver->windowRequests() + driver->windowDropped();
+        }
+        policy_.noteSloTotals(met, offered);
+        if (eq_.now() < runUntil_)
+            eq_.scheduleAfter(kAdaptiveSloSyncPeriod, [this] { tick(); });
+    }
+
+    EventQueue &eq_;
+    AdaptivePolicy &policy_;
+    std::vector<const WorkloadDriver *> drivers_;
+    Tick runUntil_;
+};
+
+/** Wire the feed when the policy is adaptive and open-loop tenants run. */
+std::unique_ptr<AdaptiveSloFeed>
+makeAdaptiveSloFeed(EventQueue &eq, Kernel &kernel,
+                    std::vector<const WorkloadDriver *> open_loop,
+                    Tick run_until)
+{
+    auto *adaptive = dynamic_cast<AdaptivePolicy *>(&kernel.policy());
+    if (!adaptive || open_loop.empty())
+        return nullptr;
+    return std::make_unique<AdaptiveSloFeed>(eq, *adaptive,
+                                             std::move(open_loop),
+                                             run_until);
+}
+
 /**
  * The multi-tenant variant of runExperiment: one workload per tenant,
  * each process attached to its own memory cgroup, all sharing one
@@ -604,6 +664,14 @@ runTenantExperiment(const ExperimentConfig &cfg)
         drivers.push_back(std::make_unique<WorkloadDriver>(
             kernel, *workloads.back(), tenant_cfg));
     }
+
+    // Live SLO feed for the adaptive tuner's tie-breaker objective.
+    std::vector<const WorkloadDriver *> open_loop_drivers;
+    for (const auto &driver : drivers)
+        if (driver->openLoop())
+            open_loop_drivers.push_back(driver.get());
+    const std::unique_ptr<AdaptiveSloFeed> slo_feed = makeAdaptiveSloFeed(
+        eq, kernel, std::move(open_loop_drivers), cfg.runUntil);
 
     kernel.start();
     // Each driver's init runs with the spawn cgroup pointed at its
@@ -888,6 +956,12 @@ runExperiment(const ExperimentConfig &cfg)
     driver_cfg.openLoop = cfg.openLoop;
     driver_cfg.openLoopSeed = arrivalSeed(cfg.seed);
     WorkloadDriver driver(kernel, *workload, driver_cfg);
+
+    // Live SLO feed for the adaptive tuner's tie-breaker objective.
+    const std::unique_ptr<AdaptiveSloFeed> slo_feed =
+        driver.openLoop()
+            ? makeAdaptiveSloFeed(eq, kernel, {&driver}, cfg.runUntil)
+            : nullptr;
 
     kernel.start();
     if (chameleon)

@@ -84,8 +84,11 @@ struct ShardRegion {
     void
     setAdmissionBudget(double mbps)
     {
+        // %.17g round-trips a double exactly; %.9g used to shave the
+        // low mantissa bits here, so the budgets the kernels actually
+        // ran under no longer summed to the machine-wide limit.
         char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.9g", mbps);
+        std::snprintf(buf, sizeof(buf), "%.17g", mbps);
         if (!kernel.sysctl().set("vm.migration_rate_limit_mbps", buf))
             tpp_fatal("shard admission rebalance rejected (%s MB/s)", buf);
         budgetMBps = mbps;
@@ -122,25 +125,20 @@ epochSync(const std::vector<std::unique_ptr<ShardRegion>> &regions,
     // Migration admission: split the machine-wide budget by each
     // region's migration demand over the last epoch. A 10% floor of
     // the equal share keeps a quiet region from being starved to zero
-    // the moment it wakes up.
+    // the moment it wakes up; shardBudgetShares() guarantees the
+    // shares sum to exactly the machine-wide budget.
     std::vector<double> demand(regions.size());
-    double total_demand = 0.0;
     for (std::size_t r = 0; r < regions.size(); ++r) {
         const std::uint64_t now = regions[r]->migrations();
         demand[r] = static_cast<double>(now - regions[r]->lastMigrations);
         regions[r]->lastMigrations = now;
-        total_demand += demand[r];
     }
-    const double n = static_cast<double>(regions.size());
-    const double floor_share = 0.1 * global_budget / n;
-    const double weighted_pool = 0.9 * global_budget;
+    const std::vector<double> shares =
+        shardBudgetShares(demand, global_budget);
     for (std::size_t r = 0; r < regions.size(); ++r) {
-        const double weight =
-            total_demand > 0.0 ? demand[r] / total_demand : 1.0 / n;
-        const double share = floor_share + weighted_pool * weight;
         stats.rebalancedMBps +=
-            std::abs(share - regions[r]->budgetMBps) / 2.0;
-        regions[r]->setAdmissionBudget(share);
+            std::abs(shares[r] - regions[r]->budgetMBps) / 2.0;
+        regions[r]->setAdmissionBudget(shares[r]);
     }
 }
 
@@ -182,6 +180,43 @@ mergeSamples(const std::vector<std::unique_ptr<ShardRegion>> &regions)
 }
 
 } // namespace
+
+std::vector<double>
+shardBudgetShares(const std::vector<double> &demand, double global_budget)
+{
+    const std::size_t n = demand.size();
+    std::vector<double> shares(n, 0.0);
+    if (n == 0 || global_budget <= 0.0)
+        return shares;
+    if (n == 1) {
+        // One region owns the whole machine budget; the floor/pool
+        // arithmetic below would only round it.
+        shares[0] = global_budget;
+        return shares;
+    }
+    double total_demand = 0.0;
+    for (const double d : demand)
+        total_demand += d;
+    const double count = static_cast<double>(n);
+    const double floor_share = 0.1 * global_budget / count;
+    const double weighted_pool = 0.9 * global_budget;
+    double handed_out = 0.0;
+    for (std::size_t r = 0; r + 1 < n; ++r) {
+        const double weight =
+            total_demand > 0.0 ? demand[r] / total_demand : 1.0 / count;
+        shares[r] = floor_share + weighted_pool * weight;
+        handed_out += shares[r];
+    }
+    // The last region takes whatever is left rather than its own
+    // independently rounded slice: summing n independently rounded
+    // doubles drifts off the budget by a few ulps per epoch, and those
+    // ulps compound into kernels collectively running over (or under)
+    // the configured machine-wide limit. Every region's exact share is
+    // at least the floor, far above rounding noise, so the clamp below
+    // never fires in practice — it only guards a pathological budget.
+    shares[n - 1] = std::max(0.0, global_budget - handed_out);
+    return shares;
+}
 
 ExperimentResult
 runShardedExperiment(const ExperimentConfig &cfg)

@@ -129,6 +129,52 @@ struct HotnessConfig {
 };
 
 /**
+ * Phase-adaptive placement tunables (src/policy/adaptive). The policy
+ * is TPP plus a profile-then-infer tuner: it measures promotion yield,
+ * ping-pong rate, reclaim pressure and SLO headroom over sliding
+ * windows, then retunes the live promotion knobs by hysteretic
+ * coordinate descent over a discrete grid. With `enable` off (the
+ * default) the policy is bit-identical to plain TPP.
+ */
+struct AdaptiveConfig {
+    /** Master kill switch (vm.adaptive.enable). */
+    bool enable = false;
+    /** Profiling-window length (vm.adaptive.window_ns). */
+    Tick windowPeriod = 200 * kMillisecond;
+    /** Windows averaged into one measurement (base or trial). */
+    std::uint64_t profileWindows = 3;
+    /** Score gain (percent) a trial must show to be accepted. */
+    double hysteresisPct = 2.0;
+    /** Score drift (percent) that re-arms a settled tuner. */
+    double wakeDriftPct = 10.0;
+
+    // Objective weights (vm.adaptive.w_*): maximise local traffic and
+    // SLO attainment, penalise ping-pong, allocation stalls and raw
+    // migration volume (every moved page is copy bandwidth the tail
+    // pays for, whether or not it ever flips back).
+    double weightLocal = 1.0;
+    double weightPingPong = 0.5;
+    double weightStall = 0.25;
+    double weightSlo = 0.5;
+    double weightMigrate = 1.0;
+
+    /** PPT flips at/above which a page counts as a known flapper. */
+    std::uint64_t flapFlips = 2;
+    /** Extra window touches demanded from flappers before promotion. */
+    std::uint64_t flapBias = 1;
+
+    /** Touches within the window before a hint fault may promote. */
+    std::uint64_t promoteThreshold = 1;
+    std::uint64_t promoteThresholdMax = 4;
+    /** Grid bounds for kernel.numa_balancing_scan_size_pages (x2 steps). */
+    std::uint64_t scanSizeMin = 128;
+    std::uint64_t scanSizeMax = 2048;
+    /** Grid bounds for vm.demote_scale_factor (watermark gap, +-1.0). */
+    double demoteScaleMin = 1.0;
+    double demoteScaleMax = 8.0;
+};
+
+/**
  * Every built-in policy's parameter block, bundled. PolicyRegistry
  * factories receive one of these and pick out the block they need;
  * ExperimentConfig derives from it so `cfg.tpp.scanBatch = ...` keeps
@@ -139,6 +185,7 @@ struct PolicyParams {
     NumaBalancingConfig numaBalancing;
     AutoTieringConfig autoTiering;
     HotnessConfig hotness;
+    AdaptiveConfig adaptive;
 };
 
 } // namespace tpp

@@ -175,6 +175,7 @@ PingPongThrottle::recordHop(Asid asid, Vpn vpn, PptHop dir, Tick now,
     Entry &e = pool_[idx];
     if (e.lastDir != dir) {
         e.flips++;
+        totalFlips_++;
         // Hysteresis: past the repeat threshold every further flip
         // doubles the cooldown until it saturates at the ceiling.
         if (e.flips >= cfg_.repeatThreshold &&

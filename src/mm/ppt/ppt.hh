@@ -117,6 +117,13 @@ class PingPongThrottle
     std::uint64_t flipsFor(Asid asid, Vpn vpn) const;
     /** True when the table still remembers (asid, vpn). */
     bool tracks(Asid asid, Vpn vpn) const;
+    /**
+     * Direction flips recorded since construction, over every page —
+     * monotonic, survives LRU eviction of individual entries. This is
+     * the machine-wide ping-pong signal consumers outside the admission
+     * path (the adaptive tuner) read each profiling window.
+     */
+    std::uint64_t totalFlips() const { return totalFlips_; }
 
   private:
     /** One page's history: 40 bytes, pooled, index-linked LRU. */
@@ -165,6 +172,8 @@ class PingPongThrottle
     std::uint32_t lruTail_ = kNil;
     /** Most recent timestamp seen; stamps sysctl-driven evictions. */
     Tick lastTick_ = 0;
+    /** Lifetime flip count across all pages (see totalFlips()). */
+    std::uint64_t totalFlips_ = 0;
 };
 
 } // namespace tpp

@@ -60,6 +60,13 @@ vmName(Vm counter)
       case Vm::PptThrottledDemote: return "ppt_throttled_demote";
       case Vm::PptEscalated: return "ppt_escalated";
       case Vm::PptHistoryEvict: return "ppt_history_evict";
+      case Vm::AdaptiveWindow: return "adaptive_window";
+      case Vm::AdaptiveTune: return "adaptive_tune";
+      case Vm::AdaptiveRevert: return "adaptive_revert";
+      case Vm::AdaptiveSettled: return "adaptive_settled";
+      case Vm::AdaptiveWake: return "adaptive_wake";
+      case Vm::AdaptiveFiltered: return "adaptive_filtered";
+      case Vm::AdaptiveFlapBias: return "adaptive_flap_bias";
       case Vm::NumCounters: break;
     }
     tpp_panic("vmName: bad counter %zu", static_cast<std::size_t>(counter));

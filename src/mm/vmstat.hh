@@ -97,6 +97,17 @@ enum class Vm : std::size_t {
     PptEscalated,        //!< repeat-offender cooldown escalations
     PptHistoryEvict,     //!< history-table entries evicted (LRU, full)
 
+    // Phase-adaptive placement (src/policy/adaptive). Appended behind
+    // everything above so the golden fingerprints over the seed
+    // counters stay stable.
+    AdaptiveWindow,      //!< profiling windows completed
+    AdaptiveTune,        //!< knob steps applied (accepted or on trial)
+    AdaptiveRevert,      //!< trial steps rolled back by the score test
+    AdaptiveSettled,     //!< full no-improvement rounds: tuner parked
+    AdaptiveWake,        //!< score drift re-armed a settled tuner
+    AdaptiveFiltered,    //!< hint faults held below the touch threshold
+    AdaptiveFlapBias,    //!< faults whose threshold was raised by PPT history
+
     NumCounters,
 };
 

@@ -65,6 +65,20 @@ summarizeTrace(const std::vector<TraceRecord> &events, Tick window_ns,
         if (r.event == TraceEvent::HotnessThreshold)
             summary.hotnessThresholds.emplace_back(r.tick, r.aux);
 
+        if (r.event == TraceEvent::AdaptiveTune ||
+            r.event == TraceEvent::AdaptiveRevert) {
+            TraceSummary::AdaptiveKnobPoint point;
+            point.tick = r.tick;
+            point.knob = static_cast<std::uint8_t>(r.aux >> 24);
+            point.value = r.aux & 0xffffff;
+            point.reverted = r.event == TraceEvent::AdaptiveRevert;
+            summary.adaptiveKnobs.push_back(point);
+        }
+        if (r.event == TraceEvent::AdaptiveSettle)
+            summary.adaptiveSettles++;
+        if (r.event == TraceEvent::AdaptiveWake)
+            summary.adaptiveWakes++;
+
         if (r.event == TraceEvent::PptThrottle) {
             // aux carries the denied direction (PptHop: 1 = promote).
             if (r.aux)

@@ -77,6 +77,19 @@ struct TraceSummary {
     std::uint64_t pptThrottledPromote = 0;
     std::uint64_t pptThrottledDemote = 0;
 
+    /** One adaptive-tuner knob movement (adaptive_tune / _revert). */
+    struct AdaptiveKnobPoint {
+        Tick tick = 0;
+        std::uint8_t knob = 0;     //!< AdaptiveKnob id (aux >> 24)
+        std::uint32_t value = 0;   //!< knob value after the step
+        bool reverted = false;     //!< step was rolled back, not accepted
+    };
+    /** Adaptive knob trajectory, tick order (empty without the tuner). */
+    std::vector<AdaptiveKnobPoint> adaptiveKnobs;
+    /** adaptive_settle / adaptive_wake transitions. */
+    std::uint64_t adaptiveSettles = 0;
+    std::uint64_t adaptiveWakes = 0;
+
     std::uint64_t
     total(TraceEvent event) const
     {

@@ -80,6 +80,14 @@ enum class TraceEvent : std::uint8_t {
     PptEscalate,         //!< cooldown escalated; aux = new cooldown (ms)
     PptEvict,            //!< history-table entry evicted (LRU, full)
 
+    // Phase-adaptive placement (src/policy/adaptive). aux of the knob
+    // events packs (knob id << 24) | knob value — see adaptive_policy.hh.
+    AdaptiveWindow,      //!< profiling window closed; aux = score (milli)
+    AdaptiveTune,        //!< knob step applied; aux = (knob << 24) | value
+    AdaptiveRevert,      //!< trial rolled back; aux = (knob << 24) | value
+    AdaptiveSettle,      //!< tuner parked after a no-improvement round
+    AdaptiveWake,        //!< score drift re-armed a settled tuner
+
     NumEvents,
 };
 

@@ -41,6 +41,11 @@ traceEventName(TraceEvent event)
       case TraceEvent::PptThrottle: return "ppt_throttle";
       case TraceEvent::PptEscalate: return "ppt_escalate";
       case TraceEvent::PptEvict: return "ppt_evict";
+      case TraceEvent::AdaptiveWindow: return "adaptive_window";
+      case TraceEvent::AdaptiveTune: return "adaptive_tune";
+      case TraceEvent::AdaptiveRevert: return "adaptive_revert";
+      case TraceEvent::AdaptiveSettle: return "adaptive_settle";
+      case TraceEvent::AdaptiveWake: return "adaptive_wake";
       case TraceEvent::NumEvents: break;
     }
     tpp_panic("traceEventName: bad event %u",

@@ -376,6 +376,96 @@ churn(std::uint64_t wss_pages, std::uint64_t seed)
 }
 
 WorkloadProfile
+phased(std::uint64_t wss_pages, std::uint64_t seed)
+{
+    WorkloadProfile p;
+    p.name = "phased";
+    p.seed = seed;
+    p.thinkTimePerOpNs = 800.0;
+    p.accessesPerOp = 4;
+    p.opsPerBatch = 2000;
+
+    // One phase = 3 profile intervals; cache group on first, scan on
+    // second. Long enough for the adaptive tuner (600 ms measurement
+    // rounds at defaults) to converge several times per phase.
+    const Tick period = 6 * kProfileInterval;
+    const Tick half = period / 2;
+
+    // Cache phase: cache1's heap + tmpfs lookup store, scaled down so
+    // the three groups oversubscribe the working set (the phase flip has
+    // to displace somebody).
+    RegionSpec heap;
+    heap.label = "svc-heap";
+    heap.type = PageType::Anon;
+    heap.pages = frac(wss_pages, 0.28);
+    heap.sequentialWarmup = true;
+    heap.accessWeight = 0.48;
+    heap.hotFraction = 0.40;
+    heap.hotAccessShare =
+        1.0 - uniformShareFor(heap.pages, heap.accessWeight,
+                              accessRateFor(p.thinkTimePerOpNs,
+                                            p.accessesPerOp),
+                              0.25);
+    heap.zipfTheta = 0.9;
+    heap.storeShare = 0.45;
+    heap.rotationPeriod = kProfileInterval / 2;
+    heap.rotationStep = stepFor(0.06, 0.40);
+    heap.phasePeriod = period;
+    heap.phaseOffWeight = 0.05;
+    p.regions.push_back(heap);
+
+    RegionSpec store;
+    store.label = "svc-tmpfs";
+    store.type = PageType::File;
+    store.diskBacked = false;
+    store.pages = frac(wss_pages, 0.42);
+    store.sequentialWarmup = true;
+    store.accessWeight = 0.32;
+    store.hotFraction = 0.25;
+    store.hotAccessShare =
+        1.0 - uniformShareFor(store.pages, store.accessWeight,
+                              accessRateFor(p.thinkTimePerOpNs,
+                                            p.accessesPerOp),
+                              0.18);
+    store.zipfTheta = 0.99;
+    store.storeShare = 0.12;
+    store.rotationPeriod = kProfileInterval / 2;
+    store.rotationStep = stepFor(0.04, 0.25);
+    store.phasePeriod = period;
+    store.phaseOffWeight = 0.05;
+    p.regions.push_back(store);
+
+    // Churn phase: a fast anon sweep with weak skew. No munmap churn —
+    // the buffer stays mapped across phases, cools off, gets demoted,
+    // and re-heats on the next flip. Those repeat promote/demote hops
+    // are exactly what a static promotion threshold mishandles.
+    RegionSpec scan;
+    scan.label = "scan";
+    scan.type = PageType::Anon;
+    scan.pages = frac(wss_pages, 0.55);
+    scan.sequentialWarmup = true;
+    scan.accessWeight = 0.85;
+    scan.hotFraction = 0.30;
+    scan.hotAccessShare = 0.55; // weak skew: reuse is incidental
+    scan.zipfTheta = 0.1;
+    scan.storeShare = 0.60;
+    scan.rotationPeriod = kProfileInterval / 4;
+    scan.rotationStep = stepFor(0.50, 0.30);
+    scan.phasePeriod = period;
+    scan.phaseOffset = half; // anti-phase with the cache group
+    scan.phaseOffWeight = 0.03;
+    p.regions.push_back(scan);
+
+    // Modest request-scratch allocation keeps some pressure on the
+    // fast-tier allocator in both phases.
+    p.transient.regionsPerSecond = 60.0;
+    p.transient.regionPages = 16;
+    p.transient.lifetime = 200 * kMillisecond;
+    p.transient.touchesPerPage = 2.0;
+    return p;
+}
+
+WorkloadProfile
 byName(const std::string &name, std::uint64_t wss_pages, std::uint64_t seed)
 {
     if (name == "web")
@@ -388,6 +478,8 @@ byName(const std::string &name, std::uint64_t wss_pages, std::uint64_t seed)
         return dataWarehouse(wss_pages, seed);
     if (name == "churn")
         return churn(wss_pages, seed);
+    if (name == "phased")
+        return phased(wss_pages, seed);
     tpp_fatal("unknown workload profile '%s'", name.c_str());
 }
 
@@ -412,6 +504,7 @@ TPP_REGISTER_WORKLOAD(cache1, syntheticFactory("cache1"));
 TPP_REGISTER_WORKLOAD(cache2, syntheticFactory("cache2"));
 TPP_REGISTER_WORKLOAD(dwh, syntheticFactory("dwh"));
 TPP_REGISTER_WORKLOAD(churn, syntheticFactory("churn"));
+TPP_REGISTER_WORKLOAD(phased, syntheticFactory("phased"));
 TPP_REGISTER_WORKLOAD_AS(dataWarehouse, "data-warehouse",
                          syntheticFactory("dwh"));
 

@@ -54,9 +54,18 @@ WorkloadProfile dataWarehouse(std::uint64_t wss_pages,
  * own pages are a poor use of that tier (it barely re-accesses them).
  */
 WorkloadProfile churn(std::uint64_t wss_pages, std::uint64_t seed = 1);
+/**
+ * Phase-shifting workload for the adaptive-policy ablation: a
+ * cache1-like lookup service and a churn-like scan stage share one
+ * address space in anti-phase (cache → churn → cache ...). The gated-off
+ * group keeps its pages mapped, so each phase flip re-heats a cold
+ * resident set — static promotion knobs that suit one phase mis-serve
+ * the other, which is the gap the adaptive tuner closes.
+ */
+WorkloadProfile phased(std::uint64_t wss_pages, std::uint64_t seed = 1);
 
-/** Lookup by name ("web", "cache1", "cache2", "dwh", "churn");
- *  fatal if unknown. */
+/** Lookup by name ("web", "cache1", "cache2", "dwh", "churn",
+ *  "phased"); fatal if unknown. */
 WorkloadProfile byName(const std::string &name, std::uint64_t wss_pages,
                        std::uint64_t seed = 1);
 

@@ -37,7 +37,14 @@ SyntheticWorkload::init(Kernel &kernel)
         regions_.push_back(std::move(state));
         acc += spec.accessWeight;
         weightPrefix_.push_back(acc);
+        if (spec.phasePeriod != 0) {
+            if (spec.phaseDuty <= 0.0 || spec.phaseDuty > 1.0)
+                tpp_fatal("phaseDuty must be in (0, 1]");
+            anyPhased_ = true;
+        }
     }
+    if (anyPhased_ && regions_.size() > 64)
+        tpp_fatal("phase gating supports at most 64 regions");
 
     // Regions without sequential warm-up are skipped by the cursor.
     while (warmupCursorRegion_ < regions_.size() &&
@@ -82,6 +89,43 @@ SyntheticWorkload::activePages(const RegionState &region, Tick now) const
         spec.growthPagesPerSec * elapsed_sec;
     const std::uint64_t count = static_cast<std::uint64_t>(active);
     return std::clamp<std::uint64_t>(count, 1, spec.pages);
+}
+
+bool
+SyntheticWorkload::regionPhaseOn(const RegionSpec &spec, Tick now) const
+{
+    if (spec.phasePeriod == 0)
+        return true;
+    const Tick pos = (now + spec.phaseOffset) % spec.phasePeriod;
+    return static_cast<double>(pos) <
+           spec.phaseDuty * static_cast<double>(spec.phasePeriod);
+}
+
+void
+SyntheticWorkload::refreshPhaseWeights(Tick now)
+{
+    // Cheap per-batch check: rebuild the prefix table only on the batch
+    // where some region crossed a phase edge.
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+        if (regionPhaseOn(regions_[i].spec, now))
+            mask |= std::uint64_t{1} << i;
+    }
+    if (mask == phaseMask_)
+        return;
+    phaseMask_ = mask;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+        const RegionSpec &spec = regions_[i].spec;
+        const bool on = (mask >> i) & 1;
+        // Keep every region minimally sample-able so lower_bound stays
+        // well-defined even if all weights are gated off at once.
+        const double eff = std::max(
+            on ? spec.accessWeight : spec.accessWeight * spec.phaseOffWeight,
+            1e-9);
+        acc += eff;
+        weightPrefix_[i] = acc;
+    }
 }
 
 Vpn
@@ -271,6 +315,8 @@ SyntheticWorkload::runOps(Kernel &kernel, std::uint64_t ops)
     double duration = 0.0;
     duration += maintainChurn(kernel, now);
     duration += maintainTransients(kernel, now, result);
+    if (anyPhased_)
+        refreshPhaseWeights(now);
 
     const double think = think_.perOpNs(now);
 

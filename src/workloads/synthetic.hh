@@ -81,6 +81,23 @@ struct RegionSpec {
      * almost immediately).
      */
     bool populateOnChurn = false;
+    /**
+     * Phase gating: when > 0 the region's accessWeight is live only
+     * during the first `phaseDuty` of each period (shifted by
+     * `phaseOffset`); off-phase it falls to accessWeight *
+     * phaseOffWeight. Gating two region groups in anti-phase yields the
+     * cache→churn→cache alternation the adaptive-policy ablation runs.
+     * Regions with phasePeriod == 0 are untouched, and the engine
+     * recomputes its weight table only when at least one region is
+     * phased, so non-phased workloads stay bit-identical.
+     */
+    Tick phasePeriod = 0;
+    /** On-phase share of each period, in (0, 1]. */
+    double phaseDuty = 0.5;
+    /** Shift of the phase window (anti-phase = period * duty). */
+    Tick phaseOffset = 0;
+    /** Off-phase multiplier on accessWeight (residual touches). */
+    double phaseOffWeight = 0.0;
 };
 
 /** Short-lived request allocations (Web's per-request pages, §5.2). */
@@ -162,6 +179,10 @@ class SyntheticWorkload : public Workload
 
     double issueAccess(Kernel &kernel, Vpn vpn, AccessKind kind,
                        BatchResult &result);
+    /** @return true when `spec` is inside its on-phase window at `now`. */
+    bool regionPhaseOn(const RegionSpec &spec, Tick now) const;
+    /** Rebuild weightPrefix_ when any region's phase state flipped. */
+    void refreshPhaseWeights(Tick now);
     Vpn sampleRegionVpn(RegionState &region, Tick now);
     std::uint64_t activePages(const RegionState &region, Tick now) const;
     double runWarmupChunk(Kernel &kernel, BatchResult &result);
@@ -177,6 +198,10 @@ class SyntheticWorkload : public Workload
 
     std::vector<RegionState> regions_;
     std::vector<double> weightPrefix_;
+    /** Any region phase-gated? False keeps the legacy static table. */
+    bool anyPhased_ = false;
+    /** Bitmask of per-region on/off states the table was built for. */
+    std::uint64_t phaseMask_ = ~std::uint64_t{0};
 
     // Warm-up cursor.
     std::size_t warmupCursorRegion_ = 0;

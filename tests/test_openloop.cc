@@ -161,6 +161,65 @@ TEST(LatencyHistogram, EmptyIsZero)
     EXPECT_EQ(h.percentileNs(99.0), 0.0);
 }
 
+// Edge-case regression pins (issue 10). Each of these has an obvious
+// wrong implementation — merge() unconditionally taking the other
+// histogram's min/max, percentile interpolation running below the
+// bucket's recorded samples — so the exact bounds are pinned here to
+// keep refactors honest.
+
+TEST(LatencyHistogram, MergeOfEmptyDoesNotClobberBounds)
+{
+    LatencyHistogram h;
+    h.record(250.0);
+    h.record(900.0);
+    const LatencyHistogram empty;
+    h.merge(empty);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.minNs(), 250.0);
+    EXPECT_DOUBLE_EQ(h.maxNs(), 900.0);
+    // And the symmetric case: merging into an empty histogram must
+    // adopt the other side's bounds, not keep the empty sentinel.
+    LatencyHistogram fresh;
+    LatencyHistogram other;
+    other.record(250.0);
+    other.record(900.0);
+    fresh.merge(other);
+    EXPECT_EQ(fresh.count(), 2u);
+    EXPECT_DOUBLE_EQ(fresh.minNs(), 250.0);
+    EXPECT_DOUBLE_EQ(fresh.maxNs(), 900.0);
+}
+
+TEST(LatencyHistogram, PercentileZeroReturnsTheMinSideBound)
+{
+    LatencyHistogram h;
+    h.record(777.0);
+    h.record(12345.0);
+    h.record(1e6);
+    // p0 must answer with the smallest recorded latency, never the
+    // lower edge of the first occupied log-linear bucket (which sits
+    // below 777 ns).
+    EXPECT_DOUBLE_EQ(h.percentileNs(0.0), 777.0);
+    EXPECT_GE(h.percentileNs(50.0), 777.0);
+    EXPECT_LE(h.percentileNs(100.0), 1e6);
+}
+
+TEST(LatencyHistogram, SingleObservationNeverInterpolatesBelowIt)
+{
+    LatencyHistogram h;
+    h.record(100.0);
+    EXPECT_EQ(h.count(), 1u);
+    // Every percentile of a single-sample histogram is that sample:
+    // in-bucket interpolation must not report a value below (or above)
+    // the one latency ever recorded.
+    for (const double p : {0.0, 1.0, 50.0, 99.0, 99.9, 100.0}) {
+        EXPECT_DOUBLE_EQ(h.percentileNs(p), 100.0)
+            << "p" << p << " drifted off the single observation";
+    }
+    EXPECT_DOUBLE_EQ(h.minNs(), 100.0);
+    EXPECT_DOUBLE_EQ(h.maxNs(), 100.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 100.0);
+}
+
 // ---------------------------------------------------------------------
 // ExperimentConfig::validate()
 // ---------------------------------------------------------------------

@@ -21,7 +21,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
 #include "harness/experiment.hh"
+#include "harness/shard.hh"
 #include "mm/vmstat.hh"
 
 namespace tpp {
@@ -165,6 +170,89 @@ TEST(ShardDispatch, OneRegionIsTheLegacyEngineBitForBit)
     EXPECT_EQ(vmHash(unsharded.vmstat), vmHash(single.vmstat));
     EXPECT_EQ(unsharded.localTrafficShare, single.localTrafficShare);
     ASSERT_EQ(unsharded.samples.size(), single.samples.size());
+}
+
+/** Exact sum of the returned shares, in submission order. */
+double
+sharesSum(const std::vector<double> &shares)
+{
+    return std::accumulate(shares.begin(), shares.end(), 0.0);
+}
+
+TEST(ShardBudget, SharesConserveTheMachineBudgetExactly)
+{
+    // Failing-pre-fix: the old redistribution rounded each region's
+    // floor + pool*weight slice independently, so the sum drifted off
+    // the machine-wide vm.migration_rate_limit_mbps by a few ulps per
+    // epoch (compounded by a %.9g sysctl round-trip). Three-way split
+    // of a budget whose thirds are not representable is the canonical
+    // leak: 0.1*100/3 and 0.9*100*(1/3) both round.
+    const double budget = 100.0;
+    const std::vector<double> demand = {1.0, 1.0, 1.0};
+    const std::vector<double> shares = shardBudgetShares(demand, budget);
+    ASSERT_EQ(shares.size(), 3u);
+    EXPECT_EQ(sharesSum(shares), budget);
+
+    // Adversarial weights: demands whose normalised weights cannot sum
+    // to exactly 1.0 in floating point.
+    const std::vector<double> skewed = {1e-9, 3.7, 1e9, 42.123456789,
+                                        0.0, 7.0 / 13.0, 1e-300};
+    const std::vector<double> skewed_shares =
+        shardBudgetShares(skewed, 12.75);
+    ASSERT_EQ(skewed_shares.size(), skewed.size());
+    EXPECT_EQ(sharesSum(skewed_shares), 12.75);
+    // Every region keeps at least its 10% floor (minus the one ulp the
+    // remainder region may absorb).
+    const double floor =
+        0.1 * 12.75 / static_cast<double>(skewed.size());
+    for (const double share : skewed_shares)
+        EXPECT_GE(share, floor * 0.99);
+}
+
+TEST(ShardBudget, AllIdleRegionsSplitEquallyAndExactly)
+{
+    // All-idle corner: zero demand everywhere must fall back to the
+    // equal split and still sum to exactly the budget — seven equal
+    // slices of 50 MB/s are not representable individually.
+    const std::vector<double> idle(7, 0.0);
+    const std::vector<double> shares = shardBudgetShares(idle, 50.0);
+    ASSERT_EQ(shares.size(), 7u);
+    EXPECT_EQ(sharesSum(shares), 50.0);
+    for (std::size_t r = 0; r + 1 < shares.size(); ++r)
+        EXPECT_NEAR(shares[r], 50.0 / 7.0, 1e-12);
+}
+
+TEST(ShardBudget, SingleRegionKeepsTheWholeBudget)
+{
+    // Single-region corner: no pool/floor split at all — the one
+    // region owns the budget bit-for-bit.
+    const std::vector<double> shares =
+        shardBudgetShares({123.0}, 0.1 + 0.2);
+    ASSERT_EQ(shares.size(), 1u);
+    EXPECT_EQ(shares[0], 0.1 + 0.2);
+}
+
+TEST(ShardBudget, DegenerateInputsYieldZeros)
+{
+    EXPECT_TRUE(shardBudgetShares({}, 10.0).empty());
+    const std::vector<double> off = shardBudgetShares({1.0, 2.0}, 0.0);
+    ASSERT_EQ(off.size(), 2u);
+    EXPECT_EQ(off[0], 0.0);
+    EXPECT_EQ(off[1], 0.0);
+}
+
+TEST(ShardBudget, AdmissionBudgetSurvivesTheSysctlRoundTrip)
+{
+    // The shares only conserve the budget if the sysctl string
+    // round-trip each kernel sees preserves them exactly; %.17g does,
+    // %.9g (the pre-fix format) does not for this value.
+    const double mbps = 50.0 / 3.0;
+    char wide[64];
+    std::snprintf(wide, sizeof(wide), "%.17g", mbps);
+    EXPECT_EQ(std::strtod(wide, nullptr), mbps);
+    char narrow[64];
+    std::snprintf(narrow, sizeof(narrow), "%.9g", mbps);
+    EXPECT_NE(std::strtod(narrow, nullptr), mbps);
 }
 
 TEST(ShardDispatch, RegionCountChangesTheMachineWorkersDoNot)

@@ -2,12 +2,15 @@
 """Compare a micro_mm_ops --benchmark_format=json run against the
 checked-in performance baseline (bench/perf_baseline.json).
 
-The baseline pins the throughput *counters* (pages/sec-style rates,
-where higher is better), not wall-clock times, so the gate is
-insensitive to how long the benchmark harness chose to run. For every
+The baseline pins benchmark *counters* (pages/sec-style rates by
+default), not wall-clock times, so the gate is insensitive to how long
+the benchmark harness chose to run. Each baseline entry may declare a
+"direction": "higher" (the default — rate counters regress downward)
+or "lower" (cost counters such as ns/window regress upward). For every
 counter named in the baseline:
 
-    regression % = (baseline - current) / baseline * 100
+    direction "higher":  regression % = (baseline - current) / baseline * 100
+    direction "lower":   regression % = (current - baseline) / baseline * 100
 
 Exit status is 1 if any counter regressed more than --fail-pct
 (default 25%), otherwise 0. Regressions beyond --warn-pct (default
@@ -76,6 +79,12 @@ def main():
     for name, spec in sorted(baseline.get("counters", {}).items()):
         counter = spec["counter"]
         pinned = float(spec["value"])
+        direction = spec.get("direction", "higher")
+        if direction not in ("higher", "lower"):
+            print(f"::error::perf gate: baseline for '{name}' has "
+                  f"unknown direction '{direction}' (want higher|lower)")
+            failures += 1
+            continue
         bench = measured.get(name)
         if bench is None:
             print(f"::error::perf gate: benchmark '{name}' missing "
@@ -98,7 +107,10 @@ def main():
                   f"non-positive ({pinned}); re-baseline with --update")
             failures += 1
             continue
-        regression = (pinned - current) / pinned * 100.0
+        if direction == "lower":
+            regression = (current - pinned) / pinned * 100.0
+        else:
+            regression = (pinned - current) / pinned * 100.0
         rows.append((name, counter, pinned, current, regression))
         if regression > args.fail_pct:
             print(f"::error::perf gate: {name} {counter} regressed "

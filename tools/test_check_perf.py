@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_perf.py (run by ctest as check_perf_py).
+
+Covers the counter-direction handling — a rate counter (pages/sec,
+higher is better) must fail the gate when it drops and pass when it
+rises, a cost counter (direction "lower", e.g. ns/window) the other
+way around — plus --update re-baselining.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+CHECK_PERF = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "check_perf.py")
+
+
+def results_json(value_by_name):
+    """A minimal micro_mm_ops --benchmark_format=json document."""
+    return {
+        "benchmarks": [
+            {"name": name, "run_type": "iteration", "counter": value}
+            for name, value in value_by_name.items()
+        ]
+    }
+
+
+def baseline_json(spec_by_name):
+    return {"counters": spec_by_name}
+
+
+class CheckPerfTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, document):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        return path
+
+    def run_gate(self, results, baseline, *extra):
+        results_path = self.write("results.json", results)
+        baseline_path = self.write("baseline.json", baseline)
+        proc = subprocess.run(
+            [sys.executable, CHECK_PERF, results_path, baseline_path,
+             *extra],
+            capture_output=True, text=True)
+        return proc, baseline_path
+
+    def test_rate_counter_regresses_downward(self):
+        # A 30% throughput loss on a higher-is-better counter must go
+        # red past the default 25% fail threshold.
+        baseline = baseline_json(
+            {"BM_Rate": {"counter": "counter", "value": 1000.0}})
+        proc, _ = self.run_gate(results_json({"BM_Rate": 700.0}),
+                                baseline)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("::error::", proc.stdout)
+
+    def test_rate_counter_improvement_passes(self):
+        baseline = baseline_json(
+            {"BM_Rate": {"counter": "counter", "value": 1000.0}})
+        proc, _ = self.run_gate(results_json({"BM_Rate": 1300.0}),
+                                baseline)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertIn("consider re-baselining", proc.stdout)
+
+    def test_cost_counter_regresses_upward(self):
+        # direction "lower": the same +30% that passes for a rate
+        # counter is a regression for a cost counter.
+        baseline = baseline_json(
+            {"BM_Cost": {"counter": "counter", "value": 1000.0,
+                         "direction": "lower"}})
+        proc, _ = self.run_gate(results_json({"BM_Cost": 1300.0}),
+                                baseline)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("::error::", proc.stdout)
+
+    def test_cost_counter_improvement_passes(self):
+        baseline = baseline_json(
+            {"BM_Cost": {"counter": "counter", "value": 1000.0,
+                         "direction": "lower"}})
+        proc, _ = self.run_gate(results_json({"BM_Cost": 700.0}),
+                                baseline)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_unknown_direction_is_an_error(self):
+        baseline = baseline_json(
+            {"BM_Bad": {"counter": "counter", "value": 1000.0,
+                        "direction": "sideways"}})
+        proc, _ = self.run_gate(results_json({"BM_Bad": 1000.0}),
+                                baseline)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("unknown direction", proc.stdout)
+
+    def test_warn_band_does_not_fail(self):
+        # 15% down: past --warn-pct 10 but inside --fail-pct 25.
+        baseline = baseline_json(
+            {"BM_Rate": {"counter": "counter", "value": 1000.0}})
+        proc, _ = self.run_gate(results_json({"BM_Rate": 850.0}),
+                                baseline)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertIn("::warning::", proc.stdout)
+
+    def test_update_rebaselines_and_keeps_direction(self):
+        baseline = baseline_json(
+            {"BM_Rate": {"counter": "counter", "value": 1000.0},
+             "BM_Cost": {"counter": "counter", "value": 50.0,
+                         "direction": "lower"}})
+        proc, baseline_path = self.run_gate(
+            results_json({"BM_Rate": 700.0, "BM_Cost": 80.0}),
+            baseline, "--update")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        with open(baseline_path) as handle:
+            updated = json.load(handle)
+        self.assertEqual(updated["counters"]["BM_Rate"]["value"], 700.0)
+        self.assertEqual(updated["counters"]["BM_Cost"]["value"], 80.0)
+        self.assertEqual(updated["counters"]["BM_Cost"]["direction"],
+                         "lower")
+        # The re-baselined file must pass its own gate.
+        proc2, _ = self.run_gate(
+            results_json({"BM_Rate": 700.0, "BM_Cost": 80.0}), updated)
+        self.assertEqual(proc2.returncode, 0, proc2.stdout)
+
+    def test_missing_benchmark_fails(self):
+        baseline = baseline_json(
+            {"BM_Gone": {"counter": "counter", "value": 1000.0}})
+        proc, _ = self.run_gate(results_json({}), baseline)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

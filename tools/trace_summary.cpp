@@ -15,8 +15,10 @@
  * Each section includes a migration-failure breakdown by cause
  * (low-mem, isolate, rate-limit, demotion OOM, admission deferral,
  * transaction abort), a ping-pong throttling (PPT) digest when the
- * subsystem fired, and an estimated wasted-bandwidth figure for the
- * flipped hops. --json replaces the tables with one JSON object
+ * subsystem fired, the adaptive tuner's knob trajectory (every
+ * accepted or reverted step, plus settle/wake counts) when the
+ * `adaptive` policy ran, and an estimated wasted-bandwidth figure for
+ * the flipped hops. --json replaces the tables with one JSON object
  * on stdout for scripted consumers (CI, plotting).
  */
 
@@ -166,6 +168,57 @@ printPptSection(const TraceSummary &summary)
                 static_cast<unsigned long long>(evictions));
 }
 
+/** AdaptiveKnob id (aux >> 24 of adaptive_tune/_revert) to sysctl. */
+const char *
+adaptiveKnobName(std::uint8_t knob)
+{
+    switch (knob) {
+      case 0:
+        return "promote_threshold";
+      case 1:
+        return "scan_size_pages";
+      case 2:
+        return "demote_scale_factor";
+      default:
+        return "unknown";
+    }
+}
+
+/** Knob 2 (demote_scale_factor) is packed in tenths; the rest raw. */
+double
+adaptiveKnobValue(std::uint8_t knob, std::uint32_t packed)
+{
+    return knob == 2 ? static_cast<double>(packed) / 10.0
+                     : static_cast<double>(packed);
+}
+
+void
+printAdaptiveSection(const TraceSummary &summary)
+{
+    if (summary.adaptiveKnobs.empty() && summary.adaptiveSettles == 0 &&
+        summary.adaptiveWakes == 0)
+        return;
+    std::printf("adaptive tuner: %zu knob moves, %llu settles, "
+                "%llu wakes\n",
+                summary.adaptiveKnobs.size(),
+                static_cast<unsigned long long>(summary.adaptiveSettles),
+                static_cast<unsigned long long>(summary.adaptiveWakes));
+    if (!summary.adaptiveKnobs.empty()) {
+        std::printf("knob trajectory:\n");
+        TextTable table({"t(s)", "knob", "value", "outcome"});
+        for (const TraceSummary::AdaptiveKnobPoint &p :
+             summary.adaptiveKnobs)
+            table.addRow(
+                {TextTable::num(static_cast<double>(p.tick) / 1e9, 3),
+                 adaptiveKnobName(p.knob),
+                 TextTable::num(adaptiveKnobValue(p.knob, p.value),
+                                p.knob == 2 ? 1 : 0),
+                 p.reverted ? "reverted" : "applied"});
+        table.print();
+    }
+    std::printf("\n");
+}
+
 /** Minimal JSON string escape: the tags we emit are workload/policy
  *  names, but a stray quote must not corrupt the document. */
 std::string
@@ -285,6 +338,25 @@ printJsonSummary(std::FILE *out, const std::string &tag,
                      summary.total(TraceEvent::PptEvict)));
 
     std::fprintf(out,
+                 "      \"adaptive\": {\"settles\": %llu, "
+                 "\"wakes\": %llu, \"knob_trajectory\": [",
+                 static_cast<unsigned long long>(summary.adaptiveSettles),
+                 static_cast<unsigned long long>(summary.adaptiveWakes));
+    first = true;
+    for (const TraceSummary::AdaptiveKnobPoint &p : summary.adaptiveKnobs) {
+        std::fprintf(out,
+                     "%s{\"t_s\": %.3f, \"knob\": \"%s\", "
+                     "\"value\": %g, \"reverted\": %s}",
+                     first ? "" : ", ",
+                     static_cast<double>(p.tick) / 1e9,
+                     adaptiveKnobName(p.knob),
+                     adaptiveKnobValue(p.knob, p.value),
+                     p.reverted ? "true" : "false");
+        first = false;
+    }
+    std::fprintf(out, "]},\n");
+
+    std::fprintf(out,
                  "      \"ping_pong_flips\": %llu,\n"
                  "      \"ping_pong_wasted_bytes\": %llu,\n",
                  static_cast<unsigned long long>(summary.pingPongFlips),
@@ -350,6 +422,7 @@ printSummary(const std::string &tag, const std::vector<TraceRecord> &events,
     printHotnessSection(summary);
     printMemcgSection(summary);
     printPptSection(summary);
+    printAdaptiveSection(summary);
 
     if (summary.pingPong.empty()) {
         std::printf("no ping-pong pages (no page changed tier direction "
